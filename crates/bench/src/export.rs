@@ -1,0 +1,106 @@
+//! CSV export for experiment results.
+//!
+//! Every experiment binary prints human-readable tables; when
+//! `IPFS_REPRO_CSV_DIR` is set, they additionally write machine-readable
+//! CSV so plots can be regenerated outside this repository.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Where CSVs go, if anywhere: the `IPFS_REPRO_CSV_DIR` directory.
+pub fn csv_dir() -> Option<PathBuf> {
+    std::env::var("IPFS_REPRO_CSV_DIR").ok().map(PathBuf::from)
+}
+
+/// Escapes one CSV field (RFC 4180: quote when needed, double quotes).
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders rows to CSV text.
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `<name>.csv` into the export directory, if configured. Returns
+/// the path written, or `None` when exporting is off. IO errors are
+/// reported to stderr but never fail the experiment.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> Option<PathBuf> {
+    let dir = csv_dir()?;
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("csv export: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let csv = to_csv(headers, rows);
+    match fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes())) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("csv export: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Convenience: exports a series of (x, y) points.
+pub fn write_series_csv(name: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> Option<PathBuf> {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(x, y)| vec![format!("{x}"), format!("{y}")])
+        .collect();
+    write_csv(name, &[x_label, y_label], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let csv = to_csv(
+            &["region", "value"],
+            &[
+                vec!["eu_central_1".into(), "1.81".into()],
+                vec!["with,comma".into(), "with\"quote".into()],
+            ],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "region,value");
+        assert_eq!(lines[1], "eu_central_1,1.81");
+        assert_eq!(lines[2], "\"with,comma\",\"with\"\"quote\"");
+    }
+
+    #[test]
+    fn no_dir_no_write() {
+        // With the env var unset, write_csv is a no-op returning None.
+        if std::env::var("IPFS_REPRO_CSV_DIR").is_err() {
+            assert!(write_csv("x", &["a"], &[]).is_none());
+        }
+    }
+
+    #[test]
+    fn writes_into_configured_dir() {
+        let dir = std::env::temp_dir().join(format!("ipfs-repro-csv-{}", std::process::id()));
+        // SAFETY-free env manipulation: tests in this module run in one
+        // process; restore afterwards.
+        std::env::set_var("IPFS_REPRO_CSV_DIR", &dir);
+        let path =
+            write_csv("unit_test", &["a", "b"], &[vec!["1".into(), "2".into()]]).expect("written");
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::env::remove_var("IPFS_REPRO_CSV_DIR");
+        let _ = fs::remove_dir_all(dir);
+    }
+}

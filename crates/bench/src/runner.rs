@@ -1,0 +1,124 @@
+//! Shared scaffolding for the experiment binaries: scale selection and
+//! common printing.
+
+use std::env;
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast, CI-friendly runs that preserve every distribution's shape.
+    Small,
+    /// Populations and iteration counts close to the paper's (slow).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `IPFS_REPRO_SCALE` (`small` default, `paper` for full runs).
+    pub fn from_env() -> Scale {
+        match env::var("IPFS_REPRO_SCALE").as_deref() {
+            Ok("paper") | Ok("full") => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+}
+
+/// Concrete sizes per scale.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// Peer population for network experiments.
+    pub population: usize,
+    /// DHT-perf iterations per region (paper: ~547).
+    pub iterations_per_region: usize,
+    /// Gateway catalog size (paper: 274 k CIDs).
+    pub gateway_catalog: usize,
+    /// Gateway users (paper: 101 k).
+    pub gateway_users: usize,
+    /// Gateway requests over the day (paper: 7.1 M).
+    pub gateway_requests: usize,
+    /// Churn-monitor population.
+    pub monitor_population: usize,
+    /// Crawl-series population.
+    pub crawl_population: usize,
+    /// Number of 30-min crawl rounds for the time series.
+    pub crawl_rounds: usize,
+    /// Population used for pure-distribution figures (5/6/7, tables 2/3).
+    pub census_population: usize,
+}
+
+impl ScaleConfig {
+    /// Resolves sizes for a scale.
+    pub fn resolve(scale: Scale) -> ScaleConfig {
+        match scale {
+            Scale::Small => ScaleConfig {
+                population: 1_500,
+                iterations_per_region: 12,
+                gateway_catalog: 2_000,
+                gateway_users: 800,
+                gateway_requests: 12_000,
+                monitor_population: 6_000,
+                crawl_population: 1_200,
+                crawl_rounds: 48, // one day of 30-min crawls
+                census_population: 60_000,
+            },
+            Scale::Paper => ScaleConfig {
+                population: 20_000,
+                iterations_per_region: 200,
+                gateway_catalog: 27_400,
+                gateway_users: 10_100,
+                gateway_requests: 300_000,
+                monitor_population: 40_000,
+                crawl_population: 10_000,
+                crawl_rounds: 96, // two days
+                census_population: 200_000,
+            },
+        }
+    }
+
+    /// Resolves from the environment.
+    pub fn from_env() -> ScaleConfig {
+        ScaleConfig::resolve(Scale::from_env())
+    }
+}
+
+/// Master seed for experiments (override with `IPFS_REPRO_SEED`).
+pub fn seed_from_env() -> u64 {
+    env::var("IPFS_REPRO_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2022)
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(artifact: &str, description: &str) {
+    println!("==================================================================");
+    println!("{artifact} — {description}");
+    println!(
+        "scale: {:?}, seed: {} (IPFS_REPRO_SCALE / IPFS_REPRO_SEED to change)",
+        Scale::from_env(),
+        seed_from_env()
+    );
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_small() {
+        // Unless the environment says otherwise.
+        if env::var("IPFS_REPRO_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Small);
+        }
+    }
+
+    #[test]
+    fn paper_scale_is_larger_everywhere() {
+        let s = ScaleConfig::resolve(Scale::Small);
+        let p = ScaleConfig::resolve(Scale::Paper);
+        assert!(p.population > s.population);
+        assert!(p.iterations_per_region > s.iterations_per_region);
+        assert!(p.gateway_requests > s.gateway_requests);
+        assert!(p.census_population > s.census_population);
+    }
+}

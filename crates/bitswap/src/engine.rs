@@ -1,0 +1,732 @@
+//! The sans-io Bitswap engine: serves inbound wants and runs client
+//! sessions that fetch whole DAGs.
+//!
+//! A *session* fetches the DAG rooted at one CID from a set of candidate
+//! peers. For every missing block it performs the three-step exchange of
+//! §3.2 (WANT-HAVE → HAVE → WANT-BLOCK → BLOCK), discovering new wants as
+//! branch nodes arrive and their links decode. Every received block is
+//! verified against its CID before it is stored — the self-certification
+//! property (§2.1) means no provider needs to be trusted.
+
+use crate::ledger::Ledger;
+use crate::message::Message;
+use merkledag::{BlockStore, DagNode};
+use multiformats::{Cid, Multicodec, PeerId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Handle for a client fetch session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionHandle(pub u64);
+
+/// Actions the engine asks its driver to perform, and events it reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineOutput {
+    /// Send `message` to `to`.
+    Send {
+        /// Destination peer.
+        to: PeerId,
+        /// The message.
+        message: Message,
+    },
+    /// A session obtained and verified a block.
+    BlockStored {
+        /// The session.
+        session: SessionHandle,
+        /// The block's CID.
+        cid: Cid,
+    },
+    /// A session has every block of its DAG.
+    SessionComplete {
+        /// The finished session.
+        session: SessionHandle,
+    },
+    /// Every candidate peer denied having `cid`; the caller must find
+    /// providers (DHT fallback, §3.2) and [`BitswapEngine::add_session_peer`].
+    WantFailed {
+        /// The session.
+        session: SessionHandle,
+        /// The unfindable block.
+        cid: Cid,
+    },
+}
+
+/// Progress of one wanted block.
+#[derive(Debug, Clone)]
+enum WantState {
+    /// WANT-HAVE broadcast; waiting on answers from these peers.
+    Probing {
+        pending: HashSet<PeerId>,
+        havers: Vec<PeerId>,
+    },
+    /// WANT-BLOCK sent to this peer.
+    Fetching { from: PeerId, fallback: Vec<PeerId> },
+    /// All session peers answered DONT-HAVE.
+    Stalled,
+}
+
+/// One client fetch session.
+#[derive(Debug, Clone)]
+struct Session {
+    peers: Vec<PeerId>,
+    /// Peers that have already delivered blocks in this session — new
+    /// wants go straight to them with WANT-BLOCK (go-bitswap's session
+    /// peer tracking).
+    live: Vec<PeerId>,
+    wants: HashMap<Cid, WantState>,
+    /// Blocks received and verified in this session.
+    received: u64,
+    /// Duplicate/unsolicited blocks discarded.
+    duplicates: u64,
+    complete: bool,
+}
+
+/// Public snapshot of a session's progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionState {
+    /// Wants still outstanding.
+    pub outstanding: usize,
+    /// Blocks received and verified.
+    pub received: u64,
+    /// Duplicates discarded.
+    pub duplicates: u64,
+    /// Whether the DAG is fully fetched.
+    pub complete: bool,
+}
+
+/// The per-node Bitswap engine (client sessions + server side + ledgers).
+#[derive(Debug, Clone, Default)]
+pub struct BitswapEngine {
+    sessions: HashMap<SessionHandle, Session>,
+    next_session: u64,
+    /// Exchange ledgers (public for inspection by stats code).
+    pub ledger: Ledger,
+}
+
+impl BitswapEngine {
+    /// Creates an engine.
+    pub fn new() -> BitswapEngine {
+        BitswapEngine::default()
+    }
+
+    /// Starts a session fetching the DAG rooted at `root` from `peers`.
+    /// Blocks already present locally are walked without network traffic.
+    pub fn start_session<S: BlockStore>(
+        &mut self,
+        root: Cid,
+        peers: Vec<PeerId>,
+        store: &mut S,
+    ) -> (SessionHandle, Vec<EngineOutput>) {
+        let handle = SessionHandle(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            handle,
+            Session {
+                peers,
+                live: Vec::new(),
+                wants: HashMap::new(),
+                received: 0,
+                duplicates: 0,
+                complete: false,
+            },
+        );
+        let mut out = Vec::new();
+        self.want(handle, root, store, &mut out);
+        self.check_complete(handle, &mut out);
+        (handle, out)
+    }
+
+    /// Adds a peer (e.g. a provider discovered via the DHT) to a session
+    /// and re-probes any stalled wants through it.
+    pub fn add_session_peer<S: BlockStore>(
+        &mut self,
+        handle: SessionHandle,
+        peer: PeerId,
+        _store: &mut S,
+    ) -> Vec<EngineOutput> {
+        let mut out = Vec::new();
+        let Some(session) = self.sessions.get_mut(&handle) else {
+            return out;
+        };
+        if !session.peers.contains(&peer) {
+            session.peers.push(peer.clone());
+        }
+        for (cid, state) in session.wants.iter_mut() {
+            match state {
+                WantState::Stalled => {
+                    *state = WantState::Probing {
+                        pending: HashSet::from([peer.clone()]),
+                        havers: Vec::new(),
+                    };
+                    out.push(EngineOutput::Send {
+                        to: peer.clone(),
+                        message: Message::WantHave(cid.clone()),
+                    });
+                }
+                WantState::Probing { pending, .. } => {
+                    pending.insert(peer.clone());
+                    out.push(EngineOutput::Send {
+                        to: peer.clone(),
+                        message: Message::WantHave(cid.clone()),
+                    });
+                }
+                WantState::Fetching { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Progress snapshot for a session.
+    pub fn session_state(&self, handle: SessionHandle) -> Option<SessionState> {
+        self.sessions.get(&handle).map(|s| SessionState {
+            outstanding: s.wants.len(),
+            received: s.received,
+            duplicates: s.duplicates,
+            complete: s.complete,
+        })
+    }
+
+    /// Drops a session (e.g. the opportunistic phase timed out, §3.2) and
+    /// returns CANCEL messages for everything in flight.
+    pub fn cancel_session(&mut self, handle: SessionHandle) -> Vec<EngineOutput> {
+        let mut out = Vec::new();
+        if let Some(session) = self.sessions.remove(&handle) {
+            for (cid, state) in session.wants {
+                match state {
+                    WantState::Probing { pending, .. } => {
+                        for p in pending {
+                            out.push(EngineOutput::Send {
+                                to: p,
+                                message: Message::Cancel(cid.clone()),
+                            });
+                        }
+                    }
+                    WantState::Fetching { from, .. } => {
+                        out.push(EngineOutput::Send { to: from, message: Message::Cancel(cid) });
+                    }
+                    WantState::Stalled => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Handles any inbound message — server wants and client responses —
+    /// against the local blockstore.
+    pub fn handle_inbound<S: BlockStore>(
+        &mut self,
+        from: &PeerId,
+        message: Message,
+        store: &mut S,
+    ) -> Vec<EngineOutput> {
+        self.ledger
+            .record_received(from, message.wire_size(), matches!(message, Message::Block { .. }));
+        match message {
+            // ---- server side ----
+            Message::WantHave(cid) => {
+                let reply = if store.has(&cid) {
+                    Message::Have(cid)
+                } else {
+                    Message::DontHave(cid)
+                };
+                self.send(from.clone(), reply)
+            }
+            Message::WantBlock(cid) => match store.get(&cid) {
+                Some(data) => self.send(from.clone(), Message::Block { cid, data }),
+                None => self.send(from.clone(), Message::DontHave(cid)),
+            },
+            Message::Cancel(_) => Vec::new(),
+
+            // ---- client side ----
+            Message::Have(cid) => self.on_have(from, &cid),
+            Message::DontHave(cid) => self.on_dont_have(from, &cid),
+            Message::Block { cid, data } => self.on_block(from, cid, data, store),
+        }
+    }
+
+    fn send(&mut self, to: PeerId, message: Message) -> Vec<EngineOutput> {
+        self.ledger
+            .record_sent(&to, message.wire_size(), matches!(message, Message::Block { .. }));
+        vec![EngineOutput::Send { to, message }]
+    }
+
+    /// Registers a want for `cid` in `handle`'s session, walking local
+    /// blocks (and their children) without network traffic.
+    fn want<S: BlockStore>(
+        &mut self,
+        handle: SessionHandle,
+        root: Cid,
+        store: &mut S,
+        out: &mut Vec<EngineOutput>,
+    ) {
+        let mut queue = VecDeque::from([root]);
+        let mut sends = Vec::new();
+        {
+            let Some(session) = self.sessions.get_mut(&handle) else {
+                return;
+            };
+            while let Some(cid) = queue.pop_front() {
+                if session.wants.contains_key(&cid) {
+                    continue;
+                }
+                if let Some(bytes) = store.get(&cid) {
+                    // Already local (cached or previously fetched): only its
+                    // missing descendants need wants.
+                    if cid.codec() == Multicodec::DagPb {
+                        if let Ok(node) = DagNode::decode(&bytes) {
+                            queue.extend(node.links.into_iter().map(|l| l.cid));
+                        }
+                    }
+                    continue;
+                }
+                if session.peers.is_empty() {
+                    session.wants.insert(cid, WantState::Stalled);
+                    continue;
+                }
+                if session.peers.len() == 1 || !session.live.is_empty() {
+                    // A single known provider, or a peer that has already
+                    // delivered blocks in this session: skip the WANT-HAVE
+                    // round trip and request directly, as go-bitswap does.
+                    let (p, fallback) = if session.live.is_empty() {
+                        (session.peers[0].clone(), Vec::new())
+                    } else {
+                        (session.live[0].clone(), session.live[1..].to_vec())
+                    };
+                    sends.push((p.clone(), Message::WantBlock(cid.clone())));
+                    session
+                        .wants
+                        .insert(cid, WantState::Fetching { from: p, fallback });
+                    continue;
+                }
+                let pending: HashSet<PeerId> = session.peers.iter().cloned().collect();
+                for p in &session.peers {
+                    sends.push((p.clone(), Message::WantHave(cid.clone())));
+                }
+                session
+                    .wants
+                    .insert(cid, WantState::Probing { pending, havers: Vec::new() });
+            }
+        }
+        for (to, msg) in sends {
+            out.extend(self.send(to, msg));
+        }
+        // Stalled wants with no peers at all must surface immediately.
+        let stalled: Vec<Cid> = self.sessions[&handle]
+            .wants
+            .iter()
+            .filter(|(_, s)| matches!(s, WantState::Stalled))
+            .map(|(c, _)| c.clone())
+            .collect();
+        for cid in stalled {
+            out.push(EngineOutput::WantFailed { session: handle, cid });
+        }
+    }
+
+    fn on_have(&mut self, from: &PeerId, cid: &Cid) -> Vec<EngineOutput> {
+        let mut out = Vec::new();
+        let mut request: Option<PeerId> = None;
+        for session in self.sessions.values_mut() {
+            let Some(state) = session.wants.get_mut(cid) else {
+                continue;
+            };
+            match state {
+                WantState::Probing { .. } => {
+                    // First HAVE wins: request the block right away (§3.2's
+                    // three-step exchange).
+                    *state = WantState::Fetching { from: from.clone(), fallback: Vec::new() };
+                    request = Some(from.clone());
+                }
+                WantState::Fetching { from: fetching, fallback } => {
+                    // A later HAVE becomes a fail-over candidate.
+                    if fetching != from && !fallback.contains(from) {
+                        fallback.push(from.clone());
+                    }
+                }
+                WantState::Stalled => {
+                    *state = WantState::Fetching { from: from.clone(), fallback: Vec::new() };
+                    request = Some(from.clone());
+                }
+            }
+            break;
+        }
+        if let Some(to) = request {
+            out.extend(self.send(to, Message::WantBlock(cid.clone())));
+        }
+        out
+    }
+
+    fn on_dont_have(&mut self, from: &PeerId, cid: &Cid) -> Vec<EngineOutput> {
+        let mut out = Vec::new();
+        let mut failures: Vec<(SessionHandle, Cid)> = Vec::new();
+        let mut refetch: Option<(PeerId, Cid)> = None;
+        for (handle, session) in self.sessions.iter_mut() {
+            let Some(state) = session.wants.get_mut(cid) else {
+                continue;
+            };
+            match state {
+                WantState::Probing { pending, havers } => {
+                    pending.remove(from);
+                    if pending.is_empty() && havers.is_empty() {
+                        *state = WantState::Stalled;
+                        failures.push((*handle, cid.clone()));
+                    }
+                }
+                WantState::Fetching { from: fetching_from, fallback } => {
+                    // The chosen peer reneged (e.g. GC'd the block between
+                    // HAVE and WANT-BLOCK): fail over to the next haver.
+                    if fetching_from == from {
+                        if let Some(next) = fallback.first().cloned() {
+                            let rest = fallback[1..].to_vec();
+                            *state = WantState::Fetching { from: next.clone(), fallback: rest };
+                            refetch = Some((next, cid.clone()));
+                        } else {
+                            *state = WantState::Stalled;
+                            failures.push((*handle, cid.clone()));
+                        }
+                    }
+                }
+                WantState::Stalled => {}
+            }
+            break;
+        }
+        if let Some((to, c)) = refetch {
+            out.extend(self.send(to, Message::WantBlock(c)));
+        }
+        for (session, c) in failures {
+            out.push(EngineOutput::WantFailed { session, cid: c });
+        }
+        out
+    }
+
+    fn on_block<S: BlockStore>(
+        &mut self,
+        _from: &PeerId,
+        cid: Cid,
+        data: bytes::Bytes,
+        store: &mut S,
+    ) -> Vec<EngineOutput> {
+        let mut out = Vec::new();
+        // Verify before anything else: "verify that the data they were
+        // served matches the requested CID" (§3.1).
+        if !cid.hash().verify(&data) {
+            // Corrupt block: ignore it entirely (sessions keep waiting and
+            // will fail over / stall rather than accept bad data).
+            return out;
+        }
+        let mut owner: Option<SessionHandle> = None;
+        for (handle, session) in self.sessions.iter_mut() {
+            if session.wants.remove(&cid).is_some() {
+                session.received += 1;
+                if !session.live.contains(_from) {
+                    session.live.insert(0, _from.clone());
+                }
+                owner = Some(*handle);
+                break;
+            }
+        }
+        let Some(handle) = owner else {
+            // Unsolicited or duplicate block.
+            if let Some(s) = self.sessions.values_mut().next() {
+                s.duplicates += 1;
+            }
+            return out;
+        };
+        store.put(cid.clone(), data.clone());
+        out.push(EngineOutput::BlockStored { session: handle, cid: cid.clone() });
+        // Discover child wants from branch nodes.
+        if cid.codec() == Multicodec::DagPb {
+            if let Ok(node) = DagNode::decode(&data) {
+                for link in node.links {
+                    self.want(handle, link.cid, store, &mut out);
+                }
+            }
+        }
+        self.check_complete(handle, &mut out);
+        out
+    }
+
+    fn check_complete(&mut self, handle: SessionHandle, out: &mut Vec<EngineOutput>) {
+        if let Some(session) = self.sessions.get_mut(&handle) {
+            if session.wants.is_empty() && !session.complete {
+                session.complete = true;
+                out.push(EngineOutput::SessionComplete { session: handle });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use merkledag::{DagBuilder, DagLayout, FixedSizeChunker, MemoryBlockStore};
+    use multiformats::Keypair;
+
+    fn peer(seed: u64) -> PeerId {
+        Keypair::from_seed(seed).peer_id()
+    }
+
+    /// Drives a client engine against server engines until quiescent.
+    fn run_exchange(
+        client: &mut BitswapEngine,
+        client_store: &mut MemoryBlockStore,
+        servers: &mut [(PeerId, BitswapEngine, MemoryBlockStore)],
+        initial: Vec<EngineOutput>,
+        client_id: &PeerId,
+    ) -> (bool, Vec<Cid>) {
+        let mut queue: VecDeque<(PeerId, PeerId, Message)> = VecDeque::new(); // (from, to, msg)
+        let mut complete = false;
+        let mut stored = Vec::new();
+        let absorb = |outs: Vec<EngineOutput>,
+                          sender: &PeerId,
+                          queue: &mut VecDeque<(PeerId, PeerId, Message)>,
+                          complete: &mut bool,
+                          stored: &mut dyn FnMut(Cid)| {
+            for o in outs {
+                match o {
+                    EngineOutput::Send { to, message } => {
+                        queue.push_back((sender.clone(), to, message))
+                    }
+                    EngineOutput::SessionComplete { .. } => *complete = true,
+                    EngineOutput::BlockStored { cid, .. } => stored(cid),
+                    EngineOutput::WantFailed { .. } => {}
+                }
+            }
+        };
+        absorb(initial, client_id, &mut queue, &mut complete, &mut |c| stored.push(c));
+        let mut guard = 0;
+        while let Some((from, to, msg)) = queue.pop_front() {
+            guard += 1;
+            assert!(guard < 100_000, "exchange did not quiesce");
+            if to == *client_id {
+                let outs = client.handle_inbound(&from, msg, client_store);
+                absorb(outs, client_id, &mut queue, &mut complete, &mut |c| stored.push(c));
+            } else if let Some((sid, engine, store)) =
+                servers.iter_mut().find(|(id, _, _)| *id == to)
+            {
+                let outs = engine.handle_inbound(&from, msg, store);
+                let sid = sid.clone();
+                absorb(outs, &sid, &mut queue, &mut complete, &mut |c| stored.push(c));
+            }
+        }
+        (complete, stored)
+    }
+
+    fn seeded_server(seed: u64, data: &Bytes) -> ((PeerId, BitswapEngine, MemoryBlockStore), Cid) {
+        let mut store = MemoryBlockStore::new();
+        let root = DagBuilder::new(&mut store)
+            .with_layout(DagLayout { fanout: 4 })
+            .add_with_chunker(data, &FixedSizeChunker::new(256))
+            .unwrap()
+            .root;
+        ((peer(seed), BitswapEngine::new(), store), root)
+    }
+
+    #[test]
+    fn fetch_multi_block_dag() {
+        let data = Bytes::from((0..2000u32).map(|i| (i % 255) as u8).collect::<Vec<_>>());
+        let (server, root) = seeded_server(10, &data);
+        let mut servers = vec![server];
+        let mut client = BitswapEngine::new();
+        let mut client_store = MemoryBlockStore::new();
+        let me = peer(1);
+        let (handle, init) = client.start_session(root.clone(), vec![peer(10)], &mut client_store);
+        let (complete, stored) =
+            run_exchange(&mut client, &mut client_store, &mut servers, init, &me);
+        assert!(complete, "session must complete");
+        assert!(stored.contains(&root));
+        // The file reassembles from the client's store.
+        let out = merkledag::Resolver::new(&mut client_store).read_file(&root).unwrap();
+        assert_eq!(out, data);
+        let st = client.session_state(handle).unwrap();
+        assert!(st.complete);
+        assert_eq!(st.outstanding, 0);
+        assert!(st.received >= 8, "expected 8 leaves + branches, got {}", st.received);
+    }
+
+    #[test]
+    fn local_blocks_short_circuit() {
+        let data = Bytes::from(vec![5u8; 1000]);
+        let mut store = MemoryBlockStore::new();
+        let root = DagBuilder::new(&mut store).add(&data).unwrap().root;
+        let mut client = BitswapEngine::new();
+        // Root already local: session completes with zero messages.
+        let (_, outs) = client.start_session(root, vec![peer(10)], &mut store);
+        assert_eq!(outs.len(), 1);
+        assert!(matches!(outs[0], EngineOutput::SessionComplete { .. }));
+    }
+
+    #[test]
+    fn want_failed_when_all_deny() {
+        let mut client = BitswapEngine::new();
+        let mut store = MemoryBlockStore::new();
+        let missing = Cid::from_raw_data(b"nobody has this");
+        let me = peer(1);
+        let (handle, init) = client.start_session(missing.clone(), vec![peer(10), peer(11)], &mut store);
+        // Two empty servers.
+        let mut servers = [(peer(10), BitswapEngine::new(), MemoryBlockStore::new()),
+            (peer(11), BitswapEngine::new(), MemoryBlockStore::new())];
+        let mut queue: VecDeque<(PeerId, PeerId, Message)> = VecDeque::new();
+        for o in init {
+            if let EngineOutput::Send { to, message } = o {
+                queue.push_back((me.clone(), to, message));
+            }
+        }
+        let mut failed = None;
+        while let Some((from, to, msg)) = queue.pop_front() {
+            if to == me {
+                for o in client.handle_inbound(&from, msg, &mut store) {
+                    match o {
+                        EngineOutput::Send { to, message } => queue.push_back((me.clone(), to, message)),
+                        EngineOutput::WantFailed { session, cid } => failed = Some((session, cid)),
+                        _ => {}
+                    }
+                }
+            } else if let Some((sid, engine, sstore)) =
+                servers.iter_mut().find(|(id, _, _)| *id == to)
+            {
+                let sid = sid.clone();
+                for o in engine.handle_inbound(&from, msg, sstore) {
+                    if let EngineOutput::Send { to, message } = o {
+                        queue.push_back((sid.clone(), to, message));
+                    }
+                }
+            }
+        }
+        assert_eq!(failed, Some((handle, missing)));
+    }
+
+    #[test]
+    fn dht_fallback_via_add_session_peer() {
+        // Session stalls with an empty peer set, then a provider found via
+        // the "DHT" is added and the fetch completes.
+        let data = Bytes::from(vec![9u8; 600]);
+        let (server, root) = seeded_server(20, &data);
+        let mut servers = vec![server];
+        let mut client = BitswapEngine::new();
+        let mut store = MemoryBlockStore::new();
+        let me = peer(1);
+        let (handle, init) = client.start_session(root.clone(), vec![], &mut store);
+        assert!(init
+            .iter()
+            .any(|o| matches!(o, EngineOutput::WantFailed { .. })));
+        let follow = client.add_session_peer(handle, peer(20), &mut store);
+        let (complete, _) = run_exchange(&mut client, &mut store, &mut servers, follow, &me);
+        assert!(complete);
+        assert_eq!(
+            merkledag::Resolver::new(&mut store).read_file(&root).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn corrupt_block_rejected() {
+        let mut client = BitswapEngine::new();
+        let mut store = MemoryBlockStore::new();
+        let cid = Cid::from_raw_data(b"the real content");
+        let (handle, _) = client.start_session(cid.clone(), vec![peer(10)], &mut store);
+        let outs = client.handle_inbound(
+            &peer(10),
+            Message::Block { cid: cid.clone(), data: Bytes::from_static(b"FORGED") },
+            &mut store,
+        );
+        assert!(outs.is_empty(), "forged block produces no progress");
+        assert!(!store.has(&cid));
+        let st = client.session_state(handle).unwrap();
+        assert_eq!(st.received, 0);
+        assert_eq!(st.outstanding, 1, "want stays outstanding");
+    }
+
+    #[test]
+    fn server_side_answers() {
+        let mut server = BitswapEngine::new();
+        let mut store = MemoryBlockStore::new();
+        let data = Bytes::from_static(b"block!");
+        let cid = Cid::from_raw_data(&data);
+        store.put(cid.clone(), data.clone());
+        let asker = peer(2);
+
+        let outs = server.handle_inbound(&asker, Message::WantHave(cid.clone()), &mut store);
+        assert_eq!(
+            outs,
+            vec![EngineOutput::Send { to: asker.clone(), message: Message::Have(cid.clone()) }]
+        );
+        let outs = server.handle_inbound(&asker, Message::WantBlock(cid.clone()), &mut store);
+        assert_eq!(
+            outs,
+            vec![EngineOutput::Send {
+                to: asker.clone(),
+                message: Message::Block { cid: cid.clone(), data }
+            }]
+        );
+        let missing = Cid::from_raw_data(b"no");
+        let outs = server.handle_inbound(&asker, Message::WantHave(missing.clone()), &mut store);
+        assert_eq!(
+            outs,
+            vec![EngineOutput::Send { to: asker, message: Message::DontHave(missing) }]
+        );
+    }
+
+    #[test]
+    fn cancel_session_emits_cancels() {
+        let mut client = BitswapEngine::new();
+        let mut store = MemoryBlockStore::new();
+        let cid = Cid::from_raw_data(b"will cancel");
+        let (handle, _) = client.start_session(cid.clone(), vec![peer(10), peer(11)], &mut store);
+        let outs = client.cancel_session(handle);
+        let cancels = outs
+            .iter()
+            .filter(|o| matches!(o, EngineOutput::Send { message: Message::Cancel(_), .. }))
+            .count();
+        assert_eq!(cancels, 2);
+        assert!(client.session_state(handle).is_none());
+    }
+
+    #[test]
+    fn failover_to_second_haver() {
+        // Peer A says HAVE then reneges with DONT_HAVE on WANT-BLOCK; the
+        // engine must fail over to peer B who also said HAVE.
+        let data = Bytes::from_static(b"precious");
+        let cid = Cid::from_raw_data(&data);
+        let mut client = BitswapEngine::new();
+        let mut store = MemoryBlockStore::new();
+        let (_, init) = client.start_session(cid.clone(), vec![peer(10), peer(11)], &mut store);
+        assert_eq!(init.len(), 2); // two WANT-HAVEs
+        // Both reply HAVE; the first (peer 10) gets the WANT-BLOCK.
+        let o1 = client.handle_inbound(&peer(10), Message::Have(cid.clone()), &mut store);
+        assert_eq!(
+            o1,
+            vec![EngineOutput::Send { to: peer(10), message: Message::WantBlock(cid.clone()) }]
+        );
+        let o2 = client.handle_inbound(&peer(11), Message::Have(cid.clone()), &mut store);
+        assert!(o2.is_empty(), "second HAVE is a fallback, no extra request");
+        // Peer 10 reneges.
+        let o3 = client.handle_inbound(&peer(10), Message::DontHave(cid.clone()), &mut store);
+        assert_eq!(
+            o3,
+            vec![EngineOutput::Send { to: peer(11), message: Message::WantBlock(cid.clone()) }]
+        );
+        // Peer 11 delivers.
+        let o4 = client.handle_inbound(
+            &peer(11),
+            Message::Block { cid: cid.clone(), data },
+            &mut store,
+        );
+        assert!(o4.iter().any(|o| matches!(o, EngineOutput::SessionComplete { .. })));
+        assert!(store.has(&cid));
+    }
+
+    #[test]
+    fn ledger_tracks_traffic() {
+        let mut server = BitswapEngine::new();
+        let mut store = MemoryBlockStore::new();
+        let data = Bytes::from(vec![1u8; 500]);
+        let cid = Cid::from_raw_data(&data);
+        store.put(cid.clone(), data);
+        let asker = peer(3);
+        server.handle_inbound(&asker, Message::WantBlock(cid), &mut store);
+        let entry = server.ledger.entry(&asker);
+        assert_eq!(entry.received, 40); // the WANT_BLOCK
+        assert_eq!(entry.sent, 540); // the BLOCK
+        assert_eq!(entry.blocks, 1);
+    }
+}

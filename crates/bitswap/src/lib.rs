@@ -1,0 +1,51 @@
+//! Bitswap: the IPFS block-exchange protocol (paper §3.2, "Content
+//! Exchange").
+//!
+//! "Bitswap issues requests for the content items in *wantlists*. Requests
+//! are sent using an IWANT-HAVE message. Recipient peers that have the
+//! block reply with a corresponding IHAVE message. The requesting peer
+//! finally responds with an IWANT-BLOCK message. Receipt of the requested
+//! block terminates the exchange."
+//!
+//! Bitswap is also used *opportunistically* before any DHT lookup: the
+//! requestor broadcasts WANT-HAVE to all currently-connected peers and only
+//! falls back to the DHT after a 1 s timeout (§3.2) — the timeout itself is
+//! driven by the retrieval pipeline in `ipfs-core`.
+//!
+//! - [`message`] — the wire messages (WANT-HAVE / HAVE / DONT-HAVE /
+//!   WANT-BLOCK / BLOCK / CANCEL).
+//! - [`ledger`] — per-peer byte accounting (exchange ledgers).
+//! - [`engine`] — the sans-io engine: serves inbound wants from a
+//!   blockstore and runs client sessions that fetch whole DAGs
+//!   block-by-block, discovering child links as branch nodes arrive.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod ledger;
+pub mod message;
+
+pub use engine::{BitswapEngine, EngineOutput, SessionHandle, SessionState};
+pub use ledger::Ledger;
+pub use message::Message;
+
+/// Errors surfaced by the Bitswap engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A received block did not hash to the CID it was sent for.
+    BadBlock(multiformats::Cid),
+    /// Unknown session handle.
+    UnknownSession,
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::BadBlock(c) => write!(f, "block does not match CID {c}"),
+            Error::UnknownSession => write!(f, "unknown bitswap session"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,242 @@
+//! The "nginx" web cache: byte-bounded LRU over whole objects.
+
+use multiformats::Cid;
+use std::collections::HashMap;
+
+/// A byte-capacity-bounded LRU cache mapping CIDs to object sizes.
+///
+/// The gateway caches whole HTTP responses; for the simulation the payload
+/// itself is irrelevant — only sizes (for capacity/traffic accounting) and
+/// presence matter.
+#[derive(Debug, Clone)]
+pub struct LruWebCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    /// CID -> (size, last-use stamp).
+    entries: HashMap<Cid, (u64, u64)>,
+    clock: u64,
+    /// Lifetime hits.
+    pub hits: u64,
+    /// Lifetime misses.
+    pub misses: u64,
+    /// Lifetime evictions.
+    pub evictions: u64,
+}
+
+impl LruWebCache {
+    /// Creates a cache bounded to `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> LruWebCache {
+        assert!(capacity_bytes > 0);
+        LruWebCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `cid`, refreshing recency. Returns the object size on hit.
+    pub fn get(&mut self, cid: &Cid) -> Option<u64> {
+        self.clock += 1;
+        match self.entries.get_mut(cid) {
+            Some((size, stamp)) => {
+                *stamp = self.clock;
+                self.hits += 1;
+                Some(*size)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an object of `size` bytes, evicting LRU entries as needed.
+    /// Objects larger than the whole cache are not cached (nginx's
+    /// behaviour for oversized responses).
+    pub fn put(&mut self, cid: Cid, size: u64) {
+        if size > self.capacity_bytes {
+            return;
+        }
+        self.clock += 1;
+        if let Some((old, _)) = self.entries.insert(cid.clone(), (size, self.clock)) {
+            self.used_bytes -= old;
+        }
+        self.used_bytes += size;
+        while self.used_bytes > self.capacity_bytes {
+            let lru = self
+                .entries
+                .iter()
+                .filter(|(c, _)| **c != cid)
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(c, _)| c.clone());
+            match lru {
+                Some(victim) => {
+                    if let Some((sz, _)) = self.entries.remove(&victim) {
+                        self.used_bytes -= sz;
+                        self.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Whether `cid` is cached (no statistics side effects).
+    pub fn contains(&self, cid: &Cid) -> bool {
+        self.entries.contains_key(cid)
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit rate over the cache's lifetime.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(n: u32) -> Cid {
+        Cid::from_raw_data(&n.to_be_bytes())
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = LruWebCache::new(1000);
+        assert_eq!(c.get(&cid(1)), None);
+        c.put(cid(1), 100);
+        assert_eq!(c.get(&cid(1)), Some(100));
+        assert_eq!((c.hits, c.misses), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evicts_lru_when_over_capacity() {
+        let mut c = LruWebCache::new(300);
+        c.put(cid(1), 100);
+        c.put(cid(2), 100);
+        c.put(cid(3), 100);
+        // Touch 1 so 2 is LRU.
+        c.get(&cid(1));
+        c.put(cid(4), 100);
+        assert!(c.contains(&cid(1)));
+        assert!(!c.contains(&cid(2)), "LRU entry must go");
+        assert!(c.contains(&cid(3)));
+        assert!(c.contains(&cid(4)));
+        assert_eq!(c.used_bytes(), 300);
+        assert_eq!(c.evictions, 1);
+    }
+
+    #[test]
+    fn large_insert_evicts_many() {
+        let mut c = LruWebCache::new(300);
+        c.put(cid(1), 100);
+        c.put(cid(2), 100);
+        c.put(cid(3), 100);
+        c.put(cid(4), 250);
+        assert!(c.contains(&cid(4)));
+        assert!(c.used_bytes() <= 300);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_objects_not_cached() {
+        let mut c = LruWebCache::new(100);
+        c.put(cid(1), 500);
+        assert!(!c.contains(&cid(1)));
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn proptest_against_reference_lru() {
+        use proptest::prelude::*;
+        // Reference model: Vec-based LRU with identical semantics.
+        struct RefLru {
+            cap: u64,
+            used: u64,
+            order: Vec<(u32, u64)>, // (id, size), LRU first
+        }
+        impl RefLru {
+            fn get(&mut self, id: u32) -> bool {
+                if let Some(pos) = self.order.iter().position(|(i, _)| *i == id) {
+                    let e = self.order.remove(pos);
+                    self.order.push(e);
+                    true
+                } else {
+                    false
+                }
+            }
+            fn put(&mut self, id: u32, size: u64) {
+                if size > self.cap {
+                    return;
+                }
+                if let Some(pos) = self.order.iter().position(|(i, _)| *i == id) {
+                    let (_, old) = self.order.remove(pos);
+                    self.used -= old;
+                }
+                self.order.push((id, size));
+                self.used += size;
+                while self.used > self.cap {
+                    // Evict LRU, but never the entry just inserted.
+                    let evict_pos = self
+                        .order
+                        .iter()
+                        .position(|(i, _)| *i != id)
+                        .expect("something evictable");
+                    let (_, sz) = self.order.remove(evict_pos);
+                    self.used -= sz;
+                }
+            }
+        }
+        proptest!(ProptestConfig::with_cases(64), |(ops in proptest::collection::vec(
+            (any::<bool>(), 0u32..20, 1u64..400), 1..300))| {
+            let mut real = LruWebCache::new(1000);
+            let mut model = RefLru { cap: 1000, used: 0, order: Vec::new() };
+            for (is_put, id, size) in ops {
+                if is_put {
+                    real.put(cid(id), size);
+                    model.put(id, size);
+                } else {
+                    let got = real.get(&cid(id)).is_some();
+                    let want = model.get(id);
+                    prop_assert_eq!(got, want, "get({}) diverged", id);
+                }
+                prop_assert_eq!(real.used_bytes(), model.used, "byte accounting");
+                prop_assert_eq!(real.len(), model.order.len(), "entry count");
+            }
+        });
+    }
+
+    #[test]
+    fn reinsert_updates_size() {
+        let mut c = LruWebCache::new(1000);
+        c.put(cid(1), 100);
+        c.put(cid(1), 400);
+        assert_eq!(c.used_bytes(), 400);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! The two-tier gateway bound to a simulated IPFS network.
+//!
+//! Request path (paper §3.4, §6.3): nginx LRU cache → the gateway's own
+//! IPFS node store (pinned Web3/NFT content, ≈8 ms) → the P2P network
+//! (full retrieval pipeline, §3.2). Responses from the slower tiers are
+//! inserted into the nginx cache on the way out.
+
+use crate::cache::LruWebCache;
+use crate::log::AccessLogEntry;
+use crate::workload::{CatalogObject, GatewayRequest, GatewayWorkload};
+use bytes::Bytes;
+use ipfs_core::{IpfsNetwork, NodeId};
+use merkledag::BlockStore;
+use multiformats::Cid;
+use simnet::SimDuration;
+use std::collections::HashSet;
+
+/// Which tier served a request (Table 5's three rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// The nginx LRU web cache (latency ≈ 0).
+    NginxCache,
+    /// The gateway's local IPFS node store (pinned content, ≈ 8 ms).
+    NodeStore,
+    /// A full P2P retrieval ("Non Cached").
+    Network,
+}
+
+impl ServedBy {
+    /// Label as used in Table 5.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServedBy::NginxCache => "nginx cache",
+            ServedBy::NodeStore => "IPFS node store",
+            ServedBy::Network => "Non Cached",
+        }
+    }
+}
+
+/// Gateway configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// nginx cache capacity in bytes. Table 5's ≈46 % nginx hit rate
+    /// emerges from this capacity against the workload's Zipf skew.
+    pub nginx_capacity_bytes: u64,
+    /// Node-store service latency (paper: "consistently ... below 24 ms",
+    /// median 8 ms).
+    pub node_store_latency: SimDuration,
+    /// Estimated edge bandwidth used to convert object size into the
+    /// serialization component of non-cached latency (see
+    /// [`crate::workload::CatalogObject::size`] for why stub payloads are
+    /// fetched but full sizes accounted).
+    pub edge_bandwidth_bps: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            nginx_capacity_bytes: 1_200_000_000, // ~1.2 GB
+            node_store_latency: SimDuration::from_millis(8),
+            edge_bandwidth_bps: 200_000_000,
+        }
+    }
+}
+
+/// The gateway itself.
+pub struct Gateway {
+    /// The node in the network acting as the gateway's DHT-server bridge.
+    pub node: NodeId,
+    /// The nginx tier.
+    pub nginx: LruWebCache,
+    /// CIDs pinned into the gateway's node store.
+    pinned: HashSet<Cid>,
+    cfg: GatewayConfig,
+}
+
+impl Gateway {
+    /// Creates a gateway bridged through `node` (an always-online DHT
+    /// server in `net`, e.g. a vantage node).
+    pub fn new(node: NodeId, cfg: GatewayConfig) -> Gateway {
+        Gateway { node, nginx: LruWebCache::new(cfg.nginx_capacity_bytes), pinned: HashSet::new(), cfg }
+    }
+
+    /// Installs the workload's catalog: pinned objects go into the
+    /// gateway's node store; every object (pinned or not) is stored at a
+    /// provider in the population and announced via provider records.
+    pub fn install_catalog(
+        &mut self,
+        net: &mut IpfsNetwork,
+        workload: &GatewayWorkload,
+        providers: &[NodeId],
+    ) {
+        assert!(!providers.is_empty(), "need at least one provider node");
+        for (i, obj) in workload.objects.iter().enumerate() {
+            let payload = Bytes::from(CatalogObject::stub_payload(i));
+            if obj.pinned {
+                let root = net.node_mut(self.node).add_content(&payload).root;
+                debug_assert_eq!(root, obj.cid);
+                net.node_mut(self.node).store.pin(root);
+                self.pinned.insert(obj.cid.clone());
+            } else {
+                let provider = providers[i % providers.len()];
+                let root = net.node_mut(provider).add_content(&payload).root;
+                debug_assert_eq!(root, obj.cid);
+                net.seed_provider_record(provider, &obj.cid);
+            }
+        }
+    }
+
+    /// Whether a CID is pinned in the node store.
+    pub fn is_pinned(&self, cid: &Cid) -> bool {
+        self.pinned.contains(cid)
+    }
+
+    /// Serves one request, advancing the network as needed, and returns
+    /// the log entry.
+    pub fn serve(
+        &mut self,
+        net: &mut IpfsNetwork,
+        workload: &GatewayWorkload,
+        request: &GatewayRequest,
+    ) -> AccessLogEntry {
+        let obj = &workload.objects[request.object];
+        // Advance virtual time to the request's arrival.
+        if net.now() < request.at {
+            net.run_until(request.at);
+        }
+        let (latency, served_by, success) = if self.nginx.get(&obj.cid).is_some() {
+            (SimDuration::ZERO, ServedBy::NginxCache, true)
+        } else if self.pinned.contains(&obj.cid) {
+            self.nginx.put(obj.cid.clone(), obj.size);
+            (self.cfg.node_store_latency, ServedBy::NodeStore, true)
+        } else if net.node_mut(self.node).store.has(&obj.cid) {
+            // Previously fetched and still in the bridge node's store.
+            self.nginx.put(obj.cid.clone(), obj.size);
+            (self.cfg.node_store_latency, ServedBy::NodeStore, true)
+        } else {
+            // Full P2P retrieval through the bridge node (§3.2 pipeline).
+            let before = net.retrieve_reports.len();
+            net.retrieve(self.node, obj.cid.clone());
+            net.run_until_quiet();
+            let report = net.retrieve_reports[before..]
+                .last()
+                .expect("retrieval produces a report")
+                .clone();
+            net.retrieve_reports.truncate(before);
+            // Serialization of the *accounted* size at the edge bandwidth
+            // (the stub payload under-counts transfer time; the paper
+            // found latency size-independent, Pearson r=0.13).
+            let ser = SimDuration::from_secs_f64(
+                obj.size as f64 * 8.0 / self.cfg.edge_bandwidth_bps as f64,
+            );
+            let latency = report.total + ser;
+            if report.success {
+                self.nginx.put(obj.cid.clone(), obj.size);
+            }
+            (latency, ServedBy::Network, report.success)
+        };
+        AccessLogEntry {
+            at: request.at.max(net.now().min(request.at + SimDuration::from_secs(600))),
+            user: request.user,
+            country: request.country,
+            cid: obj.cid.clone(),
+            bytes: obj.size,
+            latency,
+            served_by,
+            referrer: request.referrer,
+            success,
+        }
+    }
+
+    /// Serves an `/ipns/<name>` request (paper §3.4's gateway URLs also
+    /// carry IPNS paths): resolves the name over the DHT through the
+    /// bridge node, then serves the resulting CID through the cache tiers
+    /// like any `/ipfs/` request. Returns the resolved CID and the
+    /// end-to-end latency (resolution + serving).
+    pub fn serve_ipns(
+        &mut self,
+        net: &mut IpfsNetwork,
+        name: &multiformats::PeerId,
+    ) -> Option<(multiformats::Cid, simnet::SimDuration, ServedBy)> {
+        let before = net.ipns_resolve_reports.len();
+        net.resolve_ipns(self.node, name);
+        net.run_until_quiet();
+        let resolution = net.ipns_resolve_reports[before..].last()?.clone();
+        let record = resolution.record?;
+        let cid = record.value;
+        // Serve the CID through the tiers (sizes are unknown for direct
+        // IPNS fetches; use the store's view after retrieval).
+        let (latency, tier) = if self.nginx.get(&cid).is_some() {
+            (simnet::SimDuration::ZERO, ServedBy::NginxCache)
+        } else if self.pinned.contains(&cid) || net.node_mut(self.node).store.has(&cid) {
+            (self.cfg.node_store_latency, ServedBy::NodeStore)
+        } else {
+            let before = net.retrieve_reports.len();
+            net.retrieve(self.node, cid.clone());
+            net.run_until_quiet();
+            let report = net.retrieve_reports[before..].last()?.clone();
+            net.retrieve_reports.truncate(before);
+            if !report.success {
+                return None;
+            }
+            (report.total, ServedBy::Network)
+        };
+        Some((cid, resolution.total + latency, tier))
+    }
+
+    /// Serves an entire workload, returning the full access log.
+    pub fn serve_all(
+        &mut self,
+        net: &mut IpfsNetwork,
+        workload: &GatewayWorkload,
+    ) -> Vec<AccessLogEntry> {
+        workload
+            .requests
+            .iter()
+            .map(|r| self.serve(net, workload, r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadConfig;
+    use ipfs_core::NetworkConfig;
+    use simnet::latency::VantagePoint;
+    use simnet::{Population, PopulationConfig};
+
+    fn setup(
+        requests: usize,
+        catalog: usize,
+    ) -> (IpfsNetwork, Gateway, GatewayWorkload) {
+        let pop = Population::generate(
+            PopulationConfig {
+                size: 300,
+                nat_fraction: 0.3,
+                horizon: SimDuration::from_hours(30),
+                ..Default::default()
+            },
+            3,
+        );
+        let mut net = IpfsNetwork::from_population(
+            &pop,
+            &[VantagePoint::UsWest1],
+            NetworkConfig::default(),
+            3,
+        );
+        let gw_node = net.vantage_ids(1)[0];
+        let workload = GatewayWorkload::generate(WorkloadConfig {
+            catalog_size: catalog,
+            users: 50,
+            requests,
+            ..Default::default()
+        });
+        let mut gw = Gateway::new(gw_node, GatewayConfig::default());
+        // Providers: stable dialable population peers.
+        let providers: Vec<NodeId> = net
+            .server_ids()
+            .into_iter()
+            .filter(|&i| net.is_dialable(i))
+            .take(20)
+            .collect();
+        gw.install_catalog(&mut net, &workload, &providers);
+        (net, gw, workload)
+    }
+
+    #[test]
+    fn tiers_serve_as_expected() {
+        let (mut net, mut gw, workload) = setup(300, 50);
+        let log = gw.serve_all(&mut net, &workload);
+        assert_eq!(log.len(), 300);
+        let nginx = log.iter().filter(|e| e.served_by == ServedBy::NginxCache).count();
+        let node = log.iter().filter(|e| e.served_by == ServedBy::NodeStore).count();
+        let network = log.iter().filter(|e| e.served_by == ServedBy::Network).count();
+        assert!(nginx > 0, "popular objects must hit nginx");
+        assert!(node > 0, "pinned objects must hit the node store");
+        assert!(network > 0, "unpinned cold objects must hit the network");
+        assert_eq!(nginx + node + network, 300);
+    }
+
+    #[test]
+    fn nginx_hits_have_zero_latency_node_store_8ms() {
+        let (mut net, mut gw, workload) = setup(200, 40);
+        let log = gw.serve_all(&mut net, &workload);
+        for e in &log {
+            match e.served_by {
+                ServedBy::NginxCache => assert_eq!(e.latency, SimDuration::ZERO),
+                ServedBy::NodeStore => assert_eq!(e.latency, SimDuration::from_millis(8)),
+                ServedBy::Network => {
+                    if e.success {
+                        // Either the full DHT path (≥1 s Bitswap floor) or
+                        // an opportunistic Bitswap hit over a connection
+                        // kept warm from an earlier fetch — both are slower
+                        // than the local tiers.
+                        assert!(
+                            e.latency > SimDuration::from_millis(20),
+                            "network tier must cost real network time: {e:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_requests_promote_to_cache() {
+        let (mut net, mut gw, workload) = setup(1, 10);
+        // Serve the same request three times: network (or node store)
+        // first, nginx afterwards.
+        let req = &workload.requests[0];
+        let first = gw.serve(&mut net, &workload, req);
+        let second = gw.serve(&mut net, &workload, req);
+        assert_ne!(first.served_by, ServedBy::NginxCache);
+        if first.success {
+            assert_eq!(second.served_by, ServedBy::NginxCache);
+            assert_eq!(second.latency, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn ipns_requests_resolve_and_serve() {
+        use ipfs_core::ipns::{IpnsRecord, IPNS_VALIDITY};
+        let (mut net, mut gw, _) = setup(307, 1);
+        // A publisher (population server) puts up content + an IPNS name.
+        let publisher = net
+            .server_ids()
+            .into_iter()
+            .find(|&i| net.is_dialable(i) && i != gw.node)
+            .unwrap();
+        let data = bytes::Bytes::from(vec![0x77u8; 30_000]);
+        let cid = net.node_mut(publisher).add_content(&data).root;
+        net.publish(publisher, cid.clone());
+        net.run_until_quiet();
+        let keypair = net.node(publisher).keypair().clone();
+        let record = IpnsRecord::sign(&keypair, cid.clone(), 1, net.now(), IPNS_VALIDITY);
+        net.publish_ipns(publisher, &record);
+        net.run_until_quiet();
+        net.disconnect_all(publisher);
+
+        // GET /ipns/<name> via the gateway.
+        let (resolved, latency, tier) =
+            gw.serve_ipns(&mut net, &keypair.peer_id()).expect("resolves");
+        assert_eq!(resolved, cid);
+        assert_eq!(tier, ServedBy::Network);
+        assert!(latency > SimDuration::ZERO);
+        // The content is now on the bridge: a second hit is local.
+        let (_, latency2, tier2) = gw.serve_ipns(&mut net, &keypair.peer_id()).unwrap();
+        assert_eq!(tier2, ServedBy::NodeStore);
+        assert!(latency2 < latency);
+    }
+
+    #[test]
+    fn non_cached_latency_dominates() {
+        // Table 5: non-cached median ≈ 4 s vs 8 ms node store.
+        let (mut net, mut gw, workload) = setup(400, 80);
+        let log = gw.serve_all(&mut net, &workload);
+        let mut net_lat: Vec<f64> = log
+            .iter()
+            .filter(|e| e.served_by == ServedBy::Network && e.success)
+            .map(|e| e.latency.as_secs_f64())
+            .collect();
+        if net_lat.len() >= 5 {
+            net_lat.sort_by(f64::total_cmp);
+            let median = net_lat[net_lat.len() / 2];
+            assert!(median > 1.0, "non-cached median {median}s");
+        }
+    }
+}

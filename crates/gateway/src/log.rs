@@ -1,0 +1,141 @@
+//! Access-log records and binning helpers (the data behind Figures 4b and
+//! 11b and Table 5).
+
+use crate::gateway::ServedBy;
+use crate::workload::Referrer;
+use multiformats::Cid;
+use simnet::geodb::Country;
+use simnet::{SimDuration, SimTime};
+
+/// One served request, as the gateway's nginx would log it.
+#[derive(Debug, Clone)]
+pub struct AccessLogEntry {
+    /// Request arrival time.
+    pub at: SimTime,
+    /// User index.
+    pub user: usize,
+    /// Geolocated user country.
+    pub country: Country,
+    /// Requested CID.
+    pub cid: Cid,
+    /// Response size in bytes.
+    pub bytes: u64,
+    /// Upstream response latency (0 for an nginx cache hit).
+    pub latency: SimDuration,
+    /// Which tier served it.
+    pub served_by: ServedBy,
+    /// HTTP referrer model.
+    pub referrer: Referrer,
+    /// Whether the upstream fetch succeeded (cache tiers always succeed).
+    pub success: bool,
+}
+
+/// Fixed-width time binning of log entries.
+#[derive(Debug, Clone)]
+pub struct RequestBins {
+    /// Bin width.
+    pub width: SimDuration,
+    /// Request count per bin.
+    pub counts: Vec<u64>,
+}
+
+impl RequestBins {
+    /// Bins `entries` into `width`-wide windows over `[0, duration)`,
+    /// counting entries that satisfy `filter`.
+    pub fn build<F: Fn(&AccessLogEntry) -> bool>(
+        entries: &[AccessLogEntry],
+        duration: SimDuration,
+        width: SimDuration,
+        filter: F,
+    ) -> RequestBins {
+        let n = (duration.as_nanos() / width.as_nanos()).max(1) as usize;
+        let mut counts = vec![0u64; n];
+        for e in entries {
+            if !filter(e) {
+                continue;
+            }
+            let idx = (e.at.as_nanos() / width.as_nanos()) as usize;
+            if idx < n {
+                counts[idx] += 1;
+            }
+        }
+        RequestBins { width, counts }
+    }
+
+    /// Bins by *user-local* time instead of gateway time (Figure 4b's
+    /// second series), given a per-entry hour offset.
+    pub fn build_shifted<F: Fn(&AccessLogEntry) -> f64>(
+        entries: &[AccessLogEntry],
+        duration: SimDuration,
+        width: SimDuration,
+        offset_hours: F,
+    ) -> RequestBins {
+        let n = (duration.as_nanos() / width.as_nanos()).max(1) as usize;
+        let mut counts = vec![0u64; n];
+        for e in entries {
+            let shifted = e.at.as_nanos() as i128
+                + (offset_hours(e) * 3.6e12) as i128;
+            let wrapped = shifted.rem_euclid(duration.as_nanos() as i128) as u64;
+            let idx = (wrapped / width.as_nanos()) as usize;
+            if idx < n {
+                counts[idx] += 1;
+            }
+        }
+        RequestBins { width, counts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at_secs: u64, served_by: ServedBy) -> AccessLogEntry {
+        AccessLogEntry {
+            at: SimTime::ZERO + SimDuration::from_secs(at_secs),
+            user: 0,
+            country: Country::US,
+            cid: Cid::from_raw_data(b"x"),
+            bytes: 100,
+            latency: SimDuration::ZERO,
+            served_by,
+            referrer: Referrer::Direct,
+            success: true,
+        }
+    }
+
+    #[test]
+    fn binning_counts_correctly() {
+        let entries = vec![
+            entry(10, ServedBy::NginxCache),
+            entry(70, ServedBy::NginxCache),
+            entry(80, ServedBy::Network),
+            entry(190, ServedBy::NodeStore),
+        ];
+        let bins = RequestBins::build(
+            &entries,
+            SimDuration::from_secs(240),
+            SimDuration::from_secs(60),
+            |_| true,
+        );
+        assert_eq!(bins.counts, vec![1, 2, 0, 1]);
+        let cached_only = RequestBins::build(
+            &entries,
+            SimDuration::from_secs(240),
+            SimDuration::from_secs(60),
+            |e| e.served_by != ServedBy::Network,
+        );
+        assert_eq!(cached_only.counts, vec![1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn shifted_binning_wraps() {
+        let entries = vec![entry(3600, ServedBy::NginxCache)]; // 01:00
+        let bins = RequestBins::build_shifted(
+            &entries,
+            SimDuration::from_hours(24),
+            SimDuration::from_hours(1),
+            |_| -2.0, // local = 23:00 previous day -> wraps
+        );
+        assert_eq!(bins.counts[23], 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! The recently-seen address book.
+//!
+//! Paper §3.2: "each IPFS node maintains an address book of up to 900
+//! recently seen peers. Nodes check whether they already have an address
+//! for the PeerID they have discovered before performing any further
+//! lookups" — a cache that can skip the second DHT walk entirely.
+
+use multiformats::{Multiaddr, PeerId};
+use std::collections::HashMap;
+
+/// A bounded LRU map from PeerID to known addresses.
+#[derive(Debug, Clone)]
+pub struct AddressBook {
+    capacity: usize,
+    /// Entries with a logical-clock stamp for LRU eviction.
+    entries: HashMap<PeerId, (u64, Vec<Multiaddr>)>,
+    clock: u64,
+    /// Lifetime hit/miss counters.
+    pub hits: u64,
+    /// Lifetime misses.
+    pub misses: u64,
+}
+
+impl AddressBook {
+    /// Creates a book with the paper's default capacity of 900.
+    pub fn new(capacity: usize) -> AddressBook {
+        assert!(capacity > 0);
+        AddressBook { capacity, entries: HashMap::new(), clock: 0, hits: 0, misses: 0 }
+    }
+
+    /// Records addresses for a peer (refreshes recency).
+    pub fn insert(&mut self, peer: PeerId, addrs: Vec<Multiaddr>) {
+        if addrs.is_empty() {
+            return;
+        }
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&peer) {
+            // Evict the least recently used entry.
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(p, _)| p.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(peer, (self.clock, addrs));
+    }
+
+    /// Looks up addresses, refreshing recency on hit and counting
+    /// hit/miss statistics.
+    pub fn lookup(&mut self, peer: &PeerId) -> Option<Vec<Multiaddr>> {
+        self.clock += 1;
+        match self.entries.get_mut(peer) {
+            Some((stamp, addrs)) => {
+                *stamp = self.clock;
+                self.hits += 1;
+                Some(addrs.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-mutating presence check (no statistics, no recency bump).
+    pub fn contains(&self, peer: &PeerId) -> bool {
+        self.entries.contains_key(peer)
+    }
+
+    /// Drops a peer (e.g. its addresses proved stale).
+    pub fn remove(&mut self, peer: &PeerId) {
+        self.entries.remove(peer);
+    }
+
+    /// Number of peers currently remembered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for AddressBook {
+    fn default() -> Self {
+        AddressBook::new(900)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiformats::Keypair;
+
+    fn peer(seed: u64) -> PeerId {
+        Keypair::from_seed(seed).peer_id()
+    }
+
+    fn addr(port: u16) -> Vec<Multiaddr> {
+        vec![format!("/ip4/10.0.0.1/tcp/{port}").parse().unwrap()]
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut book = AddressBook::new(10);
+        book.insert(peer(1), addr(1));
+        assert_eq!(book.lookup(&peer(1)), Some(addr(1)));
+        assert_eq!(book.lookup(&peer(2)), None);
+        assert_eq!((book.hits, book.misses), (1, 1));
+    }
+
+    #[test]
+    fn capacity_is_900_by_default() {
+        let book = AddressBook::default();
+        assert_eq!(book.capacity, 900);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut book = AddressBook::new(3);
+        book.insert(peer(1), addr(1));
+        book.insert(peer(2), addr(2));
+        book.insert(peer(3), addr(3));
+        // Touch 1 so 2 becomes the LRU.
+        book.lookup(&peer(1));
+        book.insert(peer(4), addr(4));
+        assert_eq!(book.len(), 3);
+        assert!(book.contains(&peer(1)));
+        assert!(!book.contains(&peer(2)), "LRU entry evicted");
+        assert!(book.contains(&peer(3)));
+        assert!(book.contains(&peer(4)));
+    }
+
+    #[test]
+    fn reinsert_does_not_grow() {
+        let mut book = AddressBook::new(2);
+        book.insert(peer(1), addr(1));
+        book.insert(peer(1), addr(9));
+        assert_eq!(book.len(), 1);
+        assert_eq!(book.lookup(&peer(1)), Some(addr(9)));
+    }
+
+    #[test]
+    fn empty_addresses_ignored() {
+        let mut book = AddressBook::new(2);
+        book.insert(peer(1), vec![]);
+        assert!(book.is_empty());
+    }
+
+    #[test]
+    fn remove_clears_entry() {
+        let mut book = AddressBook::new(2);
+        book.insert(peer(1), addr(1));
+        book.remove(&peer(1));
+        assert!(!book.contains(&peer(1)));
+    }
+
+    #[test]
+    fn full_capacity_churn() {
+        let mut book = AddressBook::new(900);
+        for i in 0..2000 {
+            book.insert(peer(i), addr((i % 60_000) as u16));
+        }
+        assert_eq!(book.len(), 900);
+        // The most recent 900 survive.
+        assert!(book.contains(&peer(1999)));
+        assert!(!book.contains(&peer(0)));
+    }
+}

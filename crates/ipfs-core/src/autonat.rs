@@ -1,0 +1,103 @@
+//! AutoNAT: deciding whether a node is a DHT server or client.
+//!
+//! Paper §2.3: "new peers join by default as clients and immediately ask
+//! other peers in the network to initiate connections back to them. If
+//! more than three peers can connect to the newly joining peer, then the
+//! new peer upgrades its participation to act as a server node. If more
+//! than three peers cannot connect, the peer continues as a client."
+
+/// Number of confirming dial-backs required either way.
+pub const AUTONAT_THRESHOLD: usize = 3;
+
+/// Outcome of the AutoNAT probe phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AutonatVerdict {
+    /// Still collecting dial-back results.
+    Undecided,
+    /// Publicly reachable: upgrade to DHT server.
+    Public,
+    /// Not reachable: stay a DHT client.
+    Private,
+}
+
+/// Tracks dial-back results for a newly joined node.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AutonatState {
+    successes: usize,
+    failures: usize,
+}
+
+impl AutonatState {
+    /// Fresh state: the node starts as a client (§2.3).
+    pub fn new() -> AutonatState {
+        AutonatState::default()
+    }
+
+    /// Records one dial-back attempt result and returns the verdict so far.
+    pub fn record(&mut self, connected: bool) -> AutonatVerdict {
+        if connected {
+            self.successes += 1;
+        } else {
+            self.failures += 1;
+        }
+        self.verdict()
+    }
+
+    /// Current verdict: more than [`AUTONAT_THRESHOLD`] outcomes of one
+    /// kind decide.
+    pub fn verdict(&self) -> AutonatVerdict {
+        if self.successes > AUTONAT_THRESHOLD {
+            AutonatVerdict::Public
+        } else if self.failures > AUTONAT_THRESHOLD {
+            AutonatVerdict::Private
+        } else {
+            AutonatVerdict::Undecided
+        }
+    }
+
+    /// Counters (successes, failures).
+    pub fn counts(&self) -> (usize, usize) {
+        (self.successes, self.failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_undecided() {
+        assert_eq!(AutonatState::new().verdict(), AutonatVerdict::Undecided);
+    }
+
+    #[test]
+    fn upgrades_after_more_than_three_successes() {
+        let mut s = AutonatState::new();
+        for _ in 0..3 {
+            assert_eq!(s.record(true), AutonatVerdict::Undecided);
+        }
+        assert_eq!(s.record(true), AutonatVerdict::Public);
+    }
+
+    #[test]
+    fn stays_private_after_more_than_three_failures() {
+        let mut s = AutonatState::new();
+        for _ in 0..3 {
+            assert_eq!(s.record(false), AutonatVerdict::Undecided);
+        }
+        assert_eq!(s.record(false), AutonatVerdict::Private);
+    }
+
+    #[test]
+    fn mixed_results_need_majority_of_one_kind() {
+        let mut s = AutonatState::new();
+        s.record(true);
+        s.record(false);
+        s.record(true);
+        s.record(false);
+        s.record(true);
+        assert_eq!(s.verdict(), AutonatVerdict::Undecided);
+        assert_eq!(s.record(true), AutonatVerdict::Public);
+        assert_eq!(s.counts(), (4, 2));
+    }
+}

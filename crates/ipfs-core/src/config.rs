@@ -1,0 +1,103 @@
+//! Protocol constants. Every value is traceable to the paper (section cited
+//! inline) or to the go-ipfs v0.10.0 behaviour the paper measured.
+
+use simnet::SimDuration;
+
+/// Node-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Replication factor: provider records go to the k closest peers
+    /// (§3.1, k = 20).
+    pub replication: usize,
+    /// Lookup concurrency α (§3.2, α = 3).
+    pub alpha: usize,
+    /// Opportunistic-Bitswap timeout before falling back to the DHT
+    /// (§3.2: "content discovery falls back to the DHT with a timeout of
+    /// 1 second").
+    pub bitswap_timeout: SimDuration,
+    /// Address-book capacity (§3.2: "an address book of up to 900 recently
+    /// seen peers").
+    pub addrbook_capacity: usize,
+    /// Provider-record republish interval (§3.1: 12 h).
+    pub republish_interval: SimDuration,
+    /// Provider-record expiry interval (§3.1: 24 h).
+    pub expiry_interval: SimDuration,
+    /// Default object chunk size (§2.1: 256 kB).
+    pub chunk_size: usize,
+    /// Per-RPC response timeout (go-ipfs dial+read deadline; bounds how
+    /// long a walk waits on a silent peer).
+    pub rpc_timeout: SimDuration,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            replication: 20,
+            alpha: 3,
+            bitswap_timeout: SimDuration::from_secs(1),
+            addrbook_capacity: 900,
+            republish_interval: SimDuration::from_hours(12),
+            expiry_interval: SimDuration::from_hours(24),
+            chunk_size: 256 * 1024,
+            rpc_timeout: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// Transport-level timeout model. §6.1 attributes the spikes in the
+/// RPC-batch CDF (Figure 9c) to these: "the spike at 5 s is caused by dial
+/// timeouts on the transport level of the TCP and QUIC implementations,
+/// whereas the spike at 45 s is caused by the handshake timeout of the
+/// Websocket transport".
+#[derive(Debug, Clone, Copy)]
+pub struct TimeoutModel {
+    /// TCP/QUIC dial timeout (5 s).
+    pub dial_timeout: SimDuration,
+    /// WebSocket handshake timeout (45 s).
+    pub websocket_timeout: SimDuration,
+    /// Probability that a failed dial burns the WebSocket path (and its
+    /// 45 s timeout) rather than the 5 s TCP/QUIC timeout.
+    pub websocket_share: f64,
+    /// Probability that a failed dial errors fast (connection refused)
+    /// instead of timing out.
+    pub fast_refuse_share: f64,
+    /// Latency of a fast connection-refused error.
+    pub fast_refuse_delay: SimDuration,
+}
+
+impl Default for TimeoutModel {
+    fn default() -> Self {
+        TimeoutModel {
+            dial_timeout: SimDuration::from_secs(5),
+            websocket_timeout: SimDuration::from_secs(45),
+            websocket_share: 0.09,
+            fast_refuse_share: 0.35,
+            fast_refuse_delay: SimDuration::from_millis(300),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = NodeConfig::default();
+        assert_eq!(c.replication, 20);
+        assert_eq!(c.alpha, 3);
+        assert_eq!(c.bitswap_timeout, SimDuration::from_secs(1));
+        assert_eq!(c.addrbook_capacity, 900);
+        assert_eq!(c.republish_interval, SimDuration::from_hours(12));
+        assert_eq!(c.expiry_interval, SimDuration::from_hours(24));
+        assert_eq!(c.chunk_size, 262_144);
+    }
+
+    #[test]
+    fn timeout_model_matches_paper_spikes() {
+        let t = TimeoutModel::default();
+        assert_eq!(t.dial_timeout, SimDuration::from_secs(5));
+        assert_eq!(t.websocket_timeout, SimDuration::from_secs(45));
+        assert!(t.websocket_share + t.fast_refuse_share < 1.0);
+    }
+}

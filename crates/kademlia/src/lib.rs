@@ -1,0 +1,44 @@
+//! The IPFS Kademlia DHT, as described in §2.3 and §3 of *Design and
+//! Evaluation of IPFS* (SIGCOMM '22), implemented as a sans-io protocol
+//! state machine.
+//!
+//! IPFS-specific deviations from vanilla Kademlia, all implemented here:
+//!
+//! - 256-bit SHA-256 keys instead of 160-bit SHA-1 (§2.3);
+//! - `i = 256` buckets of `k = 20` peers each (§2.3);
+//! - reliable transports (connection-oriented dialing is modelled by the
+//!   driver; the protocol assumes request/response RPCs, §2.3);
+//! - DHT client/server split: only *servers* (publicly dialable peers)
+//!   enter routing tables (§2.3, AutoNAT);
+//! - provider records replicated on the `k = 20` closest peers, with a 12 h
+//!   republish and 24 h expiry interval (§3.1);
+//! - iterative lookups with concurrency `α = 3` (§3.2).
+//!
+//! Modules:
+//! - [`key`] — 256-bit keys and XOR distance.
+//! - [`routing`] — the 256-bucket routing table.
+//! - [`records`] — provider-record and peer-record stores with expiry.
+//! - [`rpc`] — wire-level RPC request/response types.
+//! - [`query`] — the iterative lookup state machine (α=3, k=20).
+//! - [`behaviour`] — the per-node DHT behaviour: answers RPCs, runs
+//!   queries, maintains the routing table. Drivers (the simulator, or a
+//!   real transport) feed it inputs and flush its output queue.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod behaviour;
+pub mod key;
+pub mod query;
+pub mod records;
+pub mod routing;
+pub mod rpc;
+
+pub use behaviour::{DhtBehaviour, DhtConfig, DhtEvent, DhtInput, DhtOutput, QueryId};
+pub use key::{Distance, Key};
+pub use query::{IterativeQuery, QueryOutcome, QueryStep, QueryTarget};
+pub use records::{PeerRecord, ProviderRecord, RecordStore};
+pub use routing::{PeerInfo, RoutingTable, K, NUM_BUCKETS};
+
+/// The paper's lookup concurrency, α = 3 (§3.2).
+pub const ALPHA: usize = 3;

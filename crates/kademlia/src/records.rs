@@ -1,0 +1,255 @@
+//! Provider and peer record stores.
+//!
+//! A *provider record* maps a CID to a PeerID that can serve the content; a
+//! *peer record* maps a PeerID to its Multiaddresses (paper §3.1). Both are
+//! soft state: provider records expire after 24 h and are republished every
+//! 12 h "to prevent the system from storing and providing stale records".
+
+use crate::key::Key;
+use multiformats::{Multiaddr, PeerId};
+use simnet::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Default provider-record expiry interval (paper §3.1: 24 h).
+pub const PROVIDER_EXPIRY: SimDuration = SimDuration::from_hours(24);
+
+/// Default provider-record republish interval (paper §3.1: 12 h).
+pub const PROVIDER_REPUBLISH: SimDuration = SimDuration::from_hours(12);
+
+/// A provider record: "this peer can serve this CID".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProviderRecord {
+    /// DHT key of the CID being provided.
+    pub key: Key,
+    /// The providing peer.
+    pub provider: PeerId,
+    /// Addresses of the provider, if known (saves the requestor the second
+    /// DHT walk when present).
+    pub addrs: Vec<Multiaddr>,
+    /// When the record was stored (drives expiry).
+    pub received_at: SimTime,
+}
+
+/// A peer record: "this PeerID is reachable at these addresses".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerRecord {
+    /// The subject peer.
+    pub peer: PeerId,
+    /// Its advertised addresses.
+    pub addrs: Vec<Multiaddr>,
+    /// When the record was stored.
+    pub received_at: SimTime,
+}
+
+/// Replacement arbitration for stored values: `f(new, old) == true`
+/// means the new value wins.
+pub type Selector = fn(&[u8], &[u8]) -> bool;
+
+/// An opaque DHT value (IPNS records travel this way, paper §3.3): the
+/// DHT stores bytes it cannot interpret; the node-level validator decides
+/// replacement (go-libp2p's `Validator.Select`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueRecord {
+    /// The key the value is stored under.
+    pub key: Key,
+    /// The opaque payload.
+    pub value: Vec<u8>,
+    /// When it was stored.
+    pub received_at: SimTime,
+}
+
+/// Storage for provider, peer, and value records held by one DHT server.
+#[derive(Debug, Clone, Default)]
+pub struct RecordStore {
+    providers: HashMap<Key, Vec<ProviderRecord>>,
+    peers: HashMap<PeerId, PeerRecord>,
+    values: HashMap<Key, ValueRecord>,
+    /// Lifetime counters for diagnostics.
+    pub stored_provider_records: u64,
+    /// Lifetime count of peer records stored.
+    pub stored_peer_records: u64,
+    /// Lifetime count of value records stored.
+    pub stored_value_records: u64,
+}
+
+impl RecordStore {
+    /// Creates an empty store.
+    pub fn new() -> RecordStore {
+        RecordStore::default()
+    }
+
+    /// Stores (or refreshes) a provider record. Refreshing resets the
+    /// expiry clock — this is what the 12 h republish achieves.
+    pub fn add_provider(&mut self, record: ProviderRecord) {
+        let entry = self.providers.entry(record.key).or_default();
+        if let Some(existing) = entry.iter_mut().find(|r| r.provider == record.provider) {
+            *existing = record;
+        } else {
+            entry.push(record);
+            self.stored_provider_records += 1;
+        }
+    }
+
+    /// Returns unexpired provider records for `key` at time `now`.
+    pub fn providers(&self, key: &Key, now: SimTime) -> Vec<ProviderRecord> {
+        self.providers
+            .get(key)
+            .map(|rs| {
+                rs.iter()
+                    .filter(|r| now.since(r.received_at) < PROVIDER_EXPIRY)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Stores (or refreshes) a peer record.
+    pub fn put_peer_record(&mut self, record: PeerRecord) {
+        if self.peers.insert(record.peer.clone(), record).is_none() {
+            self.stored_peer_records += 1;
+        }
+    }
+
+    /// Looks up a peer record.
+    pub fn peer_record(&self, peer: &PeerId) -> Option<&PeerRecord> {
+        self.peers.get(peer)
+    }
+
+    /// Drops expired provider records; returns how many were removed.
+    /// Peer records persist (they are refreshed on every connection in
+    /// practice).
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let mut removed = 0;
+        self.providers.retain(|_, rs| {
+            let before = rs.len();
+            rs.retain(|r| now.since(r.received_at) < PROVIDER_EXPIRY);
+            removed += before - rs.len();
+            !rs.is_empty()
+        });
+        removed
+    }
+
+    /// Number of live provider-record entries (across all keys).
+    pub fn provider_entry_count(&self) -> usize {
+        self.providers.values().map(|v| v.len()).sum()
+    }
+
+    /// Stores a value record if `select` prefers it over any existing one
+    /// (`select(new, old) == true` means replace). Returns whether it was
+    /// stored.
+    pub fn put_value(&mut self, record: ValueRecord, select: Option<Selector>) -> bool {
+        match self.values.get(&record.key) {
+            Some(existing) => {
+                let replace = match select {
+                    Some(f) => f(&record.value, &existing.value),
+                    None => true, // last-writer-wins without a selector
+                };
+                if replace {
+                    self.values.insert(record.key, record);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.values.insert(record.key, record);
+                self.stored_value_records += 1;
+                true
+            }
+        }
+    }
+
+    /// Looks up a value record.
+    pub fn value(&self, key: &Key) -> Option<&ValueRecord> {
+        self.values.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiformats::{Cid, Keypair};
+
+    fn key(n: u64) -> Key {
+        Key::from_cid(&Cid::from_raw_data(&n.to_be_bytes()))
+    }
+
+    fn record(k: Key, seed: u64, at: SimTime) -> ProviderRecord {
+        ProviderRecord {
+            key: k,
+            provider: Keypair::from_seed(seed).peer_id(),
+            addrs: vec![],
+            received_at: at,
+        }
+    }
+
+    #[test]
+    fn add_and_get_providers() {
+        let mut store = RecordStore::new();
+        let k = key(1);
+        store.add_provider(record(k, 1, SimTime::ZERO));
+        store.add_provider(record(k, 2, SimTime::ZERO));
+        assert_eq!(store.providers(&k, SimTime::ZERO).len(), 2);
+        assert_eq!(store.providers(&key(2), SimTime::ZERO).len(), 0);
+    }
+
+    #[test]
+    fn records_expire_after_24h() {
+        let mut store = RecordStore::new();
+        let k = key(1);
+        store.add_provider(record(k, 1, SimTime::ZERO));
+        let just_before = SimTime::ZERO + SimDuration::from_hours(23);
+        let just_after = SimTime::ZERO + SimDuration::from_hours(25);
+        assert_eq!(store.providers(&k, just_before).len(), 1);
+        assert_eq!(store.providers(&k, just_after).len(), 0);
+    }
+
+    #[test]
+    fn republish_resets_expiry() {
+        let mut store = RecordStore::new();
+        let k = key(1);
+        store.add_provider(record(k, 1, SimTime::ZERO));
+        // Republish at 12 h (the paper's interval).
+        let t12 = SimTime::ZERO + PROVIDER_REPUBLISH;
+        store.add_provider(record(k, 1, t12));
+        // At 30 h the original would be dead, but the refresh keeps it.
+        let t30 = SimTime::ZERO + SimDuration::from_hours(30);
+        assert_eq!(store.providers(&k, t30).len(), 1);
+        // Only one entry exists (refresh, not duplicate).
+        assert_eq!(store.provider_entry_count(), 1);
+    }
+
+    #[test]
+    fn expire_sweeps_dead_records() {
+        let mut store = RecordStore::new();
+        store.add_provider(record(key(1), 1, SimTime::ZERO));
+        store.add_provider(record(key(2), 2, SimTime::ZERO + SimDuration::from_hours(20)));
+        let removed = store.expire(SimTime::ZERO + SimDuration::from_hours(30));
+        assert_eq!(removed, 1);
+        assert_eq!(store.provider_entry_count(), 1);
+    }
+
+    #[test]
+    fn peer_records_roundtrip() {
+        let mut store = RecordStore::new();
+        let peer = Keypair::from_seed(5).peer_id();
+        let addr: Multiaddr = "/ip4/1.2.3.4/tcp/3333".parse().unwrap();
+        store.put_peer_record(PeerRecord {
+            peer: peer.clone(),
+            addrs: vec![addr.clone()],
+            received_at: SimTime::ZERO,
+        });
+        assert_eq!(store.peer_record(&peer).unwrap().addrs, vec![addr]);
+        assert!(store.peer_record(&Keypair::from_seed(6).peer_id()).is_none());
+    }
+
+    #[test]
+    fn lifetime_counters() {
+        let mut store = RecordStore::new();
+        let k = key(1);
+        store.add_provider(record(k, 1, SimTime::ZERO));
+        store.add_provider(record(k, 1, SimTime::ZERO)); // refresh, not new
+        store.add_provider(record(k, 2, SimTime::ZERO));
+        assert_eq!(store.stored_provider_records, 2);
+    }
+}

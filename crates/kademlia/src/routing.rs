@@ -1,0 +1,309 @@
+//! The Kademlia routing table: 256 buckets of k = 20 peers.
+//!
+//! Paper §2.3: "We also maintain i=256 buckets of k-nodes each (where k=20)
+//! to split the hash space." Only DHT *servers* are inserted — "the DHT
+//! client/server distinction prevents unreachable peers from becoming part
+//! of other peers' routing tables".
+
+use crate::key::Key;
+use multiformats::{Multiaddr, PeerId};
+
+/// Bucket capacity, k = 20 (paper §2.3).
+pub const K: usize = 20;
+
+/// Number of buckets, one per possible distance prefix length (paper §2.3).
+pub const NUM_BUCKETS: usize = 256;
+
+/// A peer plus its advertised addresses, as exchanged in FIND_NODE replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerInfo {
+    /// The peer's identifier.
+    pub peer: PeerId,
+    /// Addresses the peer advertises.
+    pub addrs: Vec<Multiaddr>,
+}
+
+/// One bucket entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    info: PeerInfo,
+    key: Key,
+}
+
+/// The routing table of one DHT node.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    local: Key,
+    /// Buckets indexed by distance prefix; entries ordered least-recently
+    /// seen first (classic Kademlia keeps long-lived peers, which §6.4
+    /// credits for IPFS's lookup reliability).
+    buckets: Vec<Vec<Entry>>,
+    size: usize,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for a node whose own key is `local`.
+    pub fn new(local: Key) -> RoutingTable {
+        RoutingTable { local, buckets: vec![Vec::new(); NUM_BUCKETS], size: 0 }
+    }
+
+    /// The local key the table is centered on.
+    pub fn local_key(&self) -> &Key {
+        &self.local
+    }
+
+    /// Number of peers in the table.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Inserts or refreshes a peer. Returns `true` if the peer is now in
+    /// the table. A full bucket rejects newcomers (Kademlia's
+    /// oldest-peer-wins policy, which favours stable peers); an existing
+    /// entry is moved to the most-recently-seen tail and its addresses
+    /// refreshed.
+    pub fn insert(&mut self, info: PeerInfo) -> bool {
+        let key = Key::from_peer(&info.peer);
+        let Some(idx) = self.local.bucket_index(&key) else {
+            return false; // never insert self
+        };
+        let bucket = &mut self.buckets[idx];
+        if let Some(pos) = bucket.iter().position(|e| e.info.peer == info.peer) {
+            let mut entry = bucket.remove(pos);
+            entry.info = info;
+            bucket.push(entry);
+            return true;
+        }
+        if bucket.len() >= K {
+            return false;
+        }
+        bucket.push(Entry { info, key });
+        self.size += 1;
+        true
+    }
+
+    /// Removes a peer (e.g. after a failed dial). Returns whether it was
+    /// present.
+    pub fn remove(&mut self, peer: &PeerId) -> bool {
+        let key = Key::from_peer(peer);
+        let Some(idx) = self.local.bucket_index(&key) else {
+            return false;
+        };
+        let bucket = &mut self.buckets[idx];
+        if let Some(pos) = bucket.iter().position(|e| e.info.peer == *peer) {
+            bucket.remove(pos);
+            self.size -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `peer` is in the table.
+    pub fn contains(&self, peer: &PeerId) -> bool {
+        let key = Key::from_peer(peer);
+        self.local
+            .bucket_index(&key)
+            .map(|idx| self.buckets[idx].iter().any(|e| e.info.peer == *peer))
+            .unwrap_or(false)
+    }
+
+    /// The `count` peers closest to `target` by XOR distance, nearest
+    /// first. This is the reply set for FIND_NODE (§3.2) and the candidate
+    /// seed for local queries.
+    pub fn closest(&self, target: &Key, count: usize) -> Vec<PeerInfo> {
+        let mut all: Vec<(&Entry, crate::key::Distance)> = self
+            .buckets
+            .iter()
+            .flatten()
+            .map(|e| (e, e.key.distance(target)))
+            .collect();
+        all.sort_by_key(|a| a.1);
+        all.into_iter().take(count).map(|(e, _)| e.info.clone()).collect()
+    }
+
+    /// All peers in the table (bucket order) — used by the network crawler
+    /// (§4.1), which asks peers "for all entries in their k-buckets".
+    pub fn all_peers(&self) -> Vec<PeerInfo> {
+        self.buckets.iter().flatten().map(|e| e.info.clone()).collect()
+    }
+
+    /// Occupancy of each non-empty bucket (for diagnostics/benchmarks).
+    pub fn bucket_sizes(&self) -> Vec<(usize, usize)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, b)| (i, b.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiformats::Keypair;
+
+    fn info(seed: u64) -> PeerInfo {
+        PeerInfo { peer: Keypair::from_seed(seed).peer_id(), addrs: vec![] }
+    }
+
+    fn table(seed: u64) -> RoutingTable {
+        RoutingTable::new(Key::from_peer(&Keypair::from_seed(seed).peer_id()))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut rt = table(0);
+        assert!(rt.insert(info(1)));
+        assert!(rt.contains(&info(1).peer));
+        assert_eq!(rt.len(), 1);
+    }
+
+    #[test]
+    fn self_insertion_rejected() {
+        let mut rt = table(0);
+        let me = PeerInfo { peer: Keypair::from_seed(0).peer_id(), addrs: vec![] };
+        assert!(!rt.insert(me.clone()));
+        assert!(!rt.contains(&me.peer));
+    }
+
+    #[test]
+    fn reinsert_refreshes_addresses() {
+        let mut rt = table(0);
+        rt.insert(info(1));
+        let addr: Multiaddr = "/ip4/9.9.9.9/tcp/4001".parse().unwrap();
+        let refreshed = PeerInfo { peer: info(1).peer, addrs: vec![addr.clone()] };
+        assert!(rt.insert(refreshed));
+        assert_eq!(rt.len(), 1, "reinsert must not duplicate");
+        let got = rt.closest(&Key::from_peer(&info(1).peer), 1);
+        assert_eq!(got[0].addrs, vec![addr]);
+    }
+
+    #[test]
+    fn buckets_cap_at_k() {
+        let mut rt = table(0);
+        let mut accepted = 0;
+        // Insert many peers; far-half peers all land in bucket 255, so it
+        // must saturate at K while total keeps below the inserted count.
+        for seed in 1..2000u64 {
+            if rt.insert(info(seed)) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(rt.len(), accepted);
+        for (_, size) in rt.bucket_sizes() {
+            assert!(size <= K, "bucket overfull: {size}");
+        }
+        // The top bucket covers half the keyspace: it must be full.
+        let top = rt.bucket_sizes().iter().map(|(i, s)| (*i, *s)).max().unwrap();
+        assert_eq!(top.1, K);
+    }
+
+    #[test]
+    fn full_bucket_keeps_oldest() {
+        let mut rt = table(0);
+        let mut inserted: Vec<PeerInfo> = Vec::new();
+        let mut rejected_any = false;
+        for seed in 1..5000u64 {
+            let i = info(seed);
+            if rt.insert(i.clone()) {
+                inserted.push(i);
+            } else {
+                rejected_any = true;
+                // The rejected peer must not appear in the table.
+                assert!(!rt.contains(&i.peer));
+            }
+        }
+        assert!(rejected_any, "expected at least one full bucket");
+        for i in &inserted {
+            assert!(rt.contains(&i.peer), "old peers are never evicted by inserts");
+        }
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut rt = table(0);
+        rt.insert(info(1));
+        assert!(rt.remove(&info(1).peer));
+        assert!(!rt.remove(&info(1).peer));
+        assert_eq!(rt.len(), 0);
+    }
+
+    #[test]
+    fn closest_orders_by_distance() {
+        let mut rt = table(0);
+        for seed in 1..200u64 {
+            rt.insert(info(seed));
+        }
+        let target = Key::from_cid(&multiformats::Cid::from_raw_data(b"target"));
+        let closest = rt.closest(&target, 20);
+        assert_eq!(closest.len(), 20);
+        let dists: Vec<_> = closest
+            .iter()
+            .map(|p| Key::from_peer(&p.peer).distance(&target))
+            .collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1], "closest() must sort ascending");
+        }
+        // The returned set must be exactly the true 20 nearest of all peers.
+        let mut all: Vec<_> = rt
+            .all_peers()
+            .iter()
+            .map(|p| Key::from_peer(&p.peer).distance(&target))
+            .collect();
+        all.sort();
+        assert_eq!(dists, all[..20].to_vec());
+    }
+
+    #[test]
+    fn closest_with_fewer_peers_than_requested() {
+        let mut rt = table(0);
+        rt.insert(info(1));
+        rt.insert(info(2));
+        let got = rt.closest(&Key::ZERO, 20);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn proptest_random_ops_keep_invariants() {
+        use proptest::prelude::*;
+        proptest!(ProptestConfig::with_cases(48), |(ops in proptest::collection::vec((any::<bool>(), 1u64..400), 1..300))| {
+            let mut rt = table(0);
+            let mut model: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            for (insert, seed) in ops {
+                let i = info(seed);
+                if insert {
+                    if rt.insert(i.clone()) {
+                        model.insert(seed);
+                    }
+                } else {
+                    rt.remove(&i.peer);
+                    model.remove(&seed);
+                }
+                // Invariants: size bookkeeping, bucket caps, containment.
+                prop_assert_eq!(rt.len(), model.len());
+                for (_, size) in rt.bucket_sizes() {
+                    prop_assert!(size <= K);
+                }
+            }
+            for seed in &model {
+                prop_assert!(rt.contains(&info(*seed).peer));
+            }
+        });
+    }
+
+    #[test]
+    fn all_peers_matches_len() {
+        let mut rt = table(0);
+        for seed in 1..100u64 {
+            rt.insert(info(seed));
+        }
+        assert_eq!(rt.all_peers().len(), rt.len());
+    }
+}

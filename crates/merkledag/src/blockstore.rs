@@ -1,0 +1,300 @@
+//! Content-addressed block storage with pinning and garbage collection.
+//!
+//! Every IPFS node keeps imported and retrieved blocks in a local store
+//! (paper §3.1: content "is neither replicated nor uploaded to any external
+//! server" on import). Gateways additionally *pin* content so it survives GC
+//! (paper §3.4: the node store "holds content manually uploaded by the Web3
+//! and NFT Storage Initiatives ... third parties ... pin content ... to make
+//! it persistently available").
+
+use crate::{node::DagNode, Error, Result};
+use bytes::Bytes;
+use multiformats::{Cid, Multicodec};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Storage statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of blocks currently stored.
+    pub blocks: usize,
+    /// Total payload bytes currently stored.
+    pub bytes: u64,
+    /// Blocks currently pinned (recursively counted roots only).
+    pub pinned_roots: usize,
+    /// Lifetime `put` calls.
+    pub puts: u64,
+    /// Lifetime `get` hits.
+    pub hits: u64,
+    /// Lifetime `get` misses.
+    pub misses: u64,
+}
+
+/// Abstract content-addressed block storage.
+pub trait BlockStore {
+    /// Stores `data` under `cid`. Idempotent for identical content.
+    fn put(&mut self, cid: Cid, data: Bytes);
+
+    /// Fetches the block for `cid`, if present.
+    fn get(&mut self, cid: &Cid) -> Option<Bytes>;
+
+    /// True if the block is present (does not count as a hit/miss).
+    fn has(&self, cid: &Cid) -> bool;
+
+    /// Removes a block (no-op if absent). Pinned roots must be unpinned
+    /// before their subtree becomes collectable, but direct `delete` is
+    /// always honored (it is the caller's override).
+    fn delete(&mut self, cid: &Cid);
+
+    /// Current statistics.
+    fn stats(&self) -> StoreStats;
+}
+
+/// In-memory blockstore with pin-aware mark-and-sweep GC.
+#[derive(Debug, Default)]
+pub struct MemoryBlockStore {
+    blocks: HashMap<Cid, Bytes>,
+    pins: HashSet<Cid>,
+    bytes: u64,
+    puts: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl MemoryBlockStore {
+    /// Creates an empty store.
+    pub fn new() -> MemoryBlockStore {
+        MemoryBlockStore::default()
+    }
+
+    /// Pins `root` so that it and every block reachable from it survive
+    /// [`MemoryBlockStore::gc`].
+    pub fn pin(&mut self, root: Cid) {
+        self.pins.insert(root);
+    }
+
+    /// Removes a pin. Returns whether the pin existed.
+    pub fn unpin(&mut self, root: &Cid) -> bool {
+        self.pins.remove(root)
+    }
+
+    /// Whether `root` is pinned.
+    pub fn is_pinned(&self, root: &Cid) -> bool {
+        self.pins.contains(root)
+    }
+
+    /// Iterates over all stored CIDs (arbitrary order).
+    pub fn cids(&self) -> impl Iterator<Item = &Cid> {
+        self.blocks.keys()
+    }
+
+    /// Mark-and-sweep garbage collection: removes every block not reachable
+    /// from a pinned root. Returns (blocks_removed, bytes_removed).
+    ///
+    /// Interior nodes are decoded to discover their links; raw blocks are
+    /// leaves by definition.
+    pub fn gc(&mut self) -> (usize, u64) {
+        let mut live: HashSet<Cid> = HashSet::new();
+        let mut queue: VecDeque<Cid> = self.pins.iter().cloned().collect();
+        while let Some(cid) = queue.pop_front() {
+            if !live.insert(cid.clone()) {
+                continue;
+            }
+            if cid.codec() != Multicodec::DagPb {
+                continue; // raw leaves carry no links
+            }
+            if let Some(bytes) = self.blocks.get(&cid) {
+                if let Ok(node) = DagNode::decode(bytes) {
+                    for link in node.links {
+                        queue.push_back(link.cid);
+                    }
+                }
+            }
+        }
+        let dead: Vec<Cid> = self
+            .blocks
+            .keys()
+            .filter(|c| !live.contains(*c))
+            .cloned()
+            .collect();
+        let mut removed_bytes = 0u64;
+        for cid in &dead {
+            if let Some(b) = self.blocks.remove(cid) {
+                removed_bytes += b.len() as u64;
+            }
+        }
+        self.bytes -= removed_bytes;
+        (dead.len(), removed_bytes)
+    }
+
+    /// Fetches and decodes a DAG node, verifying its bytes against the CID.
+    pub fn get_node(&mut self, cid: &Cid) -> Result<DagNode> {
+        let bytes = self.get(cid).ok_or_else(|| Error::BlockNotFound(cid.clone()))?;
+        if !cid.hash().verify(&bytes) {
+            return Err(Error::HashMismatch(cid.clone()));
+        }
+        DagNode::decode(&bytes)
+    }
+}
+
+impl BlockStore for MemoryBlockStore {
+    fn put(&mut self, cid: Cid, data: Bytes) {
+        self.puts += 1;
+        if let Some(prev) = self.blocks.insert(cid, data.clone()) {
+            self.bytes -= prev.len() as u64;
+        }
+        self.bytes += data.len() as u64;
+    }
+
+    fn get(&mut self, cid: &Cid) -> Option<Bytes> {
+        match self.blocks.get(cid) {
+            Some(b) => {
+                self.hits += 1;
+                Some(b.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn has(&self, cid: &Cid) -> bool {
+        self.blocks.contains_key(cid)
+    }
+
+    fn delete(&mut self, cid: &Cid) {
+        if let Some(b) = self.blocks.remove(cid) {
+            self.bytes -= b.len() as u64;
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            blocks: self.blocks.len(),
+            bytes: self.bytes,
+            pinned_roots: self.pins.len(),
+            puts: self.puts,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use crate::chunker::FixedSizeChunker;
+
+    #[test]
+    fn put_get_has_delete() {
+        let mut store = MemoryBlockStore::new();
+        let cid = Cid::from_raw_data(b"block");
+        assert!(!store.has(&cid));
+        store.put(cid.clone(), Bytes::from_static(b"block"));
+        assert!(store.has(&cid));
+        assert_eq!(store.get(&cid).unwrap(), Bytes::from_static(b"block"));
+        store.delete(&cid);
+        assert!(!store.has(&cid));
+        assert_eq!(store.get(&cid), None);
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.puts), (1, 1, 1));
+        assert_eq!(s.bytes, 0);
+    }
+
+    #[test]
+    fn byte_accounting_on_overwrite() {
+        let mut store = MemoryBlockStore::new();
+        let cid = Cid::from_raw_data(b"same");
+        store.put(cid.clone(), Bytes::from_static(b"same"));
+        store.put(cid.clone(), Bytes::from_static(b"same"));
+        assert_eq!(store.stats().bytes, 4);
+        assert_eq!(store.stats().blocks, 1);
+    }
+
+    #[test]
+    fn gc_removes_unpinned_keeps_pinned_subtree() {
+        let mut store = MemoryBlockStore::new();
+        let chunker = FixedSizeChunker::new(64);
+        let keep = Bytes::from(vec![1u8; 640]);
+        let drop_ = Bytes::from(vec![2u8; 640]);
+        let keep_root = DagBuilder::new(&mut store)
+            .add_with_chunker(&keep, &chunker)
+            .unwrap()
+            .root;
+        let drop_root = DagBuilder::new(&mut store)
+            .add_with_chunker(&drop_, &chunker)
+            .unwrap()
+            .root;
+        store.pin(keep_root.clone());
+
+        let before = store.stats().blocks;
+        let (removed, removed_bytes) = store.gc();
+        assert!(removed > 0);
+        assert!(removed_bytes > 0);
+        assert_eq!(store.stats().blocks, before - removed);
+        assert!(store.has(&keep_root));
+        assert!(!store.has(&drop_root));
+
+        // Reassembly of the pinned file still works.
+        let node = store.get_node(&keep_root).unwrap();
+        assert_eq!(node.links.len(), 10);
+        for l in &node.links {
+            assert!(store.has(&l.cid), "leaf {:?} must survive GC", l.cid);
+        }
+    }
+
+    #[test]
+    fn gc_with_no_pins_clears_everything() {
+        let mut store = MemoryBlockStore::new();
+        DagBuilder::new(&mut store).add(&Bytes::from(vec![3u8; 100])).unwrap();
+        store.gc();
+        assert_eq!(store.stats().blocks, 0);
+        assert_eq!(store.stats().bytes, 0);
+    }
+
+    #[test]
+    fn unpin_then_gc_collects() {
+        let mut store = MemoryBlockStore::new();
+        let root = DagBuilder::new(&mut store).add(&Bytes::from(vec![4u8; 10])).unwrap().root;
+        store.pin(root.clone());
+        store.gc();
+        assert!(store.has(&root));
+        assert!(store.unpin(&root));
+        assert!(!store.unpin(&root));
+        store.gc();
+        assert!(!store.has(&root));
+    }
+
+    #[test]
+    fn get_node_verifies_hash() {
+        let mut store = MemoryBlockStore::new();
+        let node = DagNode::branch(vec![]);
+        let cid = node.cid();
+        // Store corrupted bytes under the node's CID.
+        store.put(cid.clone(), Bytes::from_static(b"corrupted"));
+        assert_eq!(store.get_node(&cid), Err(Error::HashMismatch(cid)));
+    }
+
+    #[test]
+    fn shared_chunks_survive_gc_of_one_parent() {
+        // Two files sharing chunks: GC'ing one must keep shared leaves.
+        let mut store = MemoryBlockStore::new();
+        let chunker = FixedSizeChunker::new(64);
+        let shared = vec![7u8; 320];
+        let mut a = shared.clone();
+        a.extend_from_slice(&[8u8; 64]);
+        let mut b = shared.clone();
+        b.extend_from_slice(&[9u8; 64]);
+        let ra = DagBuilder::new(&mut store).add_with_chunker(&Bytes::from(a), &chunker).unwrap();
+        let rb = DagBuilder::new(&mut store).add_with_chunker(&Bytes::from(b), &chunker).unwrap();
+        assert!(rb.deduplicated_leaves >= 5, "files share 5 chunks");
+        store.pin(rb.root.clone());
+        store.gc(); // collects file A's unique parts only
+        assert!(!store.has(&ra.root));
+        let node = store.get_node(&rb.root).unwrap();
+        for l in &node.links {
+            assert!(store.has(&l.cid));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Chunkers: split content into blocks before DAG construction.
+//!
+//! The paper (§2.1) specifies a default chunk size of 256 kB. go-ipfs also
+//! ships a content-defined (rolling-hash) chunker which improves
+//! de-duplication across similar files; we implement both so the dedup
+//! ablation can compare them.
+
+use bytes::Bytes;
+
+/// Default chunk size: 256 kiB, matching the paper and go-ipfs.
+pub const DEFAULT_CHUNK_SIZE: usize = 256 * 1024;
+
+/// A strategy for splitting a byte stream into chunks.
+pub trait Chunker {
+    /// Splits `data` into consecutive, non-empty chunks that concatenate
+    /// back to `data`. Empty input yields a single empty chunk so that an
+    /// empty file still produces a (well-known) leaf CID.
+    fn chunk(&self, data: &Bytes) -> Vec<Bytes>;
+
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Fixed-size chunker (the IPFS default).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedSizeChunker {
+    size: usize,
+}
+
+impl FixedSizeChunker {
+    /// Creates a chunker with the given chunk size (must be non-zero).
+    pub fn new(size: usize) -> FixedSizeChunker {
+        assert!(size > 0, "chunk size must be non-zero");
+        FixedSizeChunker { size }
+    }
+
+    /// The configured chunk size in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Default for FixedSizeChunker {
+    fn default() -> Self {
+        FixedSizeChunker::new(DEFAULT_CHUNK_SIZE)
+    }
+}
+
+impl Chunker for FixedSizeChunker {
+    fn chunk(&self, data: &Bytes) -> Vec<Bytes> {
+        if data.is_empty() {
+            return vec![Bytes::new()];
+        }
+        let mut out = Vec::with_capacity(data.len().div_ceil(self.size));
+        let mut offset = 0;
+        while offset < data.len() {
+            let end = (offset + self.size).min(data.len());
+            out.push(data.slice(offset..end));
+            offset = end;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-size"
+    }
+}
+
+/// Content-defined chunker using a Buzhash-style rolling hash.
+///
+/// Cut points are chosen where the rolling hash over a 32-byte window has
+/// `mask_bits` trailing zero bits, giving an expected chunk size of
+/// `2^mask_bits` bytes, clamped to `[min, max]`. Because cut points depend
+/// only on local content, inserting bytes near the start of a file leaves
+/// most downstream chunk boundaries — and therefore their CIDs — unchanged,
+/// which is what enables cross-file de-duplication.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentDefinedChunker {
+    min: usize,
+    max: usize,
+    mask: u32,
+}
+
+/// Window length of the rolling hash.
+const WINDOW: usize = 32;
+
+impl ContentDefinedChunker {
+    /// Creates a chunker with an expected chunk size of `2^mask_bits` bytes,
+    /// clamped to `[min, max]`.
+    pub fn new(min: usize, max: usize, mask_bits: u32) -> ContentDefinedChunker {
+        assert!(min >= WINDOW, "min must cover the rolling window");
+        assert!(max >= min, "max must be >= min");
+        ContentDefinedChunker { min, max, mask: (1u32 << mask_bits) - 1 }
+    }
+
+    /// go-ipfs-like defaults: 128 kiB min, 512 kiB max, 256 kiB expected.
+    pub fn ipfs_default() -> ContentDefinedChunker {
+        ContentDefinedChunker::new(128 * 1024, 512 * 1024, 18)
+    }
+}
+
+/// Per-byte random table for the Buzhash. Deterministically generated from a
+/// fixed LCG so the chunker is stable across runs and platforms.
+fn buz_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+    for entry in table.iter_mut() {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        *entry = (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u32;
+    }
+    table
+}
+
+impl Chunker for ContentDefinedChunker {
+    fn chunk(&self, data: &Bytes) -> Vec<Bytes> {
+        if data.is_empty() {
+            return vec![Bytes::new()];
+        }
+        let table = buz_table();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < data.len() {
+            let remaining = data.len() - start;
+            if remaining <= self.min {
+                out.push(data.slice(start..));
+                break;
+            }
+            let limit = remaining.min(self.max);
+            // Warm the window over the first `min` bytes, then scan.
+            let mut hash: u32 = 0;
+            let warm_from = start + self.min - WINDOW;
+            for i in warm_from..start + self.min {
+                hash = hash.rotate_left(1) ^ table[data[i] as usize];
+            }
+            let mut cut = limit;
+            for i in start + self.min..start + limit {
+                let out_byte = data[i - WINDOW];
+                hash = hash.rotate_left(1)
+                    ^ table[out_byte as usize].rotate_left(WINDOW as u32 % 32)
+                    ^ table[data[i] as usize];
+                if hash & self.mask == 0 {
+                    cut = i - start + 1;
+                    break;
+                }
+            }
+            out.push(data.slice(start..start + cut));
+            start += cut;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "buzhash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn concat(chunks: &[Bytes]) -> Vec<u8> {
+        chunks.iter().flat_map(|c| c.iter().copied()).collect()
+    }
+
+    fn pseudo_random(len: usize, seed: u64) -> Bytes {
+        let mut state = seed | 1;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            v.push((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8);
+        }
+        Bytes::from(v)
+    }
+
+    #[test]
+    fn fixed_exact_multiple() {
+        let data = Bytes::from(vec![7u8; 1024]);
+        let chunks = FixedSizeChunker::new(256).chunk(&data);
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|c| c.len() == 256));
+        assert_eq!(concat(&chunks), data.to_vec());
+    }
+
+    #[test]
+    fn fixed_with_tail() {
+        let data = Bytes::from(vec![7u8; 1000]);
+        let chunks = FixedSizeChunker::new(256).chunk(&data);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[3].len(), 1000 - 3 * 256);
+        assert_eq!(concat(&chunks), data.to_vec());
+    }
+
+    #[test]
+    fn fixed_default_is_256k() {
+        assert_eq!(FixedSizeChunker::default().size(), 262_144);
+        // A 0.5 MB object (the paper's benchmark payload) is exactly 2 chunks.
+        let half_mb = Bytes::from(vec![0u8; 512 * 1024]);
+        assert_eq!(FixedSizeChunker::default().chunk(&half_mb).len(), 2);
+    }
+
+    #[test]
+    fn empty_input_single_empty_chunk() {
+        assert_eq!(FixedSizeChunker::default().chunk(&Bytes::new()).len(), 1);
+        assert_eq!(
+            ContentDefinedChunker::ipfs_default().chunk(&Bytes::new()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn cdc_respects_bounds_and_concatenates() {
+        let data = pseudo_random(300_000, 42);
+        let ck = ContentDefinedChunker::new(1024, 8192, 11);
+        let chunks = ck.chunk(&data);
+        assert!(chunks.len() > 10, "expected many chunks, got {}", chunks.len());
+        assert_eq!(concat(&chunks), data.to_vec());
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(c.len() <= 8192, "chunk {i} too large: {}", c.len());
+            if i + 1 != chunks.len() {
+                assert!(c.len() >= 1024, "chunk {i} too small: {}", c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cdc_is_deterministic() {
+        let data = pseudo_random(100_000, 7);
+        let ck = ContentDefinedChunker::new(1024, 8192, 11);
+        assert_eq!(
+            ck.chunk(&data).len(),
+            ck.chunk(&data.clone()).len()
+        );
+    }
+
+    #[test]
+    fn cdc_boundaries_survive_prefix_insertion() {
+        // The content-defined property: prepending bytes shifts early chunks
+        // but most later chunk payloads reappear identically.
+        let original = pseudo_random(200_000, 99);
+        let mut shifted = vec![0xEEu8; 37];
+        shifted.extend_from_slice(&original);
+        let ck = ContentDefinedChunker::new(1024, 8192, 11);
+        let a: std::collections::HashSet<Vec<u8>> =
+            ck.chunk(&original).iter().map(|c| c.to_vec()).collect();
+        let b = ck.chunk(&Bytes::from(shifted));
+        let reused = b.iter().filter(|c| a.contains(&c.to_vec())).count();
+        assert!(
+            reused * 2 > b.len(),
+            "expected >50% chunk reuse after prefix insert, got {reused}/{}",
+            b.len()
+        );
+    }
+
+    #[test]
+    fn cdc_fixed_contrast_on_prefix_insert() {
+        // Fixed-size chunking loses all alignment after an insert — this is
+        // the motivating contrast for the dedup ablation.
+        let original = pseudo_random(200_000, 99);
+        let mut shifted = vec![0xEEu8; 37];
+        shifted.extend_from_slice(&original);
+        let ck = FixedSizeChunker::new(4096);
+        let a: std::collections::HashSet<Vec<u8>> =
+            ck.chunk(&original).iter().map(|c| c.to_vec()).collect();
+        let b = ck.chunk(&Bytes::from(shifted));
+        let reused = b.iter().filter(|c| a.contains(&c.to_vec())).count();
+        assert!(reused <= 1, "fixed chunking should not realign, got {reused}");
+    }
+}

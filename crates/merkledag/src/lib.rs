@@ -1,0 +1,86 @@
+//! Merkle-DAG content storage: chunking, DAG construction, block storage,
+//! and verified reassembly.
+//!
+//! Implements §2.1 of *Design and Evaluation of IPFS* (SIGCOMM '22): "When
+//! content is added to IPFS, it is split into chunks (default 256 kB) each
+//! of which is assigned its own CID. ... IPFS constructs a Merkle Directed
+//! Acyclic Graph (DAG) of the file. ... The root node combines all CIDs of
+//! its descendant nodes and forms the final content CID."
+//!
+//! - [`chunker`] — fixed-size (default 256 kiB) and content-defined
+//!   (Buzhash-style) chunkers.
+//! - [`node`] — DAG node representation and its deterministic binary
+//!   encoding (a dag-pb work-alike).
+//! - [`builder`] — balanced-tree DAG construction with configurable fanout
+//!   and chunk de-duplication.
+//! - [`blockstore`] — content-addressed block storage with pinning,
+//!   reference-aware garbage collection, and usage statistics.
+//! - [`resolver`] — DAG traversal: verified block-by-block reassembly of a
+//!   file from any blockstore.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blockstore;
+pub mod builder;
+pub mod car;
+pub mod chunker;
+pub mod node;
+pub mod resolver;
+pub mod unixfs;
+
+pub use blockstore::{BlockStore, MemoryBlockStore};
+pub use car::{export as car_export, import as car_import, ImportReport};
+pub use builder::{BuildReport, DagBuilder, DagLayout};
+pub use chunker::{Chunker, ContentDefinedChunker, FixedSizeChunker, DEFAULT_CHUNK_SIZE};
+pub use node::{DagNode, Link};
+pub use resolver::{Resolver, WalkEvent};
+pub use unixfs::{resolve_path, DirectoryBuilder, PathTarget};
+
+/// Errors for DAG construction, storage, and traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A block needed during traversal is not in the store.
+    BlockNotFound(multiformats::Cid),
+    /// A block's bytes do not hash to its CID (self-certification failure,
+    /// paper §2.1).
+    HashMismatch(multiformats::Cid),
+    /// A DAG node failed to decode.
+    InvalidNode(multiformats::Error),
+    /// The DAG is deeper than the permitted maximum (cycle guard).
+    TooDeep(usize),
+    /// A directory entry name is invalid (empty, contains `/`, `.`/`..`).
+    InvalidPath(String),
+    /// Two entries with the same name were added to a directory.
+    DuplicateEntry(String),
+    /// A path segment tried to descend through a file.
+    NotADirectory(String),
+    /// The named entry does not exist in the directory.
+    PathNotFound(String),
+    /// A file read was attempted on a directory.
+    IsADirectory(String),
+    /// A content-addressed archive is malformed.
+    InvalidArchive(String),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::BlockNotFound(c) => write!(f, "block not found: {c}"),
+            Error::HashMismatch(c) => write!(f, "block bytes do not match CID {c}"),
+            Error::InvalidNode(e) => write!(f, "invalid DAG node: {e}"),
+            Error::TooDeep(d) => write!(f, "DAG deeper than limit {d}"),
+            Error::InvalidPath(p) => write!(f, "invalid path component {p:?}"),
+            Error::DuplicateEntry(n) => write!(f, "duplicate directory entry {n:?}"),
+            Error::NotADirectory(p) => write!(f, "{p:?} is not a directory"),
+            Error::PathNotFound(p) => write!(f, "path not found: {p:?}"),
+            Error::IsADirectory(p) => write!(f, "{p:?} is a directory"),
+            Error::InvalidArchive(why) => write!(f, "invalid archive: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, Error>;

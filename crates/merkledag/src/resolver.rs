@@ -1,0 +1,261 @@
+//! DAG traversal: verified reassembly of content from a blockstore.
+//!
+//! Retrieval in IPFS ends with the requestor holding a set of blocks that it
+//! verifies against their CIDs ("peers ... only verify that the data they
+//! were served matches the requested CID", paper §3.1). The resolver walks a
+//! DAG depth-first from its root, verifies every block, and re-emits the
+//! file bytes in order.
+
+use crate::{blockstore::BlockStore, node::DagNode, Error, Result};
+use bytes::Bytes;
+use multiformats::{Cid, Multicodec};
+
+/// Maximum DAG depth accepted before assuming a malformed/cyclic structure.
+pub const MAX_DEPTH: usize = 64;
+
+/// Events emitted during a DAG walk, for observability and for Bitswap to
+/// learn which blocks to request next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkEvent {
+    /// Entered a branch node with the given number of children.
+    Branch {
+        /// CID of the branch node.
+        cid: Cid,
+        /// Number of links.
+        children: usize,
+        /// Depth below the root (root = 0).
+        depth: usize,
+    },
+    /// Reached a leaf holding `len` content bytes.
+    Leaf {
+        /// CID of the leaf block.
+        cid: Cid,
+        /// Payload length.
+        len: usize,
+        /// Depth below the root.
+        depth: usize,
+    },
+}
+
+/// Walks DAGs out of a blockstore.
+pub struct Resolver<'a, S: BlockStore> {
+    store: &'a mut S,
+}
+
+impl<'a, S: BlockStore> Resolver<'a, S> {
+    /// Creates a resolver over `store`.
+    pub fn new(store: &'a mut S) -> Self {
+        Resolver { store }
+    }
+
+    /// Reassembles the full file rooted at `root`, verifying every block.
+    pub fn read_file(&mut self, root: &Cid) -> Result<Bytes> {
+        let mut out = Vec::new();
+        self.walk(root, 0, &mut |_event| {}, &mut |leaf: &Bytes| {
+            out.extend_from_slice(leaf)
+        })?;
+        Ok(Bytes::from(out))
+    }
+
+    /// Walks the DAG, invoking `on_event` per node and `on_leaf` per leaf
+    /// payload in file order.
+    pub fn walk_file(
+        &mut self,
+        root: &Cid,
+        on_event: &mut dyn FnMut(WalkEvent),
+    ) -> Result<u64> {
+        let mut total = 0u64;
+        self.walk(root, 0, on_event, &mut |leaf: &Bytes| total += leaf.len() as u64)?;
+        Ok(total)
+    }
+
+    /// Collects every CID in the DAG (root first, depth-first pre-order).
+    /// This is the block list a Bitswap session needs to fetch.
+    pub fn block_list(&mut self, root: &Cid) -> Result<Vec<Cid>> {
+        let mut cids = Vec::new();
+        self.walk(
+            root,
+            0,
+            &mut |event| match event {
+                WalkEvent::Branch { cid, .. } | WalkEvent::Leaf { cid, .. } => cids.push(cid),
+            },
+            &mut |_| {},
+        )?;
+        Ok(cids)
+    }
+
+    fn walk(
+        &mut self,
+        cid: &Cid,
+        depth: usize,
+        on_event: &mut dyn FnMut(WalkEvent),
+        on_leaf: &mut dyn FnMut(&Bytes),
+    ) -> Result<()> {
+        if depth > MAX_DEPTH {
+            return Err(Error::TooDeep(MAX_DEPTH));
+        }
+        let bytes = self
+            .store
+            .get(cid)
+            .ok_or_else(|| Error::BlockNotFound(cid.clone()))?;
+        if !cid.hash().verify(&bytes) {
+            return Err(Error::HashMismatch(cid.clone()));
+        }
+        match cid.codec() {
+            Multicodec::DagPb => {
+                let node = DagNode::decode(&bytes)?;
+                on_event(WalkEvent::Branch {
+                    cid: cid.clone(),
+                    children: node.links.len(),
+                    depth,
+                });
+                // A branch node's own data (if any) precedes its children —
+                // matches UnixFS where file data may inline in the root.
+                if !node.data.is_empty() {
+                    on_leaf(&node.data);
+                }
+                for link in &node.links {
+                    self.walk(&link.cid, depth + 1, on_event, on_leaf)?;
+                }
+                Ok(())
+            }
+            _ => {
+                on_event(WalkEvent::Leaf { cid: cid.clone(), len: bytes.len(), depth });
+                on_leaf(&bytes);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockstore::MemoryBlockStore;
+    use crate::builder::{DagBuilder, DagLayout};
+    use crate::chunker::FixedSizeChunker;
+
+    fn sample(len: usize) -> Bytes {
+        Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn roundtrip_single_leaf() {
+        let mut store = MemoryBlockStore::new();
+        let data = sample(100);
+        let root = DagBuilder::new(&mut store).add(&data).unwrap().root;
+        assert_eq!(Resolver::new(&mut store).read_file(&root).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_multi_level() {
+        let mut store = MemoryBlockStore::new();
+        let data = sample(50_000);
+        let chunker = FixedSizeChunker::new(777);
+        let root = DagBuilder::new(&mut store)
+            .with_layout(DagLayout { fanout: 5 })
+            .add_with_chunker(&data, &chunker)
+            .unwrap()
+            .root;
+        assert_eq!(Resolver::new(&mut store).read_file(&root).unwrap(), data);
+    }
+
+    #[test]
+    fn missing_block_reported() {
+        let mut store = MemoryBlockStore::new();
+        let data = sample(4096);
+        let chunker = FixedSizeChunker::new(512);
+        let root = DagBuilder::new(&mut store)
+            .add_with_chunker(&data, &chunker)
+            .unwrap()
+            .root;
+        // Remove one leaf.
+        let victim = Cid::from_raw_data(&data.slice(512..1024));
+        store.delete(&victim);
+        assert_eq!(
+            Resolver::new(&mut store).read_file(&root),
+            Err(Error::BlockNotFound(victim))
+        );
+    }
+
+    #[test]
+    fn corrupted_block_detected() {
+        let mut store = MemoryBlockStore::new();
+        let data = sample(2048);
+        let chunker = FixedSizeChunker::new(512);
+        let root = DagBuilder::new(&mut store)
+            .add_with_chunker(&data, &chunker)
+            .unwrap()
+            .root;
+        let victim = Cid::from_raw_data(&data.slice(0..512));
+        store.put(victim.clone(), Bytes::from_static(b"evil bytes"));
+        assert_eq!(
+            Resolver::new(&mut store).read_file(&root),
+            Err(Error::HashMismatch(victim))
+        );
+    }
+
+    #[test]
+    fn walk_events_in_order() {
+        let mut store = MemoryBlockStore::new();
+        let data = sample(4 * 64);
+        let chunker = FixedSizeChunker::new(64);
+        let root = DagBuilder::new(&mut store)
+            .with_layout(DagLayout { fanout: 2 })
+            .add_with_chunker(&data, &chunker)
+            .unwrap()
+            .root;
+        let mut events = Vec::new();
+        let total = Resolver::new(&mut store)
+            .walk_file(&root, &mut |e| events.push(e))
+            .unwrap();
+        assert_eq!(total, 256);
+        // 4 leaves under fanout 2: 2 branches + root branch + 4 leaves.
+        let branches = events.iter().filter(|e| matches!(e, WalkEvent::Branch { .. })).count();
+        let leaves = events.iter().filter(|e| matches!(e, WalkEvent::Leaf { .. })).count();
+        assert_eq!(branches, 3);
+        assert_eq!(leaves, 4);
+        // First event is the root at depth 0.
+        assert!(matches!(events[0], WalkEvent::Branch { depth: 0, .. }));
+    }
+
+    #[test]
+    fn block_list_covers_dag_exactly() {
+        let mut store = MemoryBlockStore::new();
+        let data = sample(10 * 64);
+        let chunker = FixedSizeChunker::new(64);
+        let report = DagBuilder::new(&mut store)
+            .with_layout(DagLayout { fanout: 4 })
+            .add_with_chunker(&data, &chunker)
+            .unwrap();
+        let list = Resolver::new(&mut store).block_list(&report.root).unwrap();
+        assert_eq!(list[0], report.root);
+        assert_eq!(list.len(), report.new_leaves + report.branch_nodes);
+        let unique: std::collections::HashSet<_> = list.iter().collect();
+        assert_eq!(unique.len(), list.len(), "no duplicates in block list");
+    }
+
+    #[test]
+    fn depth_guard_trips_on_self_link() {
+        // Construct a malicious "DAG" whose node links to itself by storing
+        // a node under a forged CID is impossible (hash check), so instead
+        // build an actually deep chain exceeding MAX_DEPTH.
+        let mut store = MemoryBlockStore::new();
+        let mut cid = Cid::from_raw_data(b"bottom");
+        store.put(cid.clone(), Bytes::from_static(b"bottom"));
+        for _ in 0..(MAX_DEPTH + 2) {
+            let node = DagNode::branch(vec![crate::node::Link {
+                cid: cid.clone(),
+                name: String::new(),
+                tsize: 6,
+            }]);
+            let bytes = node.encode();
+            cid = Cid::from_dag_node(&bytes);
+            store.put(cid.clone(), Bytes::from(bytes));
+        }
+        assert_eq!(
+            Resolver::new(&mut store).read_file(&cid),
+            Err(Error::TooDeep(MAX_DEPTH))
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! Multibase: self-describing base encodings.
+//!
+//! A multibase string is a single prefix character that identifies the base,
+//! followed by the payload encoded in that base (paper §2.1, Figure 1: the
+//! `b` prefix selects base32). The paper notes 24 supported encodings; we
+//! implement the ones that appear in practice for CIDs and PeerIDs —
+//! identity, base16, base32, base36, base58btc and the base64 family — which
+//! covers every encoding the rest of this workspace needs.
+
+use crate::{Error, Result};
+
+/// The base encodings supported by this implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Multibase {
+    /// `\0` — raw binary passed through unchanged.
+    Identity,
+    /// `f` — lowercase hexadecimal.
+    Base16,
+    /// `F` — uppercase hexadecimal.
+    Base16Upper,
+    /// `b` — RFC 4648 base32, lowercase, no padding (default for CIDv1).
+    Base32,
+    /// `B` — RFC 4648 base32, uppercase, no padding.
+    Base32Upper,
+    /// `k` — base36, lowercase (used for IPNS keys in subdomains).
+    Base36,
+    /// `z` — base58btc (default for CIDv0 and PeerIDs).
+    Base58Btc,
+    /// `m` — RFC 4648 base64, no padding.
+    Base64,
+    /// `u` — RFC 4648 base64url, no padding.
+    Base64Url,
+    /// `U` — RFC 4648 base64url with padding.
+    Base64UrlPad,
+}
+
+const BASE16: &[u8] = b"0123456789abcdef";
+const BASE16_UPPER: &[u8] = b"0123456789ABCDEF";
+const BASE32: &[u8] = b"abcdefghijklmnopqrstuvwxyz234567";
+const BASE32_UPPER: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+const BASE36: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+const BASE58: &[u8] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+const BASE64: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+const BASE64_URL: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+impl Multibase {
+    /// All supported bases, in prefix order.
+    pub const ALL: [Multibase; 10] = [
+        Multibase::Identity,
+        Multibase::Base16,
+        Multibase::Base16Upper,
+        Multibase::Base32,
+        Multibase::Base32Upper,
+        Multibase::Base36,
+        Multibase::Base58Btc,
+        Multibase::Base64,
+        Multibase::Base64Url,
+        Multibase::Base64UrlPad,
+    ];
+
+    /// The single-character multibase prefix.
+    pub fn prefix(self) -> char {
+        match self {
+            Multibase::Identity => '\0',
+            Multibase::Base16 => 'f',
+            Multibase::Base16Upper => 'F',
+            Multibase::Base32 => 'b',
+            Multibase::Base32Upper => 'B',
+            Multibase::Base36 => 'k',
+            Multibase::Base58Btc => 'z',
+            Multibase::Base64 => 'm',
+            Multibase::Base64Url => 'u',
+            Multibase::Base64UrlPad => 'U',
+        }
+    }
+
+    /// Looks a base up by its prefix character.
+    pub fn from_prefix(c: char) -> Result<Multibase> {
+        Multibase::ALL
+            .into_iter()
+            .find(|b| b.prefix() == c)
+            .ok_or(Error::UnknownBase(c))
+    }
+
+    /// Encodes `data` in this base *without* the multibase prefix.
+    pub fn encode_raw(self, data: &[u8]) -> String {
+        match self {
+            Multibase::Identity => data.iter().map(|&b| b as char).collect(),
+            Multibase::Base16 => encode_bits(data, BASE16, 4, false),
+            Multibase::Base16Upper => encode_bits(data, BASE16_UPPER, 4, false),
+            Multibase::Base32 => encode_bits(data, BASE32, 5, false),
+            Multibase::Base32Upper => encode_bits(data, BASE32_UPPER, 5, false),
+            Multibase::Base36 => encode_bignum(data, BASE36),
+            Multibase::Base58Btc => encode_bignum(data, BASE58),
+            Multibase::Base64 => encode_bits(data, BASE64, 6, false),
+            Multibase::Base64Url => encode_bits(data, BASE64_URL, 6, false),
+            Multibase::Base64UrlPad => encode_bits(data, BASE64_URL, 6, true),
+        }
+    }
+
+    /// Decodes a payload (without prefix) from this base.
+    pub fn decode_raw(self, s: &str) -> Result<Vec<u8>> {
+        match self {
+            // Identity maps bytes 1:1 to U+0000..U+00FF code points (the
+            // inverse of `encode_raw`'s `b as char`).
+            Multibase::Identity => s
+                .chars()
+                .map(|c| u8::try_from(c as u32).map_err(|_| Error::InvalidBaseChar(c)))
+                .collect(),
+            Multibase::Base16 => decode_bits(s, BASE16, 4, true),
+            Multibase::Base16Upper => decode_bits(s, BASE16_UPPER, 4, true),
+            Multibase::Base32 => decode_bits(s, BASE32, 5, true),
+            Multibase::Base32Upper => decode_bits(s, BASE32_UPPER, 5, true),
+            Multibase::Base36 => decode_bignum(s, BASE36, false),
+            Multibase::Base58Btc => decode_bignum(s, BASE58, true),
+            Multibase::Base64 => decode_bits(s, BASE64, 6, false),
+            Multibase::Base64Url => decode_bits(s, BASE64_URL, 6, false),
+            Multibase::Base64UrlPad => decode_bits(s.trim_end_matches('='), BASE64_URL, 6, false),
+        }
+    }
+
+    /// Encodes `data` as a full multibase string (prefix + payload).
+    pub fn encode(self, data: &[u8]) -> String {
+        let mut s = String::with_capacity(1 + data.len() * 2);
+        s.push(self.prefix());
+        s.push_str(&self.encode_raw(data));
+        s
+    }
+}
+
+/// Decodes a full multibase string, returning the detected base and payload.
+pub fn decode(s: &str) -> Result<(Multibase, Vec<u8>)> {
+    let mut chars = s.chars();
+    let prefix = chars.next().ok_or(Error::UnexpectedEnd)?;
+    let base = Multibase::from_prefix(prefix)?;
+    let payload = base.decode_raw(chars.as_str())?;
+    Ok((base, payload))
+}
+
+/// Bit-packing encoder for power-of-two bases (16/32/64).
+fn encode_bits(data: &[u8], alphabet: &[u8], bits: u32, pad: bool) -> String {
+    let mut out = String::with_capacity(data.len() * 8 / bits as usize + 2);
+    let mut acc: u32 = 0;
+    let mut acc_bits: u32 = 0;
+    for &byte in data {
+        acc = (acc << 8) | byte as u32;
+        acc_bits += 8;
+        while acc_bits >= bits {
+            acc_bits -= bits;
+            out.push(alphabet[((acc >> acc_bits) & ((1 << bits) - 1)) as usize] as char);
+        }
+    }
+    if acc_bits > 0 {
+        out.push(alphabet[((acc << (bits - acc_bits)) & ((1 << bits) - 1)) as usize] as char);
+    }
+    if pad {
+        // Pad to the base's group size: 8 chars per 5 bytes for base32,
+        // 4 chars per 3 bytes for base64.
+        let group = if bits == 5 { 8 } else { 4 };
+        while out.len() % group != 0 {
+            out.push('=');
+        }
+    }
+    out
+}
+
+/// Bit-packing decoder for power-of-two bases.
+fn decode_bits(s: &str, alphabet: &[u8], bits: u32, _strict: bool) -> Result<Vec<u8>> {
+    let mut rev = [255u8; 256];
+    for (i, &c) in alphabet.iter().enumerate() {
+        rev[c as usize] = i as u8;
+    }
+    let mut out = Vec::with_capacity(s.len() * bits as usize / 8 + 1);
+    let mut acc: u32 = 0;
+    let mut acc_bits: u32 = 0;
+    for c in s.chars() {
+        if !c.is_ascii() {
+            return Err(Error::InvalidBaseChar(c));
+        }
+        let v = rev[c as usize as u8 as usize];
+        if v == 255 {
+            return Err(Error::InvalidBaseChar(c));
+        }
+        acc = (acc << bits) | v as u32;
+        acc_bits += bits;
+        if acc_bits >= 8 {
+            acc_bits -= 8;
+            out.push(((acc >> acc_bits) & 0xff) as u8);
+        }
+    }
+    // Leftover bits must be zero padding shorter than one full character.
+    if acc_bits >= bits || acc & ((1 << acc_bits) - 1) != 0 {
+        return Err(Error::InvalidBaseLength);
+    }
+    Ok(out)
+}
+
+/// Big-number encoder for non-power-of-two bases (36/58): repeated division.
+fn encode_bignum(data: &[u8], alphabet: &[u8]) -> String {
+    let base = alphabet.len() as u32;
+    // Leading zero bytes map to repeated first-alphabet characters.
+    let zeros = data.iter().take_while(|&&b| b == 0).count();
+    let mut digits: Vec<u8> = Vec::with_capacity(data.len() * 2);
+    for &byte in &data[zeros..] {
+        let mut carry = byte as u32;
+        for d in digits.iter_mut() {
+            carry += (*d as u32) << 8;
+            *d = (carry % base) as u8;
+            carry /= base;
+        }
+        while carry > 0 {
+            digits.push((carry % base) as u8);
+            carry /= base;
+        }
+    }
+    let mut out = String::with_capacity(zeros + digits.len());
+    for _ in 0..zeros {
+        out.push(alphabet[0] as char);
+    }
+    for &d in digits.iter().rev() {
+        out.push(alphabet[d as usize] as char);
+    }
+    out
+}
+
+/// Big-number decoder for non-power-of-two bases.
+fn decode_bignum(s: &str, alphabet: &[u8], _btc: bool) -> Result<Vec<u8>> {
+    let base = alphabet.len() as u32;
+    let mut rev = [255u8; 128];
+    for (i, &c) in alphabet.iter().enumerate() {
+        rev[c as usize] = i as u8;
+    }
+    let zero_char = alphabet[0] as char;
+    let zeros = s.chars().take_while(|&c| c == zero_char).count();
+    let mut bytes: Vec<u8> = Vec::with_capacity(s.len());
+    for c in s.chars().skip(zeros) {
+        if !c.is_ascii() || c as usize >= 128 {
+            return Err(Error::InvalidBaseChar(c));
+        }
+        let v = rev[c as usize];
+        if v == 255 {
+            return Err(Error::InvalidBaseChar(c));
+        }
+        let mut carry = v as u32;
+        for b in bytes.iter_mut() {
+            carry += *b as u32 * base;
+            *b = (carry & 0xff) as u8;
+            carry >>= 8;
+        }
+        while carry > 0 {
+            bytes.push((carry & 0xff) as u8);
+            carry >>= 8;
+        }
+    }
+    let mut out = vec![0u8; zeros];
+    out.extend(bytes.iter().rev());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base16_known() {
+        assert_eq!(Multibase::Base16.encode(b"foo"), "f666f6f");
+        assert_eq!(decode("f666f6f").unwrap().1, b"foo");
+        assert_eq!(Multibase::Base16Upper.encode(b"foo"), "F666F6F");
+    }
+
+    #[test]
+    fn base32_known() {
+        // Multibase spec test vector: "yes mani !" in base32.
+        assert_eq!(Multibase::Base32.encode(b"yes mani !"), "bpfsxgidnmfxgsibb");
+        assert_eq!(decode("bpfsxgidnmfxgsibb").unwrap().1, b"yes mani !");
+    }
+
+    #[test]
+    fn base58_known() {
+        // Multibase spec test vector.
+        assert_eq!(Multibase::Base58Btc.encode(b"yes mani !"), "z7paNL19xttacUY");
+        assert_eq!(decode("z7paNL19xttacUY").unwrap().1, b"yes mani !");
+    }
+
+    #[test]
+    fn base58_leading_zeros() {
+        assert_eq!(Multibase::Base58Btc.encode(b"\x00yes mani !"), "z17paNL19xttacUY");
+        assert_eq!(
+            Multibase::Base58Btc.encode(b"\x00\x00yes mani !"),
+            "z117paNL19xttacUY"
+        );
+        assert_eq!(decode("z117paNL19xttacUY").unwrap().1, b"\x00\x00yes mani !");
+    }
+
+    #[test]
+    fn base64_known() {
+        assert_eq!(Multibase::Base64.encode(b"Man"), "mTWFu");
+        assert_eq!(Multibase::Base64Url.encode(&[0xfb, 0xff]), "u-_8");
+        assert_eq!(decode("u-_8").unwrap().1, vec![0xfb, 0xff]);
+    }
+
+    #[test]
+    fn base36_roundtrip() {
+        let data = b"\x00\x01hello base36";
+        let s = Multibase::Base36.encode(data);
+        assert!(s.starts_with('k'));
+        assert_eq!(decode(&s).unwrap().1, data);
+    }
+
+    #[test]
+    fn all_bases_roundtrip_various_lengths() {
+        for base in Multibase::ALL {
+            for len in [0usize, 1, 2, 3, 4, 5, 31, 32, 33, 64] {
+                let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+                let s = base.encode(&data);
+                let (b, d) = decode(&s).unwrap_or_else(|e| panic!("{base:?}/{len}: {e}"));
+                assert_eq!(b, base);
+                assert_eq!(d, data, "{base:?} length {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        assert!(matches!(decode("b!!!!"), Err(Error::InvalidBaseChar('!'))));
+        assert!(matches!(decode("z0"), Err(Error::InvalidBaseChar('0')))); // 0 not in base58
+        assert!(matches!(decode("q123"), Err(Error::UnknownBase('q'))));
+        assert!(matches!(decode(""), Err(Error::UnexpectedEnd)));
+    }
+
+    #[test]
+    fn rejects_dangling_bits() {
+        // A single base32 char carries 5 bits — not enough for a byte, and
+        // non-zero leftovers are invalid.
+        assert!(decode("b9").is_err());
+    }
+
+    #[test]
+    fn proptest_all_bases_roundtrip() {
+        use proptest::prelude::*;
+        proptest!(ProptestConfig::with_cases(128), |(data in proptest::collection::vec(any::<u8>(), 0..96))| {
+            for base in Multibase::ALL {
+                let s = base.encode(&data);
+                let (b, d) = decode(&s).unwrap();
+                prop_assert_eq!(b, base);
+                prop_assert_eq!(&d, &data);
+            }
+        });
+    }
+
+    #[test]
+    fn proptest_base58_against_reference() {
+        // Cross-check the repeated-division codec against a naive
+        // big-integer reference built from u128 chunks.
+        use proptest::prelude::*;
+        fn reference_base58(data: &[u8]) -> String {
+            // Treat data as a big-endian big integer over Vec<u8> limbs.
+            let zeros = data.iter().take_while(|&&b| b == 0).count();
+            let mut num: Vec<u8> = data.to_vec(); // base-256 big-endian
+            let mut out_rev = Vec::new();
+            while num.iter().any(|&b| b != 0) {
+                // Divide num by 58, collecting the remainder.
+                let mut rem: u32 = 0;
+                for byte in num.iter_mut() {
+                    let acc = rem * 256 + *byte as u32;
+                    *byte = (acc / 58) as u8;
+                    rem = acc % 58;
+                }
+                out_rev.push(BASE58[rem as usize] as char);
+            }
+            let mut s: String = std::iter::repeat_n('1', zeros).collect();
+            s.extend(out_rev.iter().rev());
+            s
+        }
+        proptest!(ProptestConfig::with_cases(128), |(data in proptest::collection::vec(any::<u8>(), 0..64))| {
+            prop_assert_eq!(Multibase::Base58Btc.encode_raw(&data), reference_base58(&data));
+        });
+    }
+
+    #[test]
+    fn base64urlpad_pads() {
+        let s = Multibase::Base64UrlPad.encode(b"M");
+        assert_eq!(s, "UTQ==");
+        assert_eq!(decode(&s).unwrap().1, b"M");
+    }
+}

@@ -1,0 +1,463 @@
+//! Synthetic geolocation database.
+//!
+//! The paper geolocates peers with GeoLite2, ranks ASes with CAIDA AS Rank,
+//! and tags cloud IPs with the Udger dataset (§4.1, §5.2). None of those
+//! datasets is available offline, so this module provides the substitution:
+//! a generative model that assigns each simulated host a country, an AS
+//! (with rank) and a cloud-provider tag, with marginals calibrated to the
+//! paper's published results (Figure 5, Table 2, Table 3).
+
+use crate::latency::Region;
+use rand::Rng;
+
+/// Countries that appear in the paper's analysis, plus an aggregate rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Country {
+    US, CN, FR, TW, KR, DE, HK, JP, GB, CA, NL, RU, SG, PL, BR, AU, IN, ZA, Other,
+}
+
+impl Country {
+    /// All countries in table order.
+    pub const ALL: [Country; 19] = [
+        Country::US, Country::CN, Country::FR, Country::TW, Country::KR,
+        Country::DE, Country::HK, Country::JP, Country::GB, Country::CA,
+        Country::NL, Country::RU, Country::SG, Country::PL, Country::BR,
+        Country::AU, Country::IN, Country::ZA, Country::Other,
+    ];
+
+    /// ISO-ish display code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Country::US => "US", Country::CN => "CN", Country::FR => "FR",
+            Country::TW => "TW", Country::KR => "KR", Country::DE => "DE",
+            Country::HK => "HK", Country::JP => "JP", Country::GB => "GB",
+            Country::CA => "CA", Country::NL => "NL", Country::RU => "RU",
+            Country::SG => "SG", Country::PL => "PL", Country::BR => "BR",
+            Country::AU => "AU", Country::IN => "IN", Country::ZA => "ZA",
+            Country::Other => "other",
+        }
+    }
+
+    /// Share of DHT-server PeerIDs per country (per mille). Top five match
+    /// Figure 5 (US 28.5 %, CN 24.2 %, FR 8.3 %, TW 7.2 %, KR 6.7 %); the
+    /// remainder is a plausible long tail summing to 1000.
+    pub fn peer_share_permille(self) -> u32 {
+        match self {
+            Country::US => 285,
+            Country::CN => 242,
+            Country::FR => 83,
+            Country::TW => 72,
+            Country::KR => 67,
+            Country::DE => 45,
+            Country::HK => 30,
+            Country::JP => 25,
+            Country::GB => 20,
+            Country::CA => 18,
+            Country::NL => 15,
+            Country::RU => 13,
+            Country::SG => 12,
+            Country::PL => 10,
+            Country::BR => 9,
+            Country::AU => 8,
+            Country::IN => 7,
+            Country::ZA => 3,
+            Country::Other => 36,
+        }
+    }
+
+    /// Share of *gateway users* per country (per mille), calibrated to
+    /// Figure 6 (US 50.4 %, CN 31.9 %, HK 6.6 %, CA 4.6 %, JP 1.7 %).
+    pub fn gateway_user_share_permille(self) -> u32 {
+        match self {
+            Country::US => 504,
+            Country::CN => 319,
+            Country::HK => 66,
+            Country::CA => 46,
+            Country::JP => 17,
+            Country::DE => 10,
+            Country::GB => 8,
+            Country::FR => 6,
+            Country::KR => 5,
+            Country::Other => 19,
+            _ => 0,
+        }
+    }
+
+    /// The latency zone the country falls in.
+    pub fn region(self) -> Region {
+        match self {
+            Country::US => Region::NorthAmericaWest, // split below in sampling
+            Country::CA => Region::NorthAmericaEast,
+            Country::BR => Region::SouthAmerica,
+            Country::FR | Country::GB | Country::NL => Region::EuropeWest,
+            Country::DE | Country::PL | Country::RU => Region::EuropeCentral,
+            Country::ZA => Region::Africa,
+            Country::IN => Region::MiddleEast, // closest zone in our matrix
+            Country::CN | Country::TW | Country::KR | Country::JP | Country::HK => Region::EastAsia,
+            Country::SG => Region::SouthEastAsia,
+            Country::AU => Region::Oceania,
+            Country::Other => Region::EuropeWest,
+        }
+    }
+}
+
+/// An autonomous system with its CAIDA-style rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AsInfo {
+    /// AS number.
+    pub asn: u32,
+    /// CAIDA AS rank (1 = largest customer cone).
+    pub rank: u32,
+    /// Human-readable operator name.
+    pub name: &'static str,
+    /// Country the AS operates in.
+    pub country: Country,
+}
+
+/// The named ASes from Table 2 of the paper.
+pub const NAMED_ASES: [AsInfo; 5] = [
+    AsInfo { asn: 4134, rank: 76, name: "CHINANET-BACKBONE", country: Country::CN },
+    AsInfo { asn: 4837, rank: 160, name: "CHINA169-BACKBONE", country: Country::CN },
+    AsInfo { asn: 4760, rank: 2976, name: "HKTIMS-AP HKT Limited", country: Country::HK },
+    AsInfo { asn: 26599, rank: 6797, name: "TELEFONICA BRASIL", country: Country::BR },
+    AsInfo { asn: 3462, rank: 340, name: "HINET", country: Country::TW },
+];
+
+/// Cloud providers from Table 3 of the paper with their share of all IPs
+/// (in hundredths of a percent, i.e. basis points of the full population).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CloudProvider {
+    /// Provider name as in Table 3.
+    pub name: &'static str,
+    /// Share of all observed IPs, in basis points (0.44 % = 44).
+    pub share_bps: u32,
+}
+
+/// Table 3's top providers plus an aggregate for the remaining 235.
+pub const CLOUD_PROVIDERS: [CloudProvider; 11] = [
+    CloudProvider { name: "Contabo GmbH", share_bps: 44 },
+    CloudProvider { name: "Amazon AWS", share_bps: 39 },
+    CloudProvider { name: "Microsoft Azure", share_bps: 33 },
+    CloudProvider { name: "Digital Ocean", share_bps: 18 },
+    CloudProvider { name: "Hetzner Online", share_bps: 13 },
+    CloudProvider { name: "GZ Systems", share_bps: 8 },
+    CloudProvider { name: "OVH", share_bps: 7 },
+    CloudProvider { name: "Google Cloud", share_bps: 6 },
+    CloudProvider { name: "Tencent Cloud", share_bps: 6 },
+    CloudProvider { name: "Choopa, LLC. Cloud", share_bps: 5 },
+    CloudProvider { name: "Other Cloud Providers", share_bps: 50 },
+];
+
+/// Total cloud share in basis points (≈2.29 %, Table 3: 100 % − 97.71 %).
+pub const TOTAL_CLOUD_BPS: u32 = 229;
+
+/// Number of distinct ASes the paper observed (§5.2).
+pub const TOTAL_ASES: usize = 2715;
+
+/// A host assignment produced by the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostInfo {
+    /// Synthetic IPv4 address.
+    pub ip: std::net::Ipv4Addr,
+    /// Country of the host.
+    pub country: Country,
+    /// Latency zone (derived from country; US hosts split west/east).
+    pub region: Region,
+    /// AS number.
+    pub asn: u32,
+    /// CAIDA-style rank of the AS.
+    pub as_rank: u32,
+    /// Cloud provider index into [`CLOUD_PROVIDERS`], if cloud-hosted.
+    pub cloud: Option<u8>,
+}
+
+/// The generative geolocation database.
+///
+/// AS assignment works per country: each country owns a slice of synthetic
+/// ASes whose weights decay harmonically (Zipf s=1), with the paper's named
+/// ASes (Table 2) pinned to the head of their country's list at boosted
+/// weight. This reproduces Table 2's headline ("two Chinese ASes contain
+/// >30 % of IPs", ">50 % of IPs in just 5 ASes") and Figure 7d's
+/// > concentration curve.
+#[derive(Debug, Clone)]
+pub struct GeoDb {
+    /// Per-country cumulative weights for peer sampling.
+    peer_cdf: Vec<(u32, Country)>,
+    /// Per-country cumulative weights for gateway-user sampling.
+    user_cdf: Vec<(u32, Country)>,
+}
+
+impl Default for GeoDb {
+    fn default() -> Self {
+        GeoDb::new()
+    }
+}
+
+impl GeoDb {
+    /// Builds the database.
+    pub fn new() -> GeoDb {
+        let mut peer_cdf = Vec::new();
+        let mut acc = 0u32;
+        for c in Country::ALL {
+            acc += c.peer_share_permille();
+            peer_cdf.push((acc, c));
+        }
+        debug_assert_eq!(acc, 1000, "peer shares must sum to 1000 permille");
+        let mut user_cdf = Vec::new();
+        let mut acc = 0u32;
+        for c in Country::ALL {
+            let share = c.gateway_user_share_permille();
+            if share > 0 {
+                acc += share;
+                user_cdf.push((acc, c));
+            }
+        }
+        debug_assert_eq!(acc, 1000, "user shares must sum to 1000 permille");
+        GeoDb { peer_cdf, user_cdf }
+    }
+
+    /// Samples a peer country following Figure 5's distribution.
+    pub fn sample_peer_country<R: Rng + ?Sized>(&self, rng: &mut R) -> Country {
+        let x = rng.random_range(0..1000u32);
+        self.peer_cdf
+            .iter()
+            .find(|(cum, _)| x < *cum)
+            .map(|(_, c)| *c)
+            .expect("cdf covers range")
+    }
+
+    /// Samples a gateway-user country following Figure 6's distribution.
+    pub fn sample_user_country<R: Rng + ?Sized>(&self, rng: &mut R) -> Country {
+        let x = rng.random_range(0..1000u32);
+        self.user_cdf
+            .iter()
+            .find(|(cum, _)| x < *cum)
+            .map(|(_, c)| *c)
+            .expect("cdf covers range")
+    }
+
+    /// Number of synthetic ASes owned by a country (proportional to its
+    /// peer share, with a minimum of 3, totalling roughly [`TOTAL_ASES`]).
+    fn as_count(country: Country) -> u32 {
+        (country.peer_share_permille() * TOTAL_ASES as u32 / 1000).max(3)
+    }
+
+    /// Explicit head weights per country: national backbone/incumbent ASes
+    /// absorb most hosts (this is what produces Table 2's concentration —
+    /// e.g. CHINANET + CHINA169 holding >30 % of Chinese IPs). The
+    /// remainder spreads over the country's synthetic tail with Zipf s=1.5.
+    fn head_weights(country: Country) -> &'static [f64] {
+        match country {
+            Country::CN => &[0.65, 0.30],       // AS4134, AS4837 (Table 2)
+            Country::HK => &[0.85],             // AS4760 HKT
+            Country::BR => &[0.80],             // AS26599 Telefonica
+            Country::TW => &[0.80],             // AS3462 HINET
+            Country::KR => &[0.60, 0.25],       // incumbent telcos
+            Country::FR => &[0.50, 0.20],
+            Country::US => &[0.30, 0.15, 0.10], // more fragmented market
+            _ => &[0.40, 0.20],
+        }
+    }
+
+    /// Samples an AS for a host in `country`: explicit head weights for the
+    /// dominant national ASes, Zipf s=1.5 over the synthetic tail.
+    pub fn sample_as<R: Rng + ?Sized>(&self, rng: &mut R, country: Country) -> (u32, u32) {
+        let heads = Self::head_weights(country);
+        let mut x = rng.random_range(0.0..1.0f64);
+        for (i, w) in heads.iter().enumerate() {
+            if x < *w {
+                return self.as_identity(country, i as u32);
+            }
+            x -= w;
+        }
+        // Tail: indices heads.len()..n, Zipf s=1.5 by inversion.
+        let n = Self::as_count(country).max(heads.len() as u32 + 1);
+        let first = heads.len() as u32;
+        let z: f64 = (1..=(n - first)).map(|i| (i as f64).powf(-1.5)).sum();
+        let mut target = rng.random_range(0.0..z);
+        for i in 1..=(n - first) {
+            target -= (i as f64).powf(-1.5);
+            if target <= 0.0 {
+                return self.as_identity(country, first + i - 1);
+            }
+        }
+        self.as_identity(country, n - 1)
+    }
+
+    /// Deterministic (asn, rank) for a country's i-th AS.
+    fn as_identity(&self, country: Country, idx: u32) -> (u32, u32) {
+        // Named ASes are pinned at the head of their country's list.
+        let named: Vec<&AsInfo> = NAMED_ASES.iter().filter(|a| a.country == country).collect();
+        if (idx as usize) < named.len() {
+            let a = named[idx as usize];
+            return (a.asn, a.rank);
+        }
+        // Synthetic AS: stable number derived from country + index, and a
+        // rank that grows with index (small-index ASes are big networks).
+        let c_idx = Country::ALL.iter().position(|c| *c == country).unwrap() as u32;
+        let asn = 60_000 + c_idx * 1000 + idx;
+        let rank = 10 + idx * 37 + c_idx * 3;
+        (asn, rank)
+    }
+
+    /// Samples a cloud assignment: `Some(provider index)` with the paper's
+    /// 2.29 % total cloud probability, weighted by Table 3.
+    pub fn sample_cloud<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u8> {
+        let x = rng.random_range(0..10_000u32);
+        if x >= TOTAL_CLOUD_BPS {
+            return None;
+        }
+        let mut acc = 0u32;
+        for (i, p) in CLOUD_PROVIDERS.iter().enumerate() {
+            acc += p.share_bps;
+            if x < acc {
+                return Some(i as u8);
+            }
+        }
+        Some((CLOUD_PROVIDERS.len() - 1) as u8)
+    }
+
+    /// Generates a full host assignment. `ip_salt` must be unique per host
+    /// (the population generator passes a counter) so IPs are distinct.
+    pub fn sample_host<R: Rng + ?Sized>(&self, rng: &mut R, ip_salt: u32) -> HostInfo {
+        let country = self.sample_peer_country(rng);
+        let (asn, as_rank) = self.sample_as(rng, country);
+        let cloud = self.sample_cloud(rng);
+        // Region: US hosts split 60/40 between west and east coasts.
+        let region = if country == Country::US && rng.random_range(0..10) >= 6 {
+            Region::NorthAmericaEast
+        } else {
+            country.region()
+        };
+        // Synthetic IP: AS-derived /16 prefix, salt-derived suffix. The
+        // prefix keeps same-AS hosts adjacent (useful for AS-level views).
+        let prefix = (asn.wrapping_mul(2654435761) % 0xDFFF) + 0x0100; // avoid 0.x and 224+.x
+        let ip = std::net::Ipv4Addr::from((prefix << 16) | (ip_salt & 0xFFFF) | ((ip_salt & 0xF0000) >> 4));
+        HostInfo { ip, country, region, asn, as_rank, cloud }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn shares_sum_to_1000() {
+        let total: u32 = Country::ALL.iter().map(|c| c.peer_share_permille()).sum();
+        assert_eq!(total, 1000);
+        let users: u32 = Country::ALL.iter().map(|c| c.gateway_user_share_permille()).sum();
+        assert_eq!(users, 1000);
+    }
+
+    #[test]
+    fn peer_country_marginals_match_figure5() {
+        let db = GeoDb::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut counts: HashMap<Country, u32> = HashMap::new();
+        for _ in 0..n {
+            *counts.entry(db.sample_peer_country(&mut rng)).or_default() += 1;
+        }
+        let share = |c: Country| *counts.get(&c).unwrap_or(&0) as f64 / n as f64;
+        assert!((share(Country::US) - 0.285).abs() < 0.01, "US {}", share(Country::US));
+        assert!((share(Country::CN) - 0.242).abs() < 0.01, "CN {}", share(Country::CN));
+        assert!((share(Country::FR) - 0.083).abs() < 0.01, "FR {}", share(Country::FR));
+    }
+
+    #[test]
+    fn user_country_marginals_match_figure6() {
+        let db = GeoDb::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 100_000;
+        let mut us = 0u32;
+        let mut cn = 0u32;
+        for _ in 0..n {
+            match db.sample_user_country(&mut rng) {
+                Country::US => us += 1,
+                Country::CN => cn += 1,
+                _ => {}
+            }
+        }
+        assert!((us as f64 / n as f64 - 0.504).abs() < 0.01);
+        assert!((cn as f64 / n as f64 - 0.319).abs() < 0.01);
+    }
+
+    #[test]
+    fn named_ases_pinned_to_their_countries() {
+        let db = GeoDb::new();
+        assert_eq!(db.as_identity(Country::CN, 0).0, 4134);
+        assert_eq!(db.as_identity(Country::CN, 1).0, 4837);
+        assert_eq!(db.as_identity(Country::HK, 0).0, 4760);
+        assert_eq!(db.as_identity(Country::BR, 0).0, 26599);
+        assert_eq!(db.as_identity(Country::TW, 0).0, 3462);
+    }
+
+    #[test]
+    fn chinese_backbones_dominate() {
+        // Table 2's headline: the two Chinese backbone ASes hold the largest
+        // shares of hosts.
+        let db = GeoDb::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 50_000;
+        let mut by_asn: HashMap<u32, u32> = HashMap::new();
+        for i in 0..n {
+            let h = db.sample_host(&mut rng, i);
+            *by_asn.entry(h.asn).or_default() += 1;
+        }
+        let mut counts: Vec<(u32, u32)> = by_asn.into_iter().collect();
+        counts.sort_by_key(|(_, c)| core::cmp::Reverse(*c));
+        let top2: Vec<u32> = counts.iter().take(2).map(|(a, _)| *a).collect();
+        assert!(top2.contains(&4134), "AS4134 must rank top-2, got {top2:?}");
+        // Top-10 concentration should be substantial (paper: 64.9 % of IPs).
+        let total: u32 = counts.iter().map(|(_, c)| c).sum();
+        let top10: u32 = counts.iter().take(10).map(|(_, c)| c).sum();
+        let share = top10 as f64 / total as f64;
+        assert!(share > 0.4, "top-10 AS share too low: {share}");
+    }
+
+    #[test]
+    fn cloud_share_matches_table3() {
+        let db = GeoDb::new();
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 200_000;
+        let cloud = (0..n).filter(|_| db.sample_cloud(&mut rng).is_some()).count();
+        let share = cloud as f64 / n as f64;
+        assert!((share - 0.0229).abs() < 0.003, "cloud share {share}");
+    }
+
+    #[test]
+    fn hosts_get_distinct_ips() {
+        let db = GeoDb::new();
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut ips = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            ips.insert(db.sample_host(&mut rng, i).ip);
+        }
+        // Distinct salts nearly always give distinct IPs (prefix+suffix).
+        assert!(ips.len() > 9_900, "too many IP collisions: {}", ips.len());
+    }
+
+    #[test]
+    fn us_hosts_split_coasts() {
+        let db = GeoDb::new();
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut west = 0;
+        let mut east = 0;
+        for i in 0..50_000 {
+            let h = db.sample_host(&mut rng, i);
+            if h.country == Country::US {
+                match h.region {
+                    Region::NorthAmericaWest => west += 1,
+                    Region::NorthAmericaEast => east += 1,
+                    other => panic!("US host in {other:?}"),
+                }
+            }
+        }
+        assert!(west > east, "60/40 west/east split expected");
+        assert!(east > 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Inter-region latency and bandwidth model.
+//!
+//! The paper's performance experiments (§4.3, §6) run from six AWS regions
+//! against peers spread over the globe. We model the world as a small set of
+//! geographic zones with a median RTT matrix drawn from public cloud
+//! inter-region ping statistics, log-normal jitter, and a per-peer access
+//! bandwidth class. This reproduces the *relative* geography of the paper
+//! (e.g. retrievals from `eu_central_1` are fastest, `af_south_1` and
+//! `ap_southeast_2` slowest — Table 4) without measuring the real Internet.
+
+use crate::time::SimDuration;
+use rand::Rng;
+use rand_distr_lognormal::sample_lognormal;
+
+/// Geographic zones used for latency lookups. Countries map onto zones in
+/// [`crate::geodb`]; vantage points map onto zones below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Region {
+    NorthAmericaWest,
+    NorthAmericaEast,
+    SouthAmerica,
+    EuropeWest,
+    EuropeCentral,
+    Africa,
+    MiddleEast,
+    EastAsia,
+    SouthEastAsia,
+    Oceania,
+}
+
+impl Region {
+    /// All zones, in matrix order.
+    pub const ALL: [Region; 10] = [
+        Region::NorthAmericaWest,
+        Region::NorthAmericaEast,
+        Region::SouthAmerica,
+        Region::EuropeWest,
+        Region::EuropeCentral,
+        Region::Africa,
+        Region::MiddleEast,
+        Region::EastAsia,
+        Region::SouthEastAsia,
+        Region::Oceania,
+    ];
+
+    fn index(self) -> usize {
+        Region::ALL.iter().position(|r| *r == self).expect("region in ALL")
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::NorthAmericaWest => "na-west",
+            Region::NorthAmericaEast => "na-east",
+            Region::SouthAmerica => "south-america",
+            Region::EuropeWest => "eu-west",
+            Region::EuropeCentral => "eu-central",
+            Region::Africa => "africa",
+            Region::MiddleEast => "middle-east",
+            Region::EastAsia => "east-asia",
+            Region::SouthEastAsia => "se-asia",
+            Region::Oceania => "oceania",
+        }
+    }
+}
+
+/// Median inter-zone RTTs in milliseconds (symmetric, public cloud ping
+/// statistics, order matches [`Region::ALL`]).
+#[rustfmt::skip]
+const RTT_MS: [[u32; 10]; 10] = [
+    // naw  nae   sa   euw  euc   af   me   ea   sea   oc
+    [  25,  65, 160, 135, 150, 290, 220, 110, 170, 140], // na-west
+    [  65,  20, 115,  80,  95, 230, 180, 180, 220, 200], // na-east
+    [ 160, 115,  30, 185, 200, 340, 290, 280, 320, 300], // south-america
+    [ 135,  80, 185,  15,  25, 155, 110, 230, 180, 280], // eu-west
+    [ 150,  95, 200,  25,  15, 165, 105, 215, 165, 270], // eu-central
+    [ 290, 230, 340, 155, 165,  40, 210, 330, 290, 380], // africa
+    [ 220, 180, 290, 110, 105, 210,  30, 190, 140, 250], // middle-east
+    [ 110, 180, 280, 230, 215, 330, 190,  35,  60, 120], // east-asia
+    [ 170, 220, 320, 180, 165, 290, 140,  60,  30,  95], // se-asia
+    [ 140, 200, 300, 280, 270, 380, 250, 120,  95,  25], // oceania
+];
+
+/// Access bandwidth classes for peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BandwidthClass {
+    /// Datacenter / cloud node: 1 Gbit/s symmetric.
+    Datacenter,
+    /// Residential broadband: 100 Mbit/s down, 20 Mbit/s up.
+    Residential,
+    /// Constrained link (mobile, congested DSL): 20 Mbit/s down, 5 up.
+    Constrained,
+}
+
+impl BandwidthClass {
+    /// Uplink in bits per second.
+    pub fn up_bps(self) -> u64 {
+        match self {
+            BandwidthClass::Datacenter => 1_000_000_000,
+            BandwidthClass::Residential => 20_000_000,
+            BandwidthClass::Constrained => 5_000_000,
+        }
+    }
+
+    /// Downlink in bits per second.
+    pub fn down_bps(self) -> u64 {
+        match self {
+            BandwidthClass::Datacenter => 1_000_000_000,
+            BandwidthClass::Residential => 100_000_000,
+            BandwidthClass::Constrained => 20_000_000,
+        }
+    }
+}
+
+/// The six AWS vantage regions of the paper's performance experiment
+/// (Table 1 / §4.3), with the paper's exact region labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum VantagePoint {
+    AfSouth1,
+    ApSoutheast2,
+    EuCentral1,
+    MeSouth1,
+    SaEast1,
+    UsWest1,
+}
+
+impl VantagePoint {
+    /// All six vantage points in the paper's table order.
+    pub const ALL: [VantagePoint; 6] = [
+        VantagePoint::AfSouth1,
+        VantagePoint::ApSoutheast2,
+        VantagePoint::EuCentral1,
+        VantagePoint::MeSouth1,
+        VantagePoint::SaEast1,
+        VantagePoint::UsWest1,
+    ];
+
+    /// The paper's label, e.g. `af_south_1`.
+    pub fn label(self) -> &'static str {
+        match self {
+            VantagePoint::AfSouth1 => "af_south_1",
+            VantagePoint::ApSoutheast2 => "ap_southeast_2",
+            VantagePoint::EuCentral1 => "eu_central_1",
+            VantagePoint::MeSouth1 => "me_south_1",
+            VantagePoint::SaEast1 => "sa_east_1",
+            VantagePoint::UsWest1 => "us_west_1",
+        }
+    }
+
+    /// The geographic zone the vantage point sits in.
+    pub fn region(self) -> Region {
+        match self {
+            VantagePoint::AfSouth1 => Region::Africa,
+            VantagePoint::ApSoutheast2 => Region::Oceania,
+            VantagePoint::EuCentral1 => Region::EuropeCentral,
+            VantagePoint::MeSouth1 => Region::MiddleEast,
+            VantagePoint::SaEast1 => Region::SouthAmerica,
+            VantagePoint::UsWest1 => Region::NorthAmericaWest,
+        }
+    }
+}
+
+/// Latency + transfer-time model.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Log-normal jitter sigma applied to one-way latencies.
+    pub jitter_sigma: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { jitter_sigma: 0.25 }
+    }
+}
+
+impl LatencyModel {
+    /// Median round-trip time between two zones.
+    pub fn median_rtt(&self, a: Region, b: Region) -> SimDuration {
+        SimDuration::from_millis(RTT_MS[a.index()][b.index()] as u64)
+    }
+
+    /// Samples a one-way latency between two zones: half the median RTT
+    /// scaled by log-normal jitter (median multiplier 1.0).
+    pub fn sample_one_way<R: Rng + ?Sized>(&self, rng: &mut R, a: Region, b: Region) -> SimDuration {
+        let half_rtt_ms = RTT_MS[a.index()][b.index()] as f64 / 2.0;
+        let mult = sample_lognormal(rng, 0.0, self.jitter_sigma);
+        SimDuration::from_secs_f64(half_rtt_ms * mult / 1e3)
+    }
+
+    /// Time for `bytes` to flow from `sender` to `receiver`: one-way latency
+    /// plus serialization at the bottleneck of the sender's uplink and the
+    /// receiver's downlink.
+    pub fn sample_transfer<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        bytes: u64,
+        from: Region,
+        from_bw: BandwidthClass,
+        to: Region,
+        to_bw: BandwidthClass,
+    ) -> SimDuration {
+        let latency = self.sample_one_way(rng, from, to);
+        let bottleneck_bps = from_bw.up_bps().min(to_bw.down_bps());
+        let serialize = SimDuration::from_secs_f64(bytes as f64 * 8.0 / bottleneck_bps as f64);
+        latency + serialize
+    }
+}
+
+/// Minimal internal log-normal sampler (keeps `rand` the only dependency —
+/// `rand_distr` is not in the approved crate set).
+mod rand_distr_lognormal {
+    use rand::Rng;
+
+    /// Samples `exp(mu + sigma * z)` where `z` is a standard normal drawn
+    /// via Box–Muller.
+    pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * standard_normal(rng)).exp()
+    }
+
+    /// One standard-normal draw (Box–Muller; we discard the second value to
+    /// keep the sampler stateless and deterministic per call).
+    pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+}
+
+pub use rand_distr_lognormal::{sample_lognormal as lognormal, standard_normal};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matrix_is_symmetric_with_small_diagonal() {
+        for (i, a) in Region::ALL.iter().enumerate() {
+            for (j, b) in Region::ALL.iter().enumerate() {
+                assert_eq!(RTT_MS[i][j], RTT_MS[j][i], "{a:?}->{b:?}");
+            }
+            assert!(RTT_MS[i][i] <= 50, "intra-zone RTT should be small");
+        }
+    }
+
+    #[test]
+    fn vantage_labels_match_paper() {
+        let labels: Vec<&str> = VantagePoint::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["af_south_1", "ap_southeast_2", "eu_central_1", "me_south_1", "sa_east_1", "us_west_1"]
+        );
+    }
+
+    #[test]
+    fn one_way_latency_centered_on_half_rtt() {
+        let model = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Region::EuropeCentral;
+        let b = Region::NorthAmericaEast;
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| model.sample_one_way(&mut rng, a, b).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let expected = model.median_rtt(a, b).as_secs_f64() / 2.0;
+        // Log-normal mean is exp(sigma^2/2) above the median; allow slack.
+        assert!(
+            (mean - expected).abs() / expected < 0.15,
+            "mean {mean} vs half-RTT {expected}"
+        );
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let model = LatencyModel { jitter_sigma: 0.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = model.sample_transfer(
+            &mut rng, 1_000, Region::EuropeWest, BandwidthClass::Datacenter,
+            Region::EuropeWest, BandwidthClass::Datacenter,
+        );
+        let big = model.sample_transfer(
+            &mut rng, 100_000_000, Region::EuropeWest, BandwidthClass::Datacenter,
+            Region::EuropeWest, BandwidthClass::Datacenter,
+        );
+        assert!(big > small);
+        // 100 MB at 1 Gbit/s ≈ 0.8 s serialization.
+        assert!((big.as_secs_f64() - small.as_secs_f64() - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn bottleneck_is_min_of_up_and_down() {
+        let model = LatencyModel { jitter_sigma: 0.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        // Residential uplink (20 Mbit/s) throttles datacenter downlink.
+        let t = model.sample_transfer(
+            &mut rng, 2_500_000, Region::EuropeWest, BandwidthClass::Residential,
+            Region::EuropeWest, BandwidthClass::Datacenter,
+        );
+        // 2.5 MB * 8 / 20 Mbit/s = 1.0 s plus ~7.5ms latency.
+        assert!((t.as_secs_f64() - 1.0075).abs() < 0.01, "{t}");
+    }
+
+    #[test]
+    fn eu_central_is_best_connected_vantage() {
+        // Sanity check for Table 4's regional ordering: the mean RTT from
+        // eu_central_1 to all zones is lower than from af_south_1.
+        let model = LatencyModel::default();
+        let mean_rtt = |v: VantagePoint| -> f64 {
+            Region::ALL
+                .iter()
+                .map(|r| model.median_rtt(v.region(), *r).as_secs_f64())
+                .sum::<f64>()
+                / Region::ALL.len() as f64
+        };
+        assert!(mean_rtt(VantagePoint::EuCentral1) < mean_rtt(VantagePoint::AfSouth1));
+        assert!(mean_rtt(VantagePoint::EuCentral1) < mean_rtt(VantagePoint::ApSoutheast2));
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

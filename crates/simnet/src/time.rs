@@ -1,0 +1,215 @@
+//! Virtual time for the simulation.
+//!
+//! All timestamps are nanoseconds since simulation start. The types mirror
+//! `std::time::{Instant, Duration}` but are plain integers: cheap to copy,
+//! totally ordered, and impossible to confuse with wall-clock time.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in virtual time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future (used as "no deadline").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Nanoseconds since start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since start.
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// From minutes.
+    pub const fn from_mins(m: u64) -> SimDuration {
+        SimDuration::from_secs(m * 60)
+    }
+
+    /// From hours.
+    pub const fn from_hours(h: u64) -> SimDuration {
+        SimDuration::from_secs(h * 3600)
+    }
+
+    /// From fractional seconds. Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else {
+            write!(f, "{:.3}ms", s * 1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(2);
+        assert_eq!(t.as_millis(), 2000);
+        let t2 = t + SimDuration::from_millis(500);
+        assert_eq!((t2 - t).as_millis(), 500);
+        assert_eq!(t2.since(t), SimDuration::from_millis(500));
+        // Saturating: earlier.since(later) is zero, not underflow.
+        assert_eq!(t.since(t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn constructors_consistent() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(SimDuration::from_secs(10) / 4, SimDuration::from_millis(2500));
+        assert_eq!(SimDuration::from_millis(3) * 1000, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(SimDuration::from_micros(250).to_string(), "0.250ms");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! A mutable website under an immutable name (IPNS, paper §3.3).
+//!
+//! CIDs are immutable — updating a site changes its root CID. IPNS gives
+//! the publisher a stable name (the hash of its public key) that always
+//! resolves, via a signed and sequenced record, to the *latest* root CID.
+//!
+//! ```sh
+//! cargo run --release -p ipfs-examples --bin mutable_site
+//! ```
+
+use bytes::Bytes;
+use ipfs_core::ipns::{IpnsRecord, IpnsStore, IPNS_VALIDITY};
+use ipfs_examples::example_network;
+use simnet::latency::VantagePoint;
+use simnet::{SimDuration, SimTime};
+
+fn main() {
+    let (mut net, ids) =
+        example_network(400, &[VantagePoint::EuCentral1, VantagePoint::UsWest1], 11);
+    let [publisher, reader] = ids[..] else { unreachable!() };
+
+    // The publisher's IPNS name: stable for the node's lifetime.
+    let keypair = net.node(publisher).keypair().clone();
+    let name = keypair.peer_id();
+    println!("site name (IPNS): /ipns/{name}\n");
+
+    for version in 1..=3u64 {
+        // Build and publish this version of the site.
+        let html = Bytes::from(format!(
+            "<html><body><h1>My dweb site</h1><p>revision {version}</p></body></html>"
+        ));
+        let root = net.node_mut(publisher).add_content(&html).root;
+        net.publish(publisher, root.clone());
+        net.run_until_quiet();
+
+        // Sign the IPNS record mapping name -> new root (sequence bumps),
+        // and push it to the DHT servers nearest the name's key (§3.3).
+        let record = IpnsRecord::sign(&keypair, root.clone(), version, net.now(), IPNS_VALIDITY);
+        net.publish_ipns(publisher, &record);
+        net.run_until_quiet();
+        let pr = net.ipns_publish_reports.last().unwrap();
+        println!(
+            "published v{version}: /ipfs/{root} (IPNS record on {} DHT servers in {:.1}s)",
+            pr.records_stored,
+            pr.total.as_secs_f64()
+        );
+
+        // A reader resolves the *name* over the DHT and fetches whatever
+        // it points at.
+        net.resolve_ipns(reader, &name);
+        net.run_until_quiet();
+        let resolution = net.ipns_resolve_reports.last().unwrap().clone();
+        assert!(resolution.success, "IPNS resolution must succeed");
+        let resolved = resolution.record.unwrap().value;
+        assert_eq!(resolved, root, "the immutable name tracks the newest CID");
+        net.retrieve(reader, resolved.clone());
+        net.run_until_quiet();
+        let r = net.retrieve_reports.last().unwrap().clone();
+        assert!(r.success);
+        let page = net.node_mut(reader).read_content(&resolved).unwrap();
+        println!(
+            "  reader resolved /ipns/{}… -> fetched {} bytes in {:.2}s: {:?}...",
+            &name.to_string()[..8],
+            page.len(),
+            r.total.as_secs_f64(),
+            std::str::from_utf8(&page[..40]).unwrap()
+        );
+        net.disconnect_all(reader);
+    }
+
+    // Replay protection at the resolver's local cache: an attacker
+    // re-serving v1's record is rejected because its sequence is stale.
+    let mut cache = IpnsStore::new();
+    let now = net.now();
+    let v3 = net.node_mut(reader).ipns.resolve(&name, now).unwrap().clone();
+    cache.put(v3, now).unwrap();
+    let stale = IpnsRecord::sign(
+        &keypair,
+        multiformats::Cid::from_raw_data(b"old"),
+        1,
+        now,
+        IPNS_VALIDITY,
+    );
+    let err = cache.put(stale, now).unwrap_err();
+    println!("\nreplaying the v1 record is rejected: {err}");
+
+    // Expiry: records go stale after their validity window (24 h default).
+    let later = SimTime::ZERO + SimDuration::from_hours(200);
+    assert!(cache.resolve(&name, later).is_none());
+    println!("after the validity window the record expires and must be republished ✓");
+}

@@ -1,0 +1,146 @@
+//! Gateway integration: the HTTP bridge over a live simulated network
+//! (paper §3.4, §6.3).
+
+use gateway::workload::{GatewayWorkload, WorkloadConfig};
+use gateway::{Gateway, GatewayConfig, ServedBy};
+use integration_tests::test_network;
+use simnet::latency::VantagePoint;
+use simnet::SimDuration;
+
+fn setup(seed: u64, requests: usize) -> (ipfs_core::IpfsNetwork, Gateway, GatewayWorkload) {
+    let (mut net, ids) = test_network(400, &[VantagePoint::UsWest1], seed);
+    let gw_node = ids[0];
+    let workload = GatewayWorkload::generate(WorkloadConfig {
+        catalog_size: 150,
+        users: 80,
+        requests,
+        seed,
+        ..Default::default()
+    });
+    let mut gw = Gateway::new(gw_node, GatewayConfig::default());
+    let providers: Vec<_> = net
+        .server_ids()
+        .into_iter()
+        .filter(|&i| net.is_dialable(i))
+        .take(20)
+        .collect();
+    gw.install_catalog(&mut net, &workload, &providers);
+    (net, gw, workload)
+}
+
+#[test]
+fn full_day_of_traffic_serves_cleanly() {
+    let (mut net, mut gw, workload) = setup(301, 600);
+    let log = gw.serve_all(&mut net, &workload);
+    assert_eq!(log.len(), 600);
+    // Log entries are time-ordered like an nginx access log.
+    for pair in log.windows(2) {
+        assert!(pair[0].at <= pair[1].at);
+    }
+    // All three tiers appear and the split is Table-5-shaped.
+    let count =
+        |t: ServedBy| log.iter().filter(|e| e.served_by == t).count() as f64 / log.len() as f64;
+    assert!(count(ServedBy::NginxCache) > 0.2, "nginx {}", count(ServedBy::NginxCache));
+    assert!(count(ServedBy::NodeStore) > 0.1, "store {}", count(ServedBy::NodeStore));
+    assert!(count(ServedBy::Network) > 0.02, "network {}", count(ServedBy::Network));
+}
+
+#[test]
+fn latency_ordering_between_tiers() {
+    let (mut net, mut gw, workload) = setup(302, 500);
+    let log = gw.serve_all(&mut net, &workload);
+    let median = |t: ServedBy| {
+        let mut v: Vec<f64> = log
+            .iter()
+            .filter(|e| e.served_by == t && e.success)
+            .map(|e| e.latency.as_secs_f64())
+            .collect();
+        v.sort_by(f64::total_cmp);
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v[v.len() / 2]
+        }
+    };
+    let nginx = median(ServedBy::NginxCache);
+    let store = median(ServedBy::NodeStore);
+    let network = median(ServedBy::Network);
+    // Table 5's ordering: 0 s << 8 ms << seconds.
+    assert_eq!(nginx, 0.0);
+    assert!(store > 0.0 && store < 0.1, "node store {store}");
+    assert!(network > 1.0, "non-cached pays the P2P pipeline: {network}");
+}
+
+#[test]
+fn gateway_offloads_network_over_time() {
+    // As the cache warms, the network share of traffic must fall (the
+    // demand-aggregation argument of §6.3).
+    let (mut net, mut gw, workload) = setup(303, 800);
+    let log = gw.serve_all(&mut net, &workload);
+    let half = log.len() / 2;
+    let share = |slice: &[gateway::AccessLogEntry]| {
+        slice.iter().filter(|e| e.served_by == ServedBy::Network).count() as f64
+            / slice.len() as f64
+    };
+    let early = share(&log[..half]);
+    let late = share(&log[half..]);
+    assert!(
+        late <= early,
+        "network share should not grow as the cache warms: early {early:.3} late {late:.3}"
+    );
+}
+
+#[test]
+fn gateway_is_optional_direct_p2p_still_works() {
+    // §3.4: "gateways are entirely optional for the operation of the
+    // overall storage and retrieval network". Fetch an object directly
+    // from a provider, bypassing the gateway entirely.
+    let (mut net, ids) = test_network(300, &[VantagePoint::UsWest1, VantagePoint::EuCentral1], 304);
+    let [_gw, direct_user] = ids[..] else { unreachable!() };
+    let providers: Vec<_> = net
+        .server_ids()
+        .into_iter()
+        .filter(|&i| net.is_dialable(i))
+        .take(1)
+        .collect();
+    let data = integration_tests::payload(80_000, 1);
+    let cid = net.import_content(providers[0], &data);
+    net.publish(providers[0], cid.clone());
+    net.run_until_quiet();
+    net.retrieve(direct_user, cid.clone());
+    net.run_until_quiet();
+    assert!(net.retrieve_reports.last().unwrap().success);
+    assert_eq!(net.node_mut(direct_user).read_content(&cid).unwrap(), data);
+}
+
+#[test]
+fn pinned_content_survives_gateway_gc() {
+    let (mut net, gw, workload) = setup(305, 1);
+    // Run GC on the gateway node: pinned objects must survive.
+    let pinned_cids: Vec<_> = workload
+        .objects
+        .iter()
+        .filter(|o| o.pinned)
+        .map(|o| o.cid.clone())
+        .collect();
+    assert!(!pinned_cids.is_empty());
+    let node = net.node_mut(gw.node);
+    node.store.gc();
+    for cid in &pinned_cids {
+        assert!(
+            merkledag::BlockStore::has(&node.store, cid),
+            "pinned object lost in GC"
+        );
+    }
+}
+
+#[test]
+fn diurnal_request_times_preserved_in_log() {
+    let (mut net, mut gw, workload) = setup(306, 400);
+    let log = gw.serve_all(&mut net, &workload);
+    for (entry, req) in log.iter().zip(&workload.requests) {
+        assert_eq!(entry.user, req.user);
+        assert!(entry.at >= req.at);
+        assert!(entry.at < req.at + SimDuration::from_mins(15));
+    }
+}

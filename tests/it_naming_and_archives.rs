@@ -1,0 +1,168 @@
+//! Cross-crate integration: IPNS over the network, UnixFS sites travelling
+//! as archives, pinning services, and the gateway's `/ipns/` path — the
+//! mutable-content story of §3.3 plus the §3.1 pinning workaround, end to
+//! end through public APIs only.
+
+use bytes::Bytes;
+use integration_tests::{payload, test_network};
+use ipfs_core::ipns::{IpnsRecord, IPNS_VALIDITY};
+use ipfs_core::PinningService;
+use merkledag::unixfs::DirectoryBuilder;
+use merkledag::{car_export, car_import, DagBuilder};
+use simnet::latency::VantagePoint;
+
+#[test]
+fn ipns_name_tracks_updates_across_the_network() {
+    let (mut net, ids) = test_network(400, &[VantagePoint::EuCentral1, VantagePoint::UsWest1], 501);
+    let [resolver, publisher] = ids[..] else { unreachable!() };
+    let keypair = net.node(publisher).keypair().clone();
+    let name = keypair.peer_id();
+
+    let mut last_cid = None;
+    for seq in 1..=3u64 {
+        let data = payload(10_000 + seq as usize, seq);
+        let cid = net.import_content(publisher, &data);
+        net.publish(publisher, cid.clone());
+        net.run_until_quiet();
+        let record = IpnsRecord::sign(&keypair, cid.clone(), seq, net.now(), IPNS_VALIDITY);
+        net.publish_ipns(publisher, &record);
+        net.run_until_quiet();
+        assert!(net.ipns_publish_reports.last().unwrap().success);
+
+        net.resolve_ipns(resolver, &name);
+        net.run_until_quiet();
+        let res = net.ipns_resolve_reports.last().unwrap();
+        assert!(res.success, "resolution {seq}: {res:?}");
+        assert_eq!(res.record.as_ref().unwrap().value, cid, "name tracks v{seq}");
+        assert_eq!(res.record.as_ref().unwrap().sequence, seq);
+        last_cid = Some(cid);
+    }
+    // The final pointer is fetchable content.
+    let cid = last_cid.unwrap();
+    net.retrieve(resolver, cid.clone());
+    net.run_until_quiet();
+    assert!(net.retrieve_reports.last().unwrap().success);
+}
+
+#[test]
+fn ipns_records_survive_while_content_stays_fetchable() {
+    // Resolve-then-fetch composes: /ipns/<name> -> CID -> bytes.
+    let (mut net, ids) = test_network(350, &[VantagePoint::ApSoutheast2, VantagePoint::SaEast1], 502);
+    let [reader, publisher] = ids[..] else { unreachable!() };
+    let keypair = net.node(publisher).keypair().clone();
+    let data = payload(64 * 1024, 9);
+    let cid = net.import_content(publisher, &data);
+    net.publish(publisher, cid.clone());
+    net.run_until_quiet();
+    let record = IpnsRecord::sign(&keypair, cid, 1, net.now(), IPNS_VALIDITY);
+    net.publish_ipns(publisher, &record);
+    net.run_until_quiet();
+    net.disconnect_all(publisher);
+
+    net.resolve_ipns(reader, &keypair.peer_id());
+    net.run_until_quiet();
+    let resolved = net
+        .ipns_resolve_reports
+        .last()
+        .unwrap()
+        .record
+        .as_ref()
+        .unwrap()
+        .value
+        .clone();
+    net.retrieve(reader, resolved.clone());
+    net.run_until_quiet();
+    assert!(net.retrieve_reports.last().unwrap().success);
+    assert_eq!(net.node_mut(reader).read_content(&resolved).unwrap(), data);
+}
+
+#[test]
+fn unixfs_site_travels_as_one_archive_through_a_pinning_service() {
+    // A NAT'ed author builds a site (directory tree), exports one archive,
+    // uploads to a pinning service; a remote reader later fetches the root
+    // over the network and path-resolves into it.
+    let (mut net, ids) = test_network(400, &[VantagePoint::UsWest1, VantagePoint::EuCentral1], 503);
+    let [service_node, reader] = ids[..] else { unreachable!() };
+    let service = PinningService::new(service_node);
+
+    let author = (0..net.len())
+        .find(|&i| !net.is_dialable(i) && net.is_online(i))
+        .expect("NAT'ed author");
+    let page = Bytes::from_static(b"<html>pinned dweb page</html>");
+    let blob = payload(80_000, 3);
+    let site_root = {
+        let store = &mut net.node_mut(author).store;
+        let page_rep = DagBuilder::new(store).add(&page).unwrap();
+        let blob_rep = DagBuilder::new(store).add(&blob).unwrap();
+        let mut dir = DirectoryBuilder::new();
+        dir.add_entry("index.html", page_rep.root, page_rep.file_size).unwrap();
+        dir.add_entry("data.bin", blob_rep.root, blob_rep.file_size).unwrap();
+        dir.build(store)
+    };
+    let archive = {
+        let store = &mut net.node_mut(author).store;
+        car_export(store, std::slice::from_ref(&site_root)).unwrap()
+    };
+
+    let receipt = service.pin_archive(&mut net, &archive).unwrap();
+    assert_eq!(receipt.roots, vec![site_root.clone()]);
+    net.run_until_quiet();
+    net.disconnect_all(author);
+
+    net.retrieve(reader, site_root.clone());
+    net.run_until_quiet();
+    assert!(net.retrieve_reports.last().unwrap().success);
+    let store = &mut net.node_mut(reader).store;
+    assert_eq!(
+        merkledag::unixfs::read_path(store, &site_root, "index.html").unwrap(),
+        page
+    );
+    assert_eq!(
+        merkledag::unixfs::read_path(store, &site_root, "data.bin").unwrap(),
+        blob
+    );
+}
+
+#[test]
+fn archives_roundtrip_between_node_stores() {
+    // Offline transfer: export from one node's store, import into
+    // another's, content identical — no network at all (sneakernet).
+    let (mut net, ids) = test_network(200, &[VantagePoint::EuCentral1, VantagePoint::UsWest1], 504);
+    let [a, b] = ids[..] else { unreachable!() };
+    let data = payload(300_000, 4);
+    let root = net.import_content(a, &data);
+    let archive = {
+        let store = &mut net.node_mut(a).store;
+        car_export(store, std::slice::from_ref(&root)).unwrap()
+    };
+    let report = {
+        let store = &mut net.node_mut(b).store;
+        car_import(store, &archive).unwrap()
+    };
+    assert_eq!(report.roots, vec![root.clone()]);
+    assert_eq!(net.node_mut(b).read_content(&root).unwrap(), data);
+}
+
+#[test]
+fn stale_ipns_record_never_displaces_newer_one() {
+    // Even if the old record is re-pushed (replay), storing nodes keep the
+    // higher sequence (the validator of §3.3).
+    let (mut net, ids) = test_network(350, &[VantagePoint::EuCentral1, VantagePoint::UsWest1], 505);
+    let [resolver, publisher] = ids[..] else { unreachable!() };
+    let keypair = net.node(publisher).keypair().clone();
+    let v1 = IpnsRecord::sign(&keypair, multiformats::Cid::from_raw_data(b"v1"), 1, net.now(), IPNS_VALIDITY);
+    let v2 = IpnsRecord::sign(&keypair, multiformats::Cid::from_raw_data(b"v2"), 2, net.now(), IPNS_VALIDITY);
+    net.publish_ipns(publisher, &v1);
+    net.run_until_quiet();
+    net.publish_ipns(publisher, &v2);
+    net.run_until_quiet();
+    // Replay v1.
+    net.publish_ipns(publisher, &v1);
+    net.run_until_quiet();
+
+    net.resolve_ipns(resolver, &keypair.peer_id());
+    net.run_until_quiet();
+    let res = net.ipns_resolve_reports.last().unwrap();
+    assert!(res.success);
+    assert_eq!(res.record.as_ref().unwrap().sequence, 2, "replay must not win");
+}

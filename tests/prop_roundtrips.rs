@@ -1,0 +1,217 @@
+//! Property-based tests on cross-crate invariants: content addressing,
+//! chunking/DAG reassembly, record stores and the Bitswap exchange, under
+//! randomly generated inputs.
+
+use bitswap::{BitswapEngine, EngineOutput, Message};
+use bytes::Bytes;
+use merkledag::{
+    Chunker, ContentDefinedChunker, DagBuilder, DagLayout, FixedSizeChunker,
+    MemoryBlockStore, Resolver,
+};
+use multiformats::{Cid, Keypair, Multiaddr, Multibase, Multihash, PeerId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- multiformats ----------------
+
+    #[test]
+    fn multibase_roundtrip_all_bases(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        for base in Multibase::ALL {
+            let encoded = base.encode(&data);
+            let (detected, decoded) = multiformats::base::decode(&encoded).unwrap();
+            prop_assert_eq!(detected, base);
+            prop_assert_eq!(&decoded, &data);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip(v in 0u64..(1 << 63)) {
+        let enc = multiformats::varint::encode_vec(v);
+        let (dec, used) = multiformats::varint::decode(&enc).unwrap();
+        prop_assert_eq!(dec, v);
+        prop_assert_eq!(used, enc.len());
+        prop_assert_eq!(enc.len(), multiformats::varint::encoded_len(v));
+    }
+
+    #[test]
+    fn cid_string_and_binary_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let cid = Cid::from_raw_data(&data);
+        prop_assert_eq!(&Cid::parse(&cid.to_string()).unwrap(), &cid);
+        prop_assert_eq!(&Cid::from_bytes(&cid.to_bytes()).unwrap(), &cid);
+        // Self-certification: the multihash verifies exactly its own data.
+        prop_assert!(cid.hash().verify(&data));
+    }
+
+    #[test]
+    fn multihash_rejects_any_mutation(data in proptest::collection::vec(any::<u8>(), 1..64),
+                                      flip_byte in 0usize..64, flip_bit in 0u8..8) {
+        let mh = Multihash::sha2_256(&data);
+        let mut tampered = data.clone();
+        let idx = flip_byte % tampered.len();
+        tampered[idx] ^= 1 << flip_bit;
+        prop_assert!(!mh.verify(&tampered));
+    }
+
+    #[test]
+    fn multiaddr_text_binary_roundtrip(a in 0u8..=255, b in 0u8..=255, port in 1u16..65535, seed in 1u64..5000) {
+        let kp = Keypair::from_seed(seed);
+        let ma: Multiaddr = format!("/ip4/{a}.{b}.1.2/tcp/{port}/p2p/{}", kp.peer_id())
+            .parse()
+            .unwrap();
+        prop_assert_eq!(&Multiaddr::parse(&ma.to_string()).unwrap(), &ma);
+        prop_assert_eq!(&Multiaddr::from_bytes(&ma.to_bytes()).unwrap(), &ma);
+    }
+
+    #[test]
+    fn signatures_bind_key_and_message(seed_a in 1u64..10_000, seed_b in 1u64..10_000,
+                                       msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let a = Keypair::from_seed(seed_a);
+        let sig = a.sign(&msg);
+        prop_assert!(a.public().verify(&msg, &sig).is_ok());
+        if seed_a != seed_b {
+            let b = Keypair::from_seed(seed_b);
+            prop_assert!(b.public().verify(&msg, &sig).is_err());
+        }
+    }
+
+    // ---------------- merkledag ----------------
+
+    #[test]
+    fn any_file_any_chunker_reassembles(
+        len in 0usize..40_000,
+        seed in any::<u64>(),
+        chunk in 64usize..4096,
+        fanout in 2usize..16,
+    ) {
+        let data = integration_tests::payload(len, seed);
+        let mut store = MemoryBlockStore::new();
+        let chunker = FixedSizeChunker::new(chunk);
+        let root = DagBuilder::new(&mut store)
+            .with_layout(DagLayout { fanout })
+            .add_with_chunker(&data, &chunker)
+            .unwrap()
+            .root;
+        let out = Resolver::new(&mut store).read_file(&root).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn cdc_chunker_concatenates(len in 0usize..60_000, seed in any::<u64>()) {
+        let data = integration_tests::payload(len, seed);
+        let chunker = ContentDefinedChunker::new(256, 4096, 9);
+        let chunks = chunker.chunk(&data);
+        let glued: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        prop_assert_eq!(Bytes::from(glued), data);
+    }
+
+    #[test]
+    fn same_content_same_root_regardless_of_history(
+        len in 1usize..20_000,
+        seed in any::<u64>(),
+        noise in 1usize..5_000,
+    ) {
+        let data = integration_tests::payload(len, seed);
+        let chunker = FixedSizeChunker::new(1024);
+        let mut fresh = MemoryBlockStore::new();
+        let mut dirty = MemoryBlockStore::new();
+        DagBuilder::new(&mut dirty)
+            .add(&integration_tests::payload(noise, seed ^ 1))
+            .unwrap();
+        let a = DagBuilder::new(&mut fresh).add_with_chunker(&data, &chunker).unwrap().root;
+        let b = DagBuilder::new(&mut dirty).add_with_chunker(&data, &chunker).unwrap().root;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gc_never_breaks_pinned_content(len in 1usize..20_000, seed in any::<u64>()) {
+        let data = integration_tests::payload(len, seed);
+        let mut store = MemoryBlockStore::new();
+        let chunker = FixedSizeChunker::new(777);
+        let keep = DagBuilder::new(&mut store).add_with_chunker(&data, &chunker).unwrap().root;
+        DagBuilder::new(&mut store)
+            .add(&integration_tests::payload(1000, seed ^ 99))
+            .unwrap();
+        store.pin(keep.clone());
+        store.gc();
+        let out = Resolver::new(&mut store).read_file(&keep).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    // ---------------- bitswap ----------------
+
+    #[test]
+    fn bitswap_transfers_any_dag(len in 1usize..30_000, seed in any::<u64>()) {
+        let data = integration_tests::payload(len, seed);
+        let server_id = Keypair::from_seed(1).peer_id();
+        let client_id = Keypair::from_seed(2).peer_id();
+        let mut server_store = MemoryBlockStore::new();
+        let chunker = FixedSizeChunker::new(512);
+        let root = DagBuilder::new(&mut server_store)
+            .with_layout(DagLayout { fanout: 4 })
+            .add_with_chunker(&data, &chunker)
+            .unwrap()
+            .root;
+        let mut server = BitswapEngine::new();
+        let mut client = BitswapEngine::new();
+        let mut client_store = MemoryBlockStore::new();
+        let (_, init) = client.start_session(root.clone(), vec![server_id.clone()], &mut client_store);
+
+        let mut queue: Vec<(bool, Message)> = init
+            .into_iter()
+            .filter_map(|o| match o {
+                EngineOutput::Send { message, .. } => Some((true, message)),
+                _ => None,
+            })
+            .collect();
+        let mut complete = false;
+        let mut guard = 0;
+        while let Some((to_server, msg)) = queue.pop() {
+            guard += 1;
+            prop_assert!(guard < 50_000, "exchange must quiesce");
+            let outs = if to_server {
+                server.handle_inbound(&client_id, msg, &mut server_store)
+            } else {
+                client.handle_inbound(&server_id, msg, &mut client_store)
+            };
+            for o in outs {
+                match o {
+                    EngineOutput::Send { message, .. } => queue.push((!to_server, message)),
+                    EngineOutput::SessionComplete { .. } => complete = true,
+                    _ => {}
+                }
+            }
+        }
+        prop_assert!(complete);
+        let out = Resolver::new(&mut client_store).read_file(&root).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    // ---------------- kademlia ----------------
+
+    #[test]
+    fn closest_is_truly_closest(n in 25u64..200, target_seed in any::<u64>()) {
+        use kademlia::routing::{PeerInfo, RoutingTable};
+        use kademlia::Key;
+        let mut rt = RoutingTable::new(Key::from_peer(&Keypair::from_seed(0).peer_id()));
+        let mut inserted: Vec<PeerId> = Vec::new();
+        for s in 1..=n {
+            let info = PeerInfo { peer: Keypair::from_seed(s).peer_id(), addrs: vec![] };
+            if rt.insert(info.clone()) {
+                inserted.push(info.peer);
+            }
+        }
+        let target = Key::from_cid(&Cid::from_raw_data(&target_seed.to_be_bytes()));
+        let got = rt.closest(&target, 20);
+        // Compare against a brute-force sort of what the table holds.
+        let mut truth: Vec<_> = inserted
+            .iter()
+            .map(|p| (Key::from_peer(p).distance(&target), p.clone()))
+            .collect();
+        truth.sort_by_key(|a| a.0);
+        let want: Vec<PeerId> = truth.into_iter().take(got.len()).map(|(_, p)| p).collect();
+        let got_ids: Vec<PeerId> = got.into_iter().map(|i| i.peer).collect();
+        prop_assert_eq!(got_ids, want);
+    }
+}
