@@ -23,9 +23,7 @@ fn bench_sha256(c: &mut Criterion) {
 
 fn bench_cid(c: &mut Criterion) {
     let data = vec![0x55u8; 256 * 1024];
-    c.bench_function("cid/from_raw_256k", |b| {
-        b.iter(|| Cid::from_raw_data(black_box(&data)))
-    });
+    c.bench_function("cid/from_raw_256k", |b| b.iter(|| Cid::from_raw_data(black_box(&data))));
     let cid = Cid::from_raw_data(b"roundtrip");
     let s = cid.to_string();
     c.bench_function("cid/parse_base32", |b| b.iter(|| Cid::parse(black_box(&s)).unwrap()));
@@ -34,9 +32,7 @@ fn bench_cid(c: &mut Criterion) {
 fn bench_multiaddr(c: &mut Criterion) {
     let kp = Keypair::from_seed(1);
     let s = format!("/ip4/192.0.2.33/tcp/4001/p2p/{}", kp.peer_id());
-    c.bench_function("multiaddr/parse", |b| {
-        b.iter(|| Multiaddr::parse(black_box(&s)).unwrap())
-    });
+    c.bench_function("multiaddr/parse", |b| b.iter(|| Multiaddr::parse(black_box(&s)).unwrap()));
     let ma = Multiaddr::parse(&s).unwrap();
     c.bench_function("multiaddr/binary_roundtrip", |b| {
         b.iter(|| Multiaddr::from_bytes(black_box(&ma.to_bytes())).unwrap())
@@ -47,9 +43,7 @@ fn bench_dag_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("dag_build");
     for size in [512 * 1024usize, 4 * 1024 * 1024] {
         let data = Bytes::from(
-            (0..size)
-                .map(|i| (i as u64).wrapping_mul(0x9e3779b9) as u8)
-                .collect::<Vec<_>>(),
+            (0..size).map(|i| (i as u64).wrapping_mul(0x9e3779b9) as u8).collect::<Vec<_>>(),
         );
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
@@ -66,10 +60,7 @@ fn bench_dag_read(c: &mut Criterion) {
     let data = Bytes::from(vec![7u8; 1024 * 1024]);
     let mut store = MemoryBlockStore::new();
     let chunker = FixedSizeChunker::new(64 * 1024);
-    let root = DagBuilder::new(&mut store)
-        .add_with_chunker(&data, &chunker)
-        .unwrap()
-        .root;
+    let root = DagBuilder::new(&mut store).add_with_chunker(&data, &chunker).unwrap().root;
     c.bench_function("dag_read/verified_1MB", |b| {
         b.iter(|| Resolver::new(&mut store).read_file(black_box(&root)).unwrap())
     });

@@ -14,9 +14,7 @@ use simnet::{Population, PopulationConfig, SimDuration};
 use std::hint::black_box;
 
 fn infos(n: u64) -> Vec<PeerInfo> {
-    (1..=n)
-        .map(|s| PeerInfo { peer: Keypair::from_seed(s).peer_id(), addrs: vec![] })
-        .collect()
+    (1..=n).map(|s| PeerInfo { peer: Keypair::from_seed(s).peer_id(), addrs: vec![] }).collect()
 }
 
 fn bench_routing_table(c: &mut Criterion) {
@@ -45,34 +43,22 @@ fn bench_iterative_walk(c: &mut Criterion) {
     let mut group = c.benchmark_group("walk_converge");
     for n in [500u64, 2_000] {
         let peers = infos(n);
-        let keys: Vec<(Key, usize)> = peers
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (Key::from_peer(&p.peer), i))
-            .collect();
+        let keys: Vec<(Key, usize)> =
+            peers.iter().enumerate().map(|(i, p)| (Key::from_peer(&p.peer), i)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let target = Key::from_cid(&Cid::from_raw_data(b"walk"));
-                let mut q = IterativeQuery::new(
-                    target,
-                    QueryTarget::Closest,
-                    peers[..3].to_vec(),
-                );
+                let mut q = IterativeQuery::new(target, QueryTarget::Closest, peers[..3].to_vec());
                 loop {
                     match q.next_step() {
                         QueryStep::Done => break,
                         QueryStep::Wait => unreachable!(),
                         QueryStep::Query(info) => {
-                            let mut ranked: Vec<(kademlia::Distance, usize)> = keys
-                                .iter()
-                                .map(|(k, i)| (k.distance(&target), *i))
-                                .collect();
+                            let mut ranked: Vec<(kademlia::Distance, usize)> =
+                                keys.iter().map(|(k, i)| (k.distance(&target), *i)).collect();
                             ranked.sort_by_key(|a| a.0);
-                            let closer: Vec<PeerInfo> = ranked
-                                .iter()
-                                .take(20)
-                                .map(|(_, i)| peers[*i].clone())
-                                .collect();
+                            let closer: Vec<PeerInfo> =
+                                ranked.iter().take(20).map(|(_, i)| peers[*i].clone()).collect();
                             q.on_response(&info.peer, &closer, &[]);
                         }
                     }

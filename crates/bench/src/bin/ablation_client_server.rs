@@ -30,11 +30,14 @@ fn main() {
             ..Default::default()
         })
         .run();
-        let pub_totals: Vec<f64> =
-            r.publishes.iter().map(|(_, p)| p.total.as_secs_f64()).collect();
-        let ret_totals: Vec<f64> =
-            r.retrieves.iter().map(|(_, p)| p.total.as_secs_f64()).collect();
-        rows.push((split_disabled, Summary::of(&pub_totals), Summary::of(&ret_totals), r.retrieve_success_rate()));
+        let pub_totals: Vec<f64> = r.publishes.iter().map(|(_, p)| p.total.as_secs_f64()).collect();
+        let ret_totals: Vec<f64> = r.retrieves.iter().map(|(_, p)| p.total.as_secs_f64()).collect();
+        rows.push((
+            split_disabled,
+            Summary::of(&pub_totals),
+            Summary::of(&ret_totals),
+            r.retrieve_success_rate(),
+        ));
     }
 
     println!("mode               pub p50    pub p95    ret p50    ret p95    ret success");

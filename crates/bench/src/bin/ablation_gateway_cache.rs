@@ -21,12 +21,9 @@ fn main() {
     let base = GatewayConfig::default().nginx_capacity_bytes;
 
     let mut rows = Vec::new();
-    for (label, capacity) in [
-        ("off (1 kB)", 1_024u64),
-        ("x0.25", base / 4),
-        ("x1 (default)", base),
-        ("x4", base * 4),
-    ] {
+    for (label, capacity) in
+        [("off (1 kB)", 1_024u64), ("x0.25", base / 4), ("x1 (default)", base), ("x4", base * 4)]
+    {
         let pop = Population::generate(
             PopulationConfig {
                 size: cfg.population.min(1_500),
@@ -57,25 +54,15 @@ fn main() {
             gw_node,
             GatewayConfig { nginx_capacity_bytes: capacity, ..Default::default() },
         );
-        let providers: Vec<NodeId> = net
-            .server_ids()
-            .into_iter()
-            .filter(|&i| net.is_dialable(i))
-            .take(40)
-            .collect();
+        let providers: Vec<NodeId> =
+            net.server_ids().into_iter().filter(|&i| net.is_dialable(i)).take(40).collect();
         gw.install_catalog(&mut net, &workload, &providers);
         let log = gw.serve_all(&mut net, &workload);
 
         let lats: Vec<f64> = log.iter().map(|e| e.latency.as_secs_f64()).collect();
-        let nginx_share = log
-            .iter()
-            .filter(|e| e.served_by == ServedBy::NginxCache)
-            .count() as f64
+        let nginx_share = log.iter().filter(|e| e.served_by == ServedBy::NginxCache).count() as f64
             / log.len() as f64;
-        let network_share = log
-            .iter()
-            .filter(|e| e.served_by == ServedBy::Network)
-            .count() as f64
+        let network_share = log.iter().filter(|e| e.served_by == ServedBy::Network).count() as f64
             / log.len() as f64;
         rows.push(vec![
             label.to_string(),

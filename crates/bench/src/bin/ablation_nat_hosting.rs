@@ -93,10 +93,7 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(
-            &["mode", "NAT-hosted content retrievable", "retrieval p50"],
-            &rows
-        )
+        markdown_table(&["mode", "NAT-hosted content retrievable", "retrieval p50"], &rows)
     );
     println!(
         "(the paper's workaround is pinning services; DCUtR instead makes the 45.5 % of \

@@ -24,8 +24,7 @@ fn main() {
             ..Default::default()
         })
         .run();
-        let totals: Vec<f64> =
-            r.retrieves.iter().map(|(_, rep)| rep.total.as_secs_f64()).collect();
+        let totals: Vec<f64> = r.retrieves.iter().map(|(_, rep)| rep.total.as_secs_f64()).collect();
         results.push((parallel, Summary::of(&totals), r.retrieve_success_rate()));
     }
 

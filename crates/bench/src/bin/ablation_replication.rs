@@ -54,12 +54,9 @@ fn main() {
             net.run_until_quiet();
             cids.push(cid);
         }
-        let publish_rpcs: f64 = net
-            .publish_reports
-            .iter()
-            .map(|r| r.records_stored as f64)
-            .sum::<f64>()
-            / net.publish_reports.len() as f64;
+        let publish_rpcs: f64 =
+            net.publish_reports.iter().map(|r| r.records_stored as f64).sum::<f64>()
+                / net.publish_reports.len() as f64;
 
         let mut row = vec![k.to_string(), format!("{publish_rpcs:.1}")];
         for &h in &wait_hours {
@@ -93,10 +90,7 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(
-            &["k", "records stored", "found @4h", "found @8h", "found @16h"],
-            &rows
-        )
+        markdown_table(&["k", "records stored", "found @4h", "found @8h", "found @16h"], &rows)
     );
     println!(
         "(expected shape: small k loses records as holders churn offline; k=20 holds ~100 % \

@@ -15,11 +15,7 @@ fn main() {
     let rounds = cfg.crawl_rounds;
     let horizon = SimDuration::from_mins(30) * (rounds as u64 + 2);
     let pop = Population::generate(
-        PopulationConfig {
-            size: cfg.crawl_population,
-            horizon,
-            ..Default::default()
-        },
+        PopulationConfig { size: cfg.crawl_population, horizon, ..Default::default() },
         seed_from_env(),
     );
     let mut net = IpfsNetwork::from_population(

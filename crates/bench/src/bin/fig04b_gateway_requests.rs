@@ -69,7 +69,8 @@ fn main() {
     for hour in 0..24 {
         let g: u64 = gateway_tz.counts[hour * 12..(hour + 1) * 12].iter().sum();
         let u: u64 = user_tz.counts[hour * 12..(hour + 1) * 12].iter().sum();
-        let bar = "#".repeat((g * 40 / gateway_tz.counts.iter().sum::<u64>().max(1) / 2).max(1) as usize);
+        let bar =
+            "#".repeat((g * 40 / gateway_tz.counts.iter().sum::<u64>().max(1) / 2).max(1) as usize);
         println!("{hour:02}:00      {g:>8}  {u:>8}  {bar}");
     }
     let total: u64 = gateway_tz.counts.iter().sum();

@@ -52,10 +52,7 @@ fn main() {
             vec![c.code().to_string(), n.to_string(), format!("{share:.1}"), paper_share]
         })
         .collect();
-    println!(
-        "{}",
-        markdown_table(&["Country", "PeerIDs", "Share %", "Paper %"], &table)
-    );
+    println!("{}", markdown_table(&["Country", "PeerIDs", "Share %", "Paper %"], &table));
 
     let multihomed = pop.peers.iter().filter(|p| p.secondary_host.is_some()).count();
     println!(

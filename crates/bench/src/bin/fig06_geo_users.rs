@@ -57,10 +57,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        markdown_table(&["Country", "Requests %", "Users %", "Paper %"], &table)
-    );
+    println!("{}", markdown_table(&["Country", "Requests %", "Users %", "Paper %"], &table));
     println!(
         "{} users, {} requests, {} unique CIDs in catalog (paper: 101 k users, 7.1 M requests, 274 k CIDs)",
         workload.user_countries.len(),

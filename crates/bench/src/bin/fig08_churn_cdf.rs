@@ -26,20 +26,10 @@ fn main() {
     // Only sessions starting in the first half of the window (the paper's
     // long-session bias handling, §5.3).
     let counted: Vec<_> = observations.iter().filter(|o| o.in_first_half).collect();
-    println!(
-        "{} session observations counted (paper: 467,134 at full scale)\n",
-        counted.len()
-    );
+    println!("{} session observations counted (paper: 467,134 at full scale)\n", counted.len());
 
-    let regions = [
-        Country::HK,
-        Country::DE,
-        Country::US,
-        Country::CN,
-        Country::FR,
-        Country::TW,
-        Country::KR,
-    ];
+    let regions =
+        [Country::HK, Country::DE, Country::US, Country::CN, Country::FR, Country::TW, Country::KR];
     let mut rows = Vec::new();
     for c in regions {
         let ups: Vec<f64> = counted
@@ -67,10 +57,7 @@ fn main() {
         )
     );
 
-    let all: Vec<f64> = counted
-        .iter()
-        .map(|o| o.observed_uptime.as_secs_f64() / 60.0)
-        .collect();
+    let all: Vec<f64> = counted.iter().map(|o| o.observed_uptime.as_secs_f64() / 60.0).collect();
     println!(
         "all regions: {:.1} % of sessions < 8 h (paper: 87.6 %), {:.1} % > 24 h (paper: 2.5 %)",
         100.0 * fraction_below(&all, 8.0 * 60.0),

@@ -103,8 +103,8 @@ fn main() {
         "publication: DHT walk covers {:.1} % of the total on average (paper: 87.9 %)",
         100.0 * walk_share
     );
-    let rpc_under_2s = pub_rpc.iter().filter(|&&x| x < 2.0).count() as f64
-        / pub_rpc.len().max(1) as f64;
+    let rpc_under_2s =
+        pub_rpc.iter().filter(|&&x| x < 2.0).count() as f64 / pub_rpc.len().max(1) as f64;
     let rpc_over_5s =
         pub_rpc.iter().filter(|&&x| x > 5.0).count() as f64 / pub_rpc.len().max(1) as f64;
     let rpc_over_20s =
@@ -119,10 +119,7 @@ fn main() {
         "retrieval success rate: {:.1} % (paper: 100 %)",
         100.0 * results.retrieve_success_rate()
     );
-    let fetch_under = ret_fetch.iter().filter(|&&x| x < 1.26).count() as f64
-        / ret_fetch.len().max(1) as f64;
-    println!(
-        "content exchange under 1.26 s: {:.1} % (paper: >99 %)",
-        100.0 * fetch_under
-    );
+    let fetch_under =
+        ret_fetch.iter().filter(|&&x| x < 1.26).count() as f64 / ret_fetch.len().max(1) as f64;
+    println!("content exchange under 1.26 s: {:.1} % (paper: >99 %)", 100.0 * fetch_under);
 }

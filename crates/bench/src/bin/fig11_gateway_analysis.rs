@@ -28,8 +28,12 @@ fn main() {
         },
         seed,
     );
-    let mut net =
-        IpfsNetwork::from_population(&pop, &[VantagePoint::UsWest1], NetworkConfig::default(), seed);
+    let mut net = IpfsNetwork::from_population(
+        &pop,
+        &[VantagePoint::UsWest1],
+        NetworkConfig::default(),
+        seed,
+    );
     let gw_node = net.vantage_ids(1)[0];
     let workload = GatewayWorkload::generate(WorkloadConfig {
         catalog_size: cfg.gateway_catalog,
@@ -39,12 +43,8 @@ fn main() {
         ..Default::default()
     });
     let mut gw = Gateway::new(gw_node, GatewayConfig::default());
-    let providers: Vec<NodeId> = net
-        .server_ids()
-        .into_iter()
-        .filter(|&i| net.is_dialable(i))
-        .take(50)
-        .collect();
+    let providers: Vec<NodeId> =
+        net.server_ids().into_iter().filter(|&i| net.is_dialable(i)).take(50).collect();
     gw.install_catalog(&mut net, &workload, &providers);
     let log = gw.serve_all(&mut net, &workload);
 
@@ -53,10 +53,7 @@ fn main() {
     let zero = latencies.iter().filter(|&&l| l == 0.0).count() as f64 / latencies.len() as f64;
     println!("--- Fig 11a: upstream response latency ---");
     println!("zero-latency (nginx hits): {:.1} % (paper: 46 %)", 100.0 * zero);
-    println!(
-        "served < 250 ms: {:.1} % (paper: 76 %)",
-        100.0 * fraction_below(&latencies, 0.25)
-    );
+    println!("served < 250 ms: {:.1} % (paper: 76 %)", 100.0 * fraction_below(&latencies, 0.25));
     for (v, q) in cdf_points(&latencies, 10) {
         println!("  p{:>4.0}: {:>8.3} s", q * 100.0, v);
     }
@@ -73,19 +70,14 @@ fn main() {
     println!("total downloaded: {total_tb:.3} TB (paper: 6.57 TB at full scale)");
 
     // Latency/size correlation (paper: 0.13 — size-agnostic delays).
-    println!(
-        "\nPearson(latency, size) = {:.3} (paper: 0.13)",
-        pearson(&latencies, &sizes)
-    );
+    println!("\nPearson(latency, size) = {:.3} (paper: 0.13)", pearson(&latencies, &sizes));
 
     // --- Figure 11b: cached vs non-cached traffic per 30-min bin ---
     println!("\n--- Fig 11b: cached vs non-cached requests per 30-min bin ---");
     let day = SimDuration::from_hours(24);
     let bin = SimDuration::from_mins(30);
-    let cached =
-        RequestBins::build(&log, day, bin, |e| e.served_by != ServedBy::Network);
-    let noncached =
-        RequestBins::build(&log, day, bin, |e| e.served_by == ServedBy::Network);
+    let cached = RequestBins::build(&log, day, bin, |e| e.served_by != ServedBy::Network);
+    let noncached = RequestBins::build(&log, day, bin, |e| e.served_by == ServedBy::Network);
     let mut min_rate: f64 = 1.0;
     let mut max_rate: f64 = 0.0;
     for i in 0..cached.counts.len() {

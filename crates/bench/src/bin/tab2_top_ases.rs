@@ -33,10 +33,8 @@ fn main() {
         }
     }
     let total_ips: usize = ips_per_as.values().map(|(_, s)| s.len()).sum();
-    let mut rows: Vec<(u32, u32, usize)> = ips_per_as
-        .into_iter()
-        .map(|(asn, (rank, ips))| (asn, rank, ips.len()))
-        .collect();
+    let mut rows: Vec<(u32, u32, usize)> =
+        ips_per_as.into_iter().map(|(asn, (rank, ips))| (asn, rank, ips.len())).collect();
     rows.sort_by_key(|(_, _, n)| std::cmp::Reverse(*n));
 
     // Emit ASes until cumulative share exceeds 50 % (the paper's cut).
@@ -45,11 +43,8 @@ fn main() {
     for (asn, rank, n) in &rows {
         let share = 100.0 * *n as f64 / total_ips as f64;
         cum += share;
-        let name = NAMED_ASES
-            .iter()
-            .find(|a| a.asn == *asn)
-            .map(|a| a.name)
-            .unwrap_or("synthetic AS");
+        let name =
+            NAMED_ASES.iter().find(|a| a.asn == *asn).map(|a| a.name).unwrap_or("synthetic AS");
         let paper = match asn {
             4134 => "18.9 %",
             4837 => "12.8 %",
@@ -69,10 +64,7 @@ fn main() {
             break;
         }
     }
-    println!(
-        "{}",
-        markdown_table(&["Share", "ASN", "Rank", "AS Name", "Paper share"], &table)
-    );
+    println!("{}", markdown_table(&["Share", "ASN", "Rank", "AS Name", "Paper share"], &table));
     println!(
         "{} ASes cover {cum:.1} % of {total_ips} IPs (paper: 5 ASes cover >50 % of 464 k IPs)",
         table.len()

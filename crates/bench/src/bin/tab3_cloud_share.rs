@@ -49,10 +49,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        markdown_table(
-            &["Rank", "Provider", "IP Addresses", "Share", "Paper share"],
-            &table
-        )
+        markdown_table(&["Rank", "Provider", "IP Addresses", "Share", "Paper share"], &table)
     );
     println!(
         "Non-Cloud: {:.2} % (paper: 97.71 %); cloud total: {:.2} % (paper: 2.29 %)",

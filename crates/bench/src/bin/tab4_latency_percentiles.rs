@@ -82,10 +82,8 @@ fn main() {
         )
     );
 
-    let all_pub: Vec<f64> =
-        results.publishes.iter().map(|(_, r)| r.total.as_secs_f64()).collect();
-    let all_ret: Vec<f64> =
-        results.retrieves.iter().map(|(_, r)| r.total.as_secs_f64()).collect();
+    let all_pub: Vec<f64> = results.publishes.iter().map(|(_, r)| r.total.as_secs_f64()).collect();
+    let all_ret: Vec<f64> = results.retrieves.iter().map(|(_, r)| r.total.as_secs_f64()).collect();
     println!(
         "all regions: publication p50/p90/p95 = {:.1}/{:.1}/{:.1} s (paper 33.8/112.3/138.1); \
 retrieval = {:.2}/{:.2}/{:.2} s (paper 2.90/4.34/4.74)",

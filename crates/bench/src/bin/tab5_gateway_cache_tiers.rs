@@ -29,8 +29,12 @@ fn main() {
         },
         seed,
     );
-    let mut net =
-        IpfsNetwork::from_population(&pop, &[VantagePoint::UsWest1], NetworkConfig::default(), seed);
+    let mut net = IpfsNetwork::from_population(
+        &pop,
+        &[VantagePoint::UsWest1],
+        NetworkConfig::default(),
+        seed,
+    );
     let gw_node = net.vantage_ids(1)[0];
     let workload = GatewayWorkload::generate(WorkloadConfig {
         catalog_size: cfg.gateway_catalog,
@@ -40,12 +44,8 @@ fn main() {
         ..Default::default()
     });
     let mut gw = Gateway::new(gw_node, GatewayConfig::default());
-    let providers: Vec<NodeId> = net
-        .server_ids()
-        .into_iter()
-        .filter(|&i| net.is_dialable(i))
-        .take(50)
-        .collect();
+    let providers: Vec<NodeId> =
+        net.server_ids().into_iter().filter(|&i| net.is_dialable(i)).take(50).collect();
     gw.install_catalog(&mut net, &workload, &providers);
     let log = gw.serve_all(&mut net, &workload);
 
@@ -72,15 +72,18 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Tier", "Latency (median)", "Traffic served", "Requests served", "Paper (lat/traffic/req)"],
+            &[
+                "Tier",
+                "Latency (median)",
+                "Traffic served",
+                "Requests served",
+                "Paper (lat/traffic/req)"
+            ],
             &rows
         )
     );
-    let combined = log
-        .iter()
-        .filter(|e| e.served_by != ServedBy::Network)
-        .count() as f64
-        / total_requests;
+    let combined =
+        log.iter().filter(|e| e.served_by != ServedBy::Network).count() as f64 / total_requests;
     println!(
         "combined cache tiers serve {:.1} % of requests (paper: >80 %); nginx lifetime hit rate {:.1} %",
         100.0 * combined,

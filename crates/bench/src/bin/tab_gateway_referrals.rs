@@ -15,9 +15,9 @@ use std::collections::HashMap;
 /// IS 20.0 %, CA 12.7 %, rest long tail). Deterministic per site index.
 fn site_country(site: u16) -> &'static str {
     match site % 20 {
-        0..=8 => "US",  // 9/20 = 45 %
-        9..=12 => "IS", // 4/20 = 20 %
-        13..=15 => "CA",// 3/20 = 15 %
+        0..=8 => "US",   // 9/20 = 45 %
+        9..=12 => "IS",  // 4/20 = 20 %
+        13..=15 => "CA", // 3/20 = 15 %
         16 => "DE",
         17 => "GB",
         18 => "NL",
@@ -37,11 +37,7 @@ fn main() {
     });
 
     let n = workload.requests.len() as f64;
-    let direct = workload
-        .requests
-        .iter()
-        .filter(|r| r.referrer == Referrer::Direct)
-        .count() as f64;
+    let direct = workload.requests.iter().filter(|r| r.referrer == Referrer::Direct).count() as f64;
     let semi: Vec<u16> = workload
         .requests
         .iter()
@@ -50,11 +46,8 @@ fn main() {
             _ => None,
         })
         .collect();
-    let other = workload
-        .requests
-        .iter()
-        .filter(|r| r.referrer == Referrer::OtherSite)
-        .count() as f64;
+    let other =
+        workload.requests.iter().filter(|r| r.referrer == Referrer::OtherSite).count() as f64;
     let referred = semi.len() as f64 + other;
 
     println!(
@@ -85,16 +78,15 @@ fn main() {
                 .find(|(code, _)| code == c)
                 .map(|(_, v)| format!("{v:.1} %"))
                 .unwrap_or_else(|| "—".into());
-            vec![
-                c.to_string(),
-                format!("{:.1} %", 100.0 * *cnt as f64 / total as f64),
-                p,
-            ]
+            vec![c.to_string(), format!("{:.1} %", 100.0 * *cnt as f64 / total as f64), p]
         })
         .collect();
     println!(
         "\n{}",
-        markdown_table(&["Parent-site country", "Share of semi-popular referrals", "Paper"], &table)
+        markdown_table(
+            &["Parent-site country", "Share of semi-popular referrals", "Paper"],
+            &table
+        )
     );
     println!("(manual inspection in the paper found these to be video-streaming and NFT sites)");
 }

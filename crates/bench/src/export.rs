@@ -55,12 +55,62 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> Option<P
 }
 
 /// Convenience: exports a series of (x, y) points.
-pub fn write_series_csv(name: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> Option<PathBuf> {
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|(x, y)| vec![format!("{x}"), format!("{y}")])
-        .collect();
+pub fn write_series_csv(
+    name: &str,
+    x_label: &str,
+    y_label: &str,
+    points: &[(f64, f64)],
+) -> Option<PathBuf> {
+    let rows: Vec<Vec<String>> =
+        points.iter().map(|(x, y)| vec![format!("{x}"), format!("{y}")]).collect();
     write_csv(name, &[x_label, y_label], &rows)
+}
+
+/// Writes `<name>.json` into the export directory, if configured. `json`
+/// must already be serialized (e.g. [`ipfs_core::MetricsRegistry::to_json`]
+/// or [`ipfs_core::OpTrace::to_json`]). Same error policy as
+/// [`write_csv`]: IO failures are reported, never fatal.
+pub fn write_json(name: &str, json: &str) -> Option<PathBuf> {
+    let dir = csv_dir()?;
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("json export: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("json export: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Renders a human-readable report of a metrics registry: every counter,
+/// then a [`crate::stats::Summary`] row per histogram.
+pub fn metrics_report(metrics: &ipfs_core::MetricsRegistry) -> String {
+    let mut out = String::from("== counters ==\n");
+    for (name, value) in metrics.counters() {
+        out.push_str(&format!("{name:<40} {value}\n"));
+    }
+    out.push_str("== histograms ==\n");
+    for (name, samples) in metrics.histograms() {
+        let s = crate::stats::Summary::of(samples);
+        out.push_str(&format!(
+            "{name:<40} n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3}\n",
+            s.n, s.mean, s.p50, s.p90, s.p99
+        ));
+    }
+    out
+}
+
+/// Exports a metrics registry as both `<name>.json` and `<name>.csv`
+/// (counter rows), if exporting is configured.
+pub fn write_metrics(name: &str, metrics: &ipfs_core::MetricsRegistry) -> Option<PathBuf> {
+    let rows: Vec<Vec<String>> =
+        metrics.to_csv_rows().into_iter().map(|(k, v)| vec![k, v.to_string()]).collect();
+    write_csv(name, &["metric", "value"], &rows);
+    write_json(name, &metrics.to_json())
 }
 
 #[cfg(test)]
@@ -80,6 +130,20 @@ mod tests {
         assert_eq!(lines[0], "region,value");
         assert_eq!(lines[1], "eu_central_1,1.81");
         assert_eq!(lines[2], "\"with,comma\",\"with\"\"quote\"");
+    }
+
+    #[test]
+    fn metrics_report_lists_counters_and_summaries() {
+        let mut m = ipfs_core::MetricsRegistry::new();
+        m.add("dials_ok", 7);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.observe("dht_walk_rpcs", v);
+        }
+        let report = metrics_report(&m);
+        assert!(report.contains("dials_ok"));
+        assert!(report.contains('7'));
+        assert!(report.contains("dht_walk_rpcs"));
+        assert!(report.contains("n=4"));
     }
 
     #[test]

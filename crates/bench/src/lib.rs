@@ -35,6 +35,6 @@ pub mod export;
 pub mod runner;
 pub mod stats;
 
-pub use export::{to_csv, write_csv};
+pub use export::{metrics_report, to_csv, write_csv, write_json, write_metrics};
 pub use runner::{Scale, ScaleConfig};
 pub use stats::{cdf_points, pearson, percentile, Summary};

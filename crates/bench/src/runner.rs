@@ -82,10 +82,7 @@ impl ScaleConfig {
 
 /// Master seed for experiments (override with `IPFS_REPRO_SEED`).
 pub fn seed_from_env() -> u64 {
-    env::var("IPFS_REPRO_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2022)
+    env::var("IPFS_REPRO_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2022)
 }
 
 /// Prints the standard experiment banner.

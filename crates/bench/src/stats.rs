@@ -82,11 +82,7 @@ impl Summary {
     /// Computes the summary of `samples`.
     pub fn of(samples: &[f64]) -> Summary {
         let n = samples.len();
-        let mean = if n == 0 {
-            f64::NAN
-        } else {
-            samples.iter().sum::<f64>() / n as f64
-        };
+        let mean = if n == 0 { f64::NAN } else { samples.iter().sum::<f64>() / n as f64 };
         Summary {
             n,
             mean,
@@ -127,7 +123,12 @@ pub fn ascii_series(title: &str, points: &[(f64, f64)], width: usize) -> String 
     let max_x = points.iter().map(|(x, _)| *x).fold(f64::MIN, f64::max);
     for (x, y) in points {
         let bar = ((x / max_x) * width as f64).round() as usize;
-        out.push_str(&format!("  {:>7.3} | {:>5.1}% {}\n", x, y * 100.0, "#".repeat(bar.min(width))));
+        out.push_str(&format!(
+            "  {:>7.3} | {:>5.1}% {}\n",
+            x,
+            y * 100.0,
+            "#".repeat(bar.min(width))
+        ));
     }
     out
 }

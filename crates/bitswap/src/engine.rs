@@ -54,10 +54,7 @@ pub enum EngineOutput {
 #[derive(Debug, Clone)]
 enum WantState {
     /// WANT-HAVE broadcast; waiting on answers from these peers.
-    Probing {
-        pending: HashSet<PeerId>,
-        havers: Vec<PeerId>,
-    },
+    Probing { pending: HashSet<PeerId>, havers: Vec<PeerId> },
     /// WANT-BLOCK sent to this peer.
     Fetching { from: PeerId, fallback: Vec<PeerId> },
     /// All session peers answered DONT-HAVE.
@@ -93,6 +90,56 @@ pub struct SessionState {
     pub complete: bool,
 }
 
+/// Per-message-type counters kept by the engine, one direction each
+/// (§3.2's WANT-HAVE / HAVE / DONT-HAVE / WANT-BLOCK / BLOCK exchange,
+/// plus CANCEL).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageCounts {
+    /// WANT-HAVE messages.
+    pub want_have: u64,
+    /// HAVE messages.
+    pub have: u64,
+    /// DONT-HAVE messages.
+    pub dont_have: u64,
+    /// WANT-BLOCK messages.
+    pub want_block: u64,
+    /// BLOCK messages.
+    pub block: u64,
+    /// CANCEL messages.
+    pub cancel: u64,
+}
+
+impl MessageCounts {
+    /// Bumps the counter matching `message`'s type.
+    pub fn bump(&mut self, message: &Message) {
+        match message {
+            Message::WantHave(_) => self.want_have += 1,
+            Message::Have(_) => self.have += 1,
+            Message::DontHave(_) => self.dont_have += 1,
+            Message::WantBlock(_) => self.want_block += 1,
+            Message::Block { .. } => self.block += 1,
+            Message::Cancel(_) => self.cancel += 1,
+        }
+    }
+
+    /// `(label, count)` pairs for export into a metrics registry.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 6] {
+        [
+            ("WANT_HAVE", self.want_have),
+            ("HAVE", self.have),
+            ("DONT_HAVE", self.dont_have),
+            ("WANT_BLOCK", self.want_block),
+            ("BLOCK", self.block),
+            ("CANCEL", self.cancel),
+        ]
+    }
+
+    /// Total messages counted.
+    pub fn total(&self) -> u64 {
+        self.want_have + self.have + self.dont_have + self.want_block + self.block + self.cancel
+    }
+}
+
 /// The per-node Bitswap engine (client sessions + server side + ledgers).
 #[derive(Debug, Clone, Default)]
 pub struct BitswapEngine {
@@ -100,6 +147,10 @@ pub struct BitswapEngine {
     next_session: u64,
     /// Exchange ledgers (public for inspection by stats code).
     pub ledger: Ledger,
+    /// Messages this engine has emitted, by type.
+    pub counts_sent: MessageCounts,
+    /// Messages this engine has consumed, by type.
+    pub counts_received: MessageCounts,
 }
 
 impl BitswapEngine {
@@ -157,6 +208,7 @@ impl BitswapEngine {
                         pending: HashSet::from([peer.clone()]),
                         havers: Vec::new(),
                     };
+                    self.counts_sent.bump(&Message::WantHave(cid.clone()));
                     out.push(EngineOutput::Send {
                         to: peer.clone(),
                         message: Message::WantHave(cid.clone()),
@@ -164,6 +216,7 @@ impl BitswapEngine {
                 }
                 WantState::Probing { pending, .. } => {
                     pending.insert(peer.clone());
+                    self.counts_sent.bump(&Message::WantHave(cid.clone()));
                     out.push(EngineOutput::Send {
                         to: peer.clone(),
                         message: Message::WantHave(cid.clone()),
@@ -194,6 +247,7 @@ impl BitswapEngine {
                 match state {
                     WantState::Probing { pending, .. } => {
                         for p in pending {
+                            self.counts_sent.bump(&Message::Cancel(cid.clone()));
                             out.push(EngineOutput::Send {
                                 to: p,
                                 message: Message::Cancel(cid.clone()),
@@ -201,6 +255,7 @@ impl BitswapEngine {
                         }
                     }
                     WantState::Fetching { from, .. } => {
+                        self.counts_sent.bump(&Message::Cancel(cid.clone()));
                         out.push(EngineOutput::Send { to: from, message: Message::Cancel(cid) });
                     }
                     WantState::Stalled => {}
@@ -218,16 +273,17 @@ impl BitswapEngine {
         message: Message,
         store: &mut S,
     ) -> Vec<EngineOutput> {
-        self.ledger
-            .record_received(from, message.wire_size(), matches!(message, Message::Block { .. }));
+        self.ledger.record_received(
+            from,
+            message.wire_size(),
+            matches!(message, Message::Block { .. }),
+        );
+        self.counts_received.bump(&message);
         match message {
             // ---- server side ----
             Message::WantHave(cid) => {
-                let reply = if store.has(&cid) {
-                    Message::Have(cid)
-                } else {
-                    Message::DontHave(cid)
-                };
+                let reply =
+                    if store.has(&cid) { Message::Have(cid) } else { Message::DontHave(cid) };
                 self.send(from.clone(), reply)
             }
             Message::WantBlock(cid) => match store.get(&cid) {
@@ -244,8 +300,8 @@ impl BitswapEngine {
     }
 
     fn send(&mut self, to: PeerId, message: Message) -> Vec<EngineOutput> {
-        self.ledger
-            .record_sent(&to, message.wire_size(), matches!(message, Message::Block { .. }));
+        self.ledger.record_sent(&to, message.wire_size(), matches!(message, Message::Block { .. }));
+        self.counts_sent.bump(&message);
         vec![EngineOutput::Send { to, message }]
     }
 
@@ -292,18 +348,14 @@ impl BitswapEngine {
                         (session.live[0].clone(), session.live[1..].to_vec())
                     };
                     sends.push((p.clone(), Message::WantBlock(cid.clone())));
-                    session
-                        .wants
-                        .insert(cid, WantState::Fetching { from: p, fallback });
+                    session.wants.insert(cid, WantState::Fetching { from: p, fallback });
                     continue;
                 }
                 let pending: HashSet<PeerId> = session.peers.iter().cloned().collect();
                 for p in &session.peers {
                     sends.push((p.clone(), Message::WantHave(cid.clone())));
                 }
-                session
-                    .wants
-                    .insert(cid, WantState::Probing { pending, havers: Vec::new() });
+                session.wants.insert(cid, WantState::Probing { pending, havers: Vec::new() });
             }
         }
         for (to, msg) in sends {
@@ -477,10 +529,10 @@ mod tests {
         let mut complete = false;
         let mut stored = Vec::new();
         let absorb = |outs: Vec<EngineOutput>,
-                          sender: &PeerId,
-                          queue: &mut VecDeque<(PeerId, PeerId, Message)>,
-                          complete: &mut bool,
-                          stored: &mut dyn FnMut(Cid)| {
+                      sender: &PeerId,
+                      queue: &mut VecDeque<(PeerId, PeerId, Message)>,
+                      complete: &mut bool,
+                      stored: &mut dyn FnMut(Cid)| {
             for o in outs {
                 match o {
                     EngineOutput::Send { to, message } => {
@@ -561,10 +613,13 @@ mod tests {
         let mut store = MemoryBlockStore::new();
         let missing = Cid::from_raw_data(b"nobody has this");
         let me = peer(1);
-        let (handle, init) = client.start_session(missing.clone(), vec![peer(10), peer(11)], &mut store);
+        let (handle, init) =
+            client.start_session(missing.clone(), vec![peer(10), peer(11)], &mut store);
         // Two empty servers.
-        let mut servers = [(peer(10), BitswapEngine::new(), MemoryBlockStore::new()),
-            (peer(11), BitswapEngine::new(), MemoryBlockStore::new())];
+        let mut servers = [
+            (peer(10), BitswapEngine::new(), MemoryBlockStore::new()),
+            (peer(11), BitswapEngine::new(), MemoryBlockStore::new()),
+        ];
         let mut queue: VecDeque<(PeerId, PeerId, Message)> = VecDeque::new();
         for o in init {
             if let EngineOutput::Send { to, message } = o {
@@ -576,7 +631,9 @@ mod tests {
             if to == me {
                 for o in client.handle_inbound(&from, msg, &mut store) {
                     match o {
-                        EngineOutput::Send { to, message } => queue.push_back((me.clone(), to, message)),
+                        EngineOutput::Send { to, message } => {
+                            queue.push_back((me.clone(), to, message))
+                        }
                         EngineOutput::WantFailed { session, cid } => failed = Some((session, cid)),
                         _ => {}
                     }
@@ -606,16 +663,11 @@ mod tests {
         let mut store = MemoryBlockStore::new();
         let me = peer(1);
         let (handle, init) = client.start_session(root.clone(), vec![], &mut store);
-        assert!(init
-            .iter()
-            .any(|o| matches!(o, EngineOutput::WantFailed { .. })));
+        assert!(init.iter().any(|o| matches!(o, EngineOutput::WantFailed { .. })));
         let follow = client.add_session_peer(handle, peer(20), &mut store);
         let (complete, _) = run_exchange(&mut client, &mut store, &mut servers, follow, &me);
         assert!(complete);
-        assert_eq!(
-            merkledag::Resolver::new(&mut store).read_file(&root).unwrap(),
-            data
-        );
+        assert_eq!(merkledag::Resolver::new(&mut store).read_file(&root).unwrap(), data);
     }
 
     #[test]
@@ -691,7 +743,7 @@ mod tests {
         let mut store = MemoryBlockStore::new();
         let (_, init) = client.start_session(cid.clone(), vec![peer(10), peer(11)], &mut store);
         assert_eq!(init.len(), 2); // two WANT-HAVEs
-        // Both reply HAVE; the first (peer 10) gets the WANT-BLOCK.
+                                   // Both reply HAVE; the first (peer 10) gets the WANT-BLOCK.
         let o1 = client.handle_inbound(&peer(10), Message::Have(cid.clone()), &mut store);
         assert_eq!(
             o1,
@@ -706,11 +758,8 @@ mod tests {
             vec![EngineOutput::Send { to: peer(11), message: Message::WantBlock(cid.clone()) }]
         );
         // Peer 11 delivers.
-        let o4 = client.handle_inbound(
-            &peer(11),
-            Message::Block { cid: cid.clone(), data },
-            &mut store,
-        );
+        let o4 =
+            client.handle_inbound(&peer(11), Message::Block { cid: cid.clone(), data }, &mut store);
         assert!(o4.iter().any(|o| matches!(o, EngineOutput::SessionComplete { .. })));
         assert!(store.has(&cid));
     }

@@ -26,7 +26,7 @@ pub mod engine;
 pub mod ledger;
 pub mod message;
 
-pub use engine::{BitswapEngine, EngineOutput, SessionHandle, SessionState};
+pub use engine::{BitswapEngine, EngineOutput, MessageCounts, SessionHandle, SessionState};
 pub use ledger::Ledger;
 pub use message::Message;
 

@@ -141,8 +141,7 @@ impl Crawler {
         // Duration under the concurrency cost model.
         let total_work = self.cfg.per_peer_visit.as_nanos() * visits
             + self.cfg.per_peer_timeout.as_nanos() * timeouts;
-        let duration =
-            SimDuration::from_nanos(total_work / self.cfg.concurrency.max(1) as u64);
+        let duration = SimDuration::from_nanos(total_work / self.cfg.concurrency.max(1) as u64);
 
         CrawlSnapshot { started_at, duration, peers, dialable, undialable }
     }
@@ -219,11 +218,7 @@ mod tests {
         // (they all sit in each other's buckets); servers that have never
         // been online are invisible, exactly like unseen peers in the
         // paper's crawls.
-        let online_now = net
-            .server_ids()
-            .into_iter()
-            .filter(|&id| net.is_dialable(id))
-            .count();
+        let online_now = net.server_ids().into_iter().filter(|&id| net.is_dialable(id)).count();
         let snap = crawler.crawl(&net, &pop);
         assert!(
             snap.peers.len() as f64 > online_now as f64 * 0.9,

@@ -16,6 +16,7 @@
 //! measurement window are counted, so long sessions are not truncated
 //! away disproportionately.
 
+use ipfs_core::MetricsRegistry;
 use simnet::geodb::Country;
 use simnet::{Population, SimDuration, SimTime};
 
@@ -90,6 +91,19 @@ impl ChurnMonitor {
     /// peers advertise addresses but are never dialable — the paper's
     /// "always unreachable" third).
     pub fn run(&self, pop: &Population) -> (Vec<SessionObservation>, Vec<UptimeSummary>) {
+        let mut metrics = MetricsRegistry::new();
+        self.run_with_metrics(pop, &mut metrics)
+    }
+
+    /// Like [`ChurnMonitor::run`], but also accounts the probing effort in
+    /// `metrics`: `monitor_probes` / `monitor_probes_up` counters,
+    /// `monitor_sessions_observed`, and a `monitor_observed_uptime_secs`
+    /// histogram over first-half session lengths (the Figure 8 population).
+    pub fn run_with_metrics(
+        &self,
+        pop: &Population,
+        metrics: &mut MetricsRegistry,
+    ) -> (Vec<SessionObservation>, Vec<UptimeSummary>) {
         let mut observations = Vec::new();
         let mut summaries = Vec::with_capacity(pop.peers.len());
         let end = SimTime::ZERO + self.cfg.window;
@@ -143,6 +157,8 @@ impl ChurnMonitor {
             }
             // A session still open at window end is censored: following the
             // paper's method we do not emit it as a (truncated) observation.
+            metrics.add("monitor_probes", probes);
+            metrics.add("monitor_probes_up", up_probes);
 
             summaries.push(UptimeSummary {
                 peer: peer.index,
@@ -154,6 +170,10 @@ impl ChurnMonitor {
                 },
                 never_reachable: up_probes == 0,
             });
+        }
+        metrics.add("monitor_sessions_observed", observations.len() as u64);
+        for o in observations.iter().filter(|o| o.in_first_half) {
+            metrics.observe("monitor_observed_uptime_secs", o.observed_uptime.as_secs_f64());
         }
         (observations, summaries)
     }
@@ -176,6 +196,19 @@ mod tests {
     }
 
     #[test]
+    fn metrics_account_probe_effort() {
+        let pop = population(500);
+        let mut metrics = ipfs_core::MetricsRegistry::new();
+        let (obs, _) =
+            ChurnMonitor::new(MonitorConfig::default()).run_with_metrics(&pop, &mut metrics);
+        assert!(metrics.get("monitor_probes") > 0);
+        assert!(metrics.get("monitor_probes_up") <= metrics.get("monitor_probes"));
+        assert_eq!(metrics.get("monitor_sessions_observed"), obs.len() as u64);
+        let first_half = obs.iter().filter(|o| o.in_first_half).count();
+        assert_eq!(metrics.samples("monitor_observed_uptime_secs").len(), first_half);
+    }
+
+    #[test]
     fn nat_peers_never_reachable() {
         let pop = population(2000);
         let (_, summaries) = ChurnMonitor::new(MonitorConfig::default()).run(&pop);
@@ -185,8 +218,8 @@ mod tests {
                 assert_eq!(s.reachable_fraction, 0.0);
             }
         }
-        let never = summaries.iter().filter(|s| s.never_reachable).count() as f64
-            / summaries.len() as f64;
+        let never =
+            summaries.iter().filter(|s| s.never_reachable).count() as f64 / summaries.len() as f64;
         // NAT share (45.5 %) plus servers that never come online in-window.
         assert!(never > 0.4, "never-reachable share {never}");
     }
@@ -198,18 +231,12 @@ mod tests {
         let reliable: Vec<_> = pop
             .peers
             .iter()
-            .filter(|p| {
-                p.stability == simnet::churn::StabilityClass::Reliable && !p.nat
-            })
+            .filter(|p| p.stability == simnet::churn::StabilityClass::Reliable && !p.nat)
             .collect();
         assert!(!reliable.is_empty());
         for p in reliable {
             let s = summaries.iter().find(|s| s.peer == p.index).unwrap();
-            assert!(
-                s.reachable_fraction > 0.9,
-                "reliable peer at {}",
-                s.reachable_fraction
-            );
+            assert!(s.reachable_fraction > 0.9, "reliable peer at {}", s.reachable_fraction);
         }
     }
 
@@ -229,10 +256,7 @@ mod tests {
         assert_eq!(obs.len(), 1);
         let measured = obs[0].observed_uptime.as_secs_f64();
         let truth = 2.0 * 3600.0;
-        assert!(
-            (measured - truth).abs() < 16.0 * 60.0,
-            "measured {measured}s vs true {truth}s"
-        );
+        assert!((measured - truth).abs() < 16.0 * 60.0, "measured {measured}s vs true {truth}s");
         assert!(obs[0].in_first_half);
     }
 
@@ -277,9 +301,6 @@ mod tests {
         };
         let hk = med(Country::HK);
         let de = med(Country::DE);
-        assert!(
-            hk < de,
-            "HK median ({hk}s) must undercut DE ({de}s), per Figure 8"
-        );
+        assert!(hk < de, "HK median ({hk}s) must undercut DE ({de}s), per Figure 8");
     }
 }

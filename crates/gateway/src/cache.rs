@@ -1,19 +1,27 @@
 //! The "nginx" web cache: byte-bounded LRU over whole objects.
 
 use multiformats::Cid;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A byte-capacity-bounded LRU cache mapping CIDs to object sizes.
 ///
 /// The gateway caches whole HTTP responses; for the simulation the payload
 /// itself is irrelevant — only sizes (for capacity/traffic accounting) and
 /// presence matter.
+///
+/// Recency is tracked twice: `entries` maps CID → (size, stamp) for O(1)
+/// lookups, and `by_stamp` orders the same entries by last-use stamp so the
+/// LRU victim is the first key — eviction is O(log n) per victim instead of
+/// a full O(n) scan. Stamps come from a monotonic clock, so they are unique
+/// and the two maps stay in bijection.
 #[derive(Debug, Clone)]
 pub struct LruWebCache {
     capacity_bytes: u64,
     used_bytes: u64,
     /// CID -> (size, last-use stamp).
     entries: HashMap<Cid, (u64, u64)>,
+    /// Last-use stamp -> CID; `first_key_value` is the LRU entry.
+    by_stamp: BTreeMap<u64, Cid>,
     clock: u64,
     /// Lifetime hits.
     pub hits: u64,
@@ -31,6 +39,7 @@ impl LruWebCache {
             capacity_bytes,
             used_bytes: 0,
             entries: HashMap::new(),
+            by_stamp: BTreeMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -43,7 +52,9 @@ impl LruWebCache {
         self.clock += 1;
         match self.entries.get_mut(cid) {
             Some((size, stamp)) => {
+                self.by_stamp.remove(stamp);
                 *stamp = self.clock;
+                self.by_stamp.insert(self.clock, cid.clone());
                 self.hits += 1;
                 Some(*size)
             }
@@ -62,25 +73,25 @@ impl LruWebCache {
             return;
         }
         self.clock += 1;
-        if let Some((old, _)) = self.entries.insert(cid.clone(), (size, self.clock)) {
+        if let Some((old, old_stamp)) = self.entries.insert(cid.clone(), (size, self.clock)) {
             self.used_bytes -= old;
+            self.by_stamp.remove(&old_stamp);
         }
+        self.by_stamp.insert(self.clock, cid.clone());
         self.used_bytes += size;
         while self.used_bytes > self.capacity_bytes {
-            let lru = self
-                .entries
-                .iter()
-                .filter(|(c, _)| **c != cid)
-                .min_by_key(|(_, (_, stamp))| *stamp)
-                .map(|(c, _)| c.clone());
-            match lru {
-                Some(victim) => {
-                    if let Some((sz, _)) = self.entries.remove(&victim) {
-                        self.used_bytes -= sz;
-                        self.evictions += 1;
-                    }
-                }
-                None => break,
+            // The LRU entry is the smallest stamp; the entry just inserted
+            // holds the newest stamp, so it can only surface here when it is
+            // the last entry left — never evict it.
+            let Some((&stamp, victim)) = self.by_stamp.first_key_value() else { break };
+            if *victim == cid {
+                break;
+            }
+            let victim = victim.clone();
+            self.by_stamp.remove(&stamp);
+            if let Some((sz, _)) = self.entries.remove(&victim) {
+                self.used_bytes -= sz;
+                self.evictions += 1;
             }
         }
     }
@@ -202,11 +213,8 @@ mod tests {
                 self.used += size;
                 while self.used > self.cap {
                     // Evict LRU, but never the entry just inserted.
-                    let evict_pos = self
-                        .order
-                        .iter()
-                        .position(|(i, _)| *i != id)
-                        .expect("something evictable");
+                    let evict_pos =
+                        self.order.iter().position(|(i, _)| *i != id).expect("something evictable");
                     let (_, sz) = self.order.remove(evict_pos);
                     self.used -= sz;
                 }
@@ -227,8 +235,27 @@ mod tests {
                 }
                 prop_assert_eq!(real.used_bytes(), model.used, "byte accounting");
                 prop_assert_eq!(real.len(), model.order.len(), "entry count");
+                prop_assert_eq!(real.by_stamp.len(), real.entries.len(), "stamp index in sync");
             }
         });
+    }
+
+    #[test]
+    fn stamp_index_eviction_preserves_counters() {
+        // Regression for the O(log n) eviction rewrite: the stamp-index
+        // path must report the exact hit/miss/eviction counts the original
+        // full-scan eviction produced for the same access pattern.
+        let mut c = LruWebCache::new(300);
+        c.put(cid(1), 100);
+        c.put(cid(2), 100);
+        c.put(cid(3), 100);
+        c.get(&cid(1)); // hit: 1 is now MRU, 2 is LRU
+        c.get(&cid(9)); // miss
+        c.put(cid(4), 150); // evicts 2 then 3
+        assert_eq!((c.hits, c.misses, c.evictions), (1, 1, 2));
+        assert!(c.contains(&cid(1)) && c.contains(&cid(4)));
+        assert!(!c.contains(&cid(2)) && !c.contains(&cid(3)));
+        assert_eq!(c.by_stamp.len(), c.entries.len());
     }
 
     #[test]

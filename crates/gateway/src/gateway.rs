@@ -9,7 +9,7 @@ use crate::cache::LruWebCache;
 use crate::log::AccessLogEntry;
 use crate::workload::{CatalogObject, GatewayRequest, GatewayWorkload};
 use bytes::Bytes;
-use ipfs_core::{IpfsNetwork, NodeId};
+use ipfs_core::{IpfsNetwork, MetricsRegistry, NodeId};
 use merkledag::BlockStore;
 use multiformats::Cid;
 use simnet::SimDuration;
@@ -69,6 +69,9 @@ pub struct Gateway {
     pub node: NodeId,
     /// The nginx tier.
     pub nginx: LruWebCache,
+    /// Tier-level request counters (`gateway_nginx_hits`,
+    /// `gateway_node_store_hits`, `gateway_network_fetches`, …).
+    pub metrics: MetricsRegistry,
     /// CIDs pinned into the gateway's node store.
     pinned: HashSet<Cid>,
     cfg: GatewayConfig,
@@ -78,7 +81,13 @@ impl Gateway {
     /// Creates a gateway bridged through `node` (an always-online DHT
     /// server in `net`, e.g. a vantage node).
     pub fn new(node: NodeId, cfg: GatewayConfig) -> Gateway {
-        Gateway { node, nginx: LruWebCache::new(cfg.nginx_capacity_bytes), pinned: HashSet::new(), cfg }
+        Gateway {
+            node,
+            nginx: LruWebCache::new(cfg.nginx_capacity_bytes),
+            metrics: MetricsRegistry::new(),
+            pinned: HashSet::new(),
+            cfg,
+        }
     }
 
     /// Installs the workload's catalog: pinned objects go into the
@@ -126,23 +135,28 @@ impl Gateway {
             net.run_until(request.at);
         }
         let (latency, served_by, success) = if self.nginx.get(&obj.cid).is_some() {
+            self.metrics.incr("gateway_nginx_hits");
             (SimDuration::ZERO, ServedBy::NginxCache, true)
         } else if self.pinned.contains(&obj.cid) {
+            self.metrics.incr("gateway_nginx_misses");
+            self.metrics.incr("gateway_node_store_hits");
             self.nginx.put(obj.cid.clone(), obj.size);
             (self.cfg.node_store_latency, ServedBy::NodeStore, true)
         } else if net.node_mut(self.node).store.has(&obj.cid) {
             // Previously fetched and still in the bridge node's store.
+            self.metrics.incr("gateway_nginx_misses");
+            self.metrics.incr("gateway_node_store_hits");
             self.nginx.put(obj.cid.clone(), obj.size);
             (self.cfg.node_store_latency, ServedBy::NodeStore, true)
         } else {
+            self.metrics.incr("gateway_nginx_misses");
+            self.metrics.incr("gateway_network_fetches");
             // Full P2P retrieval through the bridge node (§3.2 pipeline).
             let before = net.retrieve_reports.len();
             net.retrieve(self.node, obj.cid.clone());
             net.run_until_quiet();
-            let report = net.retrieve_reports[before..]
-                .last()
-                .expect("retrieval produces a report")
-                .clone();
+            let report =
+                net.retrieve_reports[before..].last().expect("retrieval produces a report").clone();
             net.retrieve_reports.truncate(before);
             // Serialization of the *accounted* size at the edge bandwidth
             // (the stub payload under-counts transfer time; the paper
@@ -153,9 +167,12 @@ impl Gateway {
             let latency = report.total + ser;
             if report.success {
                 self.nginx.put(obj.cid.clone(), obj.size);
+            } else {
+                self.metrics.incr("gateway_network_failures");
             }
             (latency, ServedBy::Network, report.success)
         };
+        self.metrics.set("gateway_nginx_evictions", self.nginx.evictions);
         AccessLogEntry {
             at: request.at.max(net.now().min(request.at + SimDuration::from_secs(600))),
             user: request.user,
@@ -188,20 +205,27 @@ impl Gateway {
         // Serve the CID through the tiers (sizes are unknown for direct
         // IPNS fetches; use the store's view after retrieval).
         let (latency, tier) = if self.nginx.get(&cid).is_some() {
+            self.metrics.incr("gateway_nginx_hits");
             (simnet::SimDuration::ZERO, ServedBy::NginxCache)
         } else if self.pinned.contains(&cid) || net.node_mut(self.node).store.has(&cid) {
+            self.metrics.incr("gateway_nginx_misses");
+            self.metrics.incr("gateway_node_store_hits");
             (self.cfg.node_store_latency, ServedBy::NodeStore)
         } else {
+            self.metrics.incr("gateway_nginx_misses");
+            self.metrics.incr("gateway_network_fetches");
             let before = net.retrieve_reports.len();
             net.retrieve(self.node, cid.clone());
             net.run_until_quiet();
             let report = net.retrieve_reports[before..].last()?.clone();
             net.retrieve_reports.truncate(before);
             if !report.success {
+                self.metrics.incr("gateway_network_failures");
                 return None;
             }
             (report.total, ServedBy::Network)
         };
+        self.metrics.set("gateway_nginx_evictions", self.nginx.evictions);
         Some((cid, resolution.total + latency, tier))
     }
 
@@ -211,11 +235,7 @@ impl Gateway {
         net: &mut IpfsNetwork,
         workload: &GatewayWorkload,
     ) -> Vec<AccessLogEntry> {
-        workload
-            .requests
-            .iter()
-            .map(|r| self.serve(net, workload, r))
-            .collect()
+        workload.requests.iter().map(|r| self.serve(net, workload, r)).collect()
     }
 }
 
@@ -227,10 +247,7 @@ mod tests {
     use simnet::latency::VantagePoint;
     use simnet::{Population, PopulationConfig};
 
-    fn setup(
-        requests: usize,
-        catalog: usize,
-    ) -> (IpfsNetwork, Gateway, GatewayWorkload) {
+    fn setup(requests: usize, catalog: usize) -> (IpfsNetwork, Gateway, GatewayWorkload) {
         let pop = Population::generate(
             PopulationConfig {
                 size: 300,
@@ -255,12 +272,8 @@ mod tests {
         });
         let mut gw = Gateway::new(gw_node, GatewayConfig::default());
         // Providers: stable dialable population peers.
-        let providers: Vec<NodeId> = net
-            .server_ids()
-            .into_iter()
-            .filter(|&i| net.is_dialable(i))
-            .take(20)
-            .collect();
+        let providers: Vec<NodeId> =
+            net.server_ids().into_iter().filter(|&i| net.is_dialable(i)).take(20).collect();
         gw.install_catalog(&mut net, &workload, &providers);
         (net, gw, workload)
     }
@@ -277,6 +290,12 @@ mod tests {
         assert!(node > 0, "pinned objects must hit the node store");
         assert!(network > 0, "unpinned cold objects must hit the network");
         assert_eq!(nginx + node + network, 300);
+        // The metrics registry must agree with the access log exactly.
+        assert_eq!(gw.metrics.get("gateway_nginx_hits"), nginx as u64);
+        assert_eq!(gw.metrics.get("gateway_node_store_hits"), node as u64);
+        assert_eq!(gw.metrics.get("gateway_network_fetches"), network as u64);
+        assert_eq!(gw.metrics.get("gateway_nginx_misses"), (node + network) as u64);
+        assert_eq!(gw.metrics.get("gateway_nginx_evictions"), gw.nginx.evictions);
     }
 
     #[test]
@@ -323,11 +342,8 @@ mod tests {
         use ipfs_core::ipns::{IpnsRecord, IPNS_VALIDITY};
         let (mut net, mut gw, _) = setup(307, 1);
         // A publisher (population server) puts up content + an IPNS name.
-        let publisher = net
-            .server_ids()
-            .into_iter()
-            .find(|&i| net.is_dialable(i) && i != gw.node)
-            .unwrap();
+        let publisher =
+            net.server_ids().into_iter().find(|&i| net.is_dialable(i) && i != gw.node).unwrap();
         let data = bytes::Bytes::from(vec![0x77u8; 30_000]);
         let cid = net.node_mut(publisher).add_content(&data).root;
         net.publish(publisher, cid.clone());

@@ -73,8 +73,7 @@ impl RequestBins {
         let n = (duration.as_nanos() / width.as_nanos()).max(1) as usize;
         let mut counts = vec![0u64; n];
         for e in entries {
-            let shifted = e.at.as_nanos() as i128
-                + (offset_hours(e) * 3.6e12) as i128;
+            let shifted = e.at.as_nanos() as i128 + (offset_hours(e) * 3.6e12) as i128;
             let wrapped = shifted.rem_euclid(duration.as_nanos() as i128) as u64;
             let idx = (wrapped / width.as_nanos()) as usize;
             if idx < n {

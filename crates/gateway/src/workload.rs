@@ -159,9 +159,8 @@ impl GatewayWorkload {
         let mut objects = Vec::with_capacity(config.catalog_size);
         for i in 0..config.catalog_size {
             let payload = CatalogObject::stub_payload(i);
-            let size = (config.median_object_bytes
-                * lognormal(&mut rng, 0.0, config.size_sigma))
-            .clamp(200.0, 16.0 * 1024.0 * 1024.0 * 1024.0) as u64;
+            let size = (config.median_object_bytes * lognormal(&mut rng, 0.0, config.size_sigma))
+                .clamp(200.0, 16.0 * 1024.0 * 1024.0 * 1024.0) as u64;
             objects.push(CatalogObject {
                 cid: Cid::from_raw_data(&payload),
                 size,
@@ -185,8 +184,7 @@ impl GatewayWorkload {
             let user = sample_cdf(&mut rng, &user_cdf);
             let country = user_countries[user];
             let t = rng.random_range(0.0..day_secs);
-            let local_hour =
-                ((t / 3600.0) + utc_offset_hours(country)).rem_euclid(24.0);
+            let local_hour = ((t / 3600.0) + utc_offset_hours(country)).rem_euclid(24.0);
             if rng.random_range(0.0..1.65) > diurnal_weight(local_hour) {
                 continue;
             }
@@ -281,12 +279,8 @@ mod tests {
         let mut sizes: Vec<u64> = w.objects.iter().map(|o| o.size).collect();
         sizes.sort_unstable();
         let median = sizes[sizes.len() / 2] as f64;
-        assert!(
-            (median - 664_590.0).abs() / 664_590.0 < 0.15,
-            "median size {median}"
-        );
-        let over_100k =
-            sizes.iter().filter(|&&s| s > 100_000).count() as f64 / sizes.len() as f64;
+        assert!((median - 664_590.0).abs() / 664_590.0 < 0.15, "median size {median}");
+        let over_100k = sizes.iter().filter(|&&s| s > 100_000).count() as f64 / sizes.len() as f64;
         assert!((over_100k - 0.791).abs() < 0.06, "share >100kB: {over_100k}");
     }
 
@@ -298,11 +292,7 @@ mod tests {
             requests: 100,
             ..Default::default()
         });
-        let us = w
-            .user_countries
-            .iter()
-            .filter(|c| **c == Country::US)
-            .count() as f64
+        let us = w.user_countries.iter().filter(|c| **c == Country::US).count() as f64
             / w.user_countries.len() as f64;
         assert!((us - 0.504).abs() < 0.02, "US user share {us}");
     }

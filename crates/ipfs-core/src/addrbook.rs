@@ -36,11 +36,8 @@ impl AddressBook {
         self.clock += 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&peer) {
             // Evict the least recently used entry.
-            if let Some(oldest) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (stamp, _))| *stamp)
-                .map(|(p, _)| p.clone())
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(p, _)| p.clone())
             {
                 self.entries.remove(&oldest);
             }

@@ -104,10 +104,8 @@ impl DhtPerfExperiment {
         let cfg = &self.cfg;
         // Horizon: generous upper bound on total virtual time, so churn
         // schedules cover the whole run.
-        let est_secs = (cfg.iterations_per_region as u64)
-            .saturating_mul(6)
-            .saturating_mul(200)
-            .max(3600 * 6);
+        let est_secs =
+            (cfg.iterations_per_region as u64).saturating_mul(6).saturating_mul(200).max(3600 * 6);
         let pop = Population::generate(
             PopulationConfig {
                 size: cfg.population,
@@ -117,8 +115,7 @@ impl DhtPerfExperiment {
             },
             cfg.seed,
         );
-        let mut net =
-            IpfsNetwork::from_population(&pop, &VantagePoint::ALL, cfg.network, cfg.seed);
+        let mut net = IpfsNetwork::from_population(&pop, &VantagePoint::ALL, cfg.network, cfg.seed);
         let vantage_ids = net.vantage_ids(VantagePoint::ALL.len());
         let mut results = DhtPerfResults::default();
 
@@ -219,20 +216,8 @@ mod tests {
             v.sort_by(f64::total_cmp);
             v[v.len() / 2]
         };
-        let pub_med = med(
-            results
-                .publishes
-                .iter()
-                .map(|(_, r)| r.total.as_secs_f64())
-                .collect(),
-        );
-        let ret_med = med(
-            results
-                .retrieves
-                .iter()
-                .map(|(_, r)| r.total.as_secs_f64())
-                .collect(),
-        );
+        let pub_med = med(results.publishes.iter().map(|(_, r)| r.total.as_secs_f64()).collect());
+        let ret_med = med(results.retrieves.iter().map(|(_, r)| r.total.as_secs_f64()).collect());
         assert!(
             pub_med > ret_med,
             "publish median {pub_med:.2}s should exceed retrieve median {ret_med:.2}s"

@@ -75,9 +75,7 @@ impl IpnsRecord {
             return Err(IpnsError::KeyMismatch);
         }
         let payload = Self::payload(&self.value, self.sequence, self.validity);
-        self.public_key
-            .verify(&payload, &self.signature)
-            .map_err(|_| IpnsError::BadSignature)?;
+        self.public_key.verify(&payload, &self.signature).map_err(|_| IpnsError::BadSignature)?;
         if now.since(self.created_at) >= self.validity {
             return Err(IpnsError::Expired);
         }
@@ -114,9 +112,8 @@ impl IpnsRecord {
         if s.len() < name_len {
             return None;
         }
-        let name = PeerId::from_multihash(
-            multiformats::Multihash::from_bytes(&s[..name_len]).ok()?,
-        );
+        let name =
+            PeerId::from_multihash(multiformats::Multihash::from_bytes(&s[..name_len]).ok()?);
         s = &s[name_len..];
         if s.len() < 32 {
             return None;

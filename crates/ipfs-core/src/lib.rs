@@ -29,6 +29,8 @@
 //!   behalf of NAT'ed users (§3.1).
 //! - [`experiment`] — the six-vantage-point DHT performance experiment of
 //!   §4.3 (Table 1, Table 4, Figures 9–10).
+//! - [`obs`] — observability: the metrics registry and per-operation
+//!   trace layer threaded through the simulation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,6 +42,7 @@ pub mod experiment;
 pub mod ipns;
 pub mod netsim;
 pub mod node;
+pub mod obs;
 pub mod ops;
 pub mod pinning;
 
@@ -50,5 +53,8 @@ pub use experiment::{DhtPerfConfig, DhtPerfExperiment, DhtPerfResults};
 pub use ipns::{IpnsRecord, IpnsStore};
 pub use netsim::{IpfsNetwork, NetworkConfig, NodeId};
 pub use node::IpfsNode;
-pub use pinning::{PinReceipt, PinningService};
+pub use obs::{
+    DialClass, MetricsRegistry, OpTrace, TraceConfig, TraceEvent, TraceEventKind, Tracer,
+};
 pub use ops::{OpId, PublishReport, RetrieveReport};
+pub use pinning::{PinReceipt, PinningService};

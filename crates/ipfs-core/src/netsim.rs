@@ -12,20 +12,21 @@
 //! structure to what would run on a real transport.
 
 use crate::config::{NodeConfig, TimeoutModel};
-use crate::node::IpfsNode;
-use merkledag::BlockStore;
 use crate::ipns::IpnsRecord;
+use crate::node::IpfsNode;
+use crate::obs::{DialClass, MetricsRegistry, OpTrace, TraceConfig, TraceEventKind, Tracer};
 use crate::ops::{
     IpnsPublishReport, IpnsResolveReport, OpId, PublishPhase, PublishReport, RetrievePhase,
     RetrieveReport,
 };
 use bitswap::{EngineOutput, Message, SessionHandle};
 use bytes::Bytes;
-use kademlia::behaviour::{DhtMode, DhtOutput, QueryId};
+use kademlia::behaviour::{DhtMode, DhtOutput, QueryId, QueryStats};
 use kademlia::query::{QueryOutcome, QueryTarget};
 use kademlia::routing::PeerInfo;
 use kademlia::rpc::{Request, Response};
 use kademlia::Key;
+use merkledag::BlockStore;
 use multiformats::{Cid, Keypair, Multiaddr, PeerId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -84,6 +85,14 @@ pub struct NetworkConfig {
     /// this (go-libp2p's connection manager; its pruning is one reason
     /// publish batches re-dial, §6.1).
     pub max_connections: usize,
+    /// Idle-connection expiry: a warm connection unused for longer than
+    /// this is torn down before reuse (go-libp2p's connection manager
+    /// closes idle connections once past its grace period). Without it,
+    /// any node that ever fetched from a provider keeps a warm path to it
+    /// forever, letting the opportunistic Bitswap probe short-circuit
+    /// retrievals that the paper's pipeline (§3.2) would resolve through
+    /// the DHT.
+    pub conn_idle_timeout: SimDuration,
     /// Future work the paper flags in §3.1: Direct Connection Upgrade
     /// through Relay (DCUtR) hole punching. When enabled, dials to
     /// NAT'ed-but-online peers succeed with
@@ -123,6 +132,7 @@ impl Default for NetworkConfig {
             fetch_timeout: SimDuration::from_secs(120),
             stale_dial_prob: 0.045,
             max_connections: 900,
+            conn_idle_timeout: SimDuration::from_secs(120),
             enable_dcutr: false,
             dcutr_success_rate: 0.7,
             hydra_heads: 0,
@@ -138,8 +148,9 @@ struct SimNode {
     bandwidth: BandwidthClass,
     online: bool,
     is_server: bool,
-    /// Warm connections with a last-use stamp (connection-manager LRU).
-    connections: HashMap<NodeId, u64>,
+    /// Warm connections: logical LRU stamp (deterministic tie-break for
+    /// pruning) plus last-use time (idle expiry).
+    connections: HashMap<NodeId, (u64, SimTime)>,
 }
 
 /// Events flowing through the simulation.
@@ -184,6 +195,9 @@ enum OpState {
         t_walk_end: Option<SimTime>,
         phase: PublishPhase,
         silent: bool,
+        /// Final stats of the Closest walk (filled at QueryDone).
+        walk_rpcs: u64,
+        walk_failures: u64,
     },
     Retrieve {
         node: NodeId,
@@ -229,6 +243,54 @@ enum Action {
     Nothing,
 }
 
+/// Counter name for an outbound DHT RPC of the given type.
+fn request_sent_metric(request: &Request) -> &'static str {
+    match request {
+        Request::FindNode { .. } => "dht_rpc_sent_find_node",
+        Request::GetProviders { .. } => "dht_rpc_sent_get_providers",
+        Request::AddProvider { .. } => "dht_rpc_sent_add_provider",
+        Request::PutPeerRecord { .. } => "dht_rpc_sent_put_peer_record",
+        Request::PutValue { .. } => "dht_rpc_sent_put_value",
+        Request::GetValue { .. } => "dht_rpc_sent_get_value",
+    }
+}
+
+/// Counter name for an inbound DHT RPC of the given type.
+fn request_recv_metric(request: &Request) -> &'static str {
+    match request {
+        Request::FindNode { .. } => "dht_rpc_recv_find_node",
+        Request::GetProviders { .. } => "dht_rpc_recv_get_providers",
+        Request::AddProvider { .. } => "dht_rpc_recv_add_provider",
+        Request::PutPeerRecord { .. } => "dht_rpc_recv_put_peer_record",
+        Request::PutValue { .. } => "dht_rpc_recv_put_value",
+        Request::GetValue { .. } => "dht_rpc_recv_get_value",
+    }
+}
+
+/// Counter name for an outbound Bitswap message of the given type.
+fn bitswap_sent_metric(message: &Message) -> &'static str {
+    match message {
+        Message::WantHave(_) => "bitswap_sent_want_have",
+        Message::Have(_) => "bitswap_sent_have",
+        Message::DontHave(_) => "bitswap_sent_dont_have",
+        Message::WantBlock(_) => "bitswap_sent_want_block",
+        Message::Block { .. } => "bitswap_sent_block",
+        Message::Cancel(_) => "bitswap_sent_cancel",
+    }
+}
+
+/// Counter name for a delivered Bitswap message of the given type.
+fn bitswap_recv_metric(message: &Message) -> &'static str {
+    match message {
+        Message::WantHave(_) => "bitswap_recv_want_have",
+        Message::Have(_) => "bitswap_recv_have",
+        Message::DontHave(_) => "bitswap_recv_dont_have",
+        Message::WantBlock(_) => "bitswap_recv_want_block",
+        Message::Block { .. } => "bitswap_recv_block",
+        Message::Cancel(_) => "bitswap_recv_cancel",
+    }
+}
+
 /// The simulated IPFS network.
 pub struct IpfsNetwork {
     queue: EventQueue<NetEvent>,
@@ -260,6 +322,11 @@ pub struct IpfsNetwork {
     pub ipns_resolve_reports: Vec<IpnsResolveReport>,
     /// Total events processed (diagnostics).
     pub events_processed: u64,
+    /// Metrics accumulated over the run (RPC volume, dials, Bitswap
+    /// traffic, record lifecycle, churn — see [`crate::obs`]).
+    metrics: MetricsRegistry,
+    /// Per-operation trace collector (off by default).
+    tracer: Tracer,
 }
 
 impl IpfsNetwork {
@@ -337,13 +404,8 @@ impl IpfsNetwork {
         // herd of simultaneous refresh events.
         if let Some(interval) = cfg.table_refresh_interval {
             for id in 0..nodes.len() {
-                let stagger = SimDuration::from_nanos(
-                    interval.as_nanos() * (id as u64 % 64) / 64,
-                );
-                queue.schedule_at(
-                    SimTime::ZERO + stagger,
-                    NetEvent::RefreshTable { node: id },
-                );
+                let stagger = SimDuration::from_nanos(interval.as_nanos() * (id as u64 % 64) / 64);
+                queue.schedule_at(SimTime::ZERO + stagger, NetEvent::RefreshTable { node: id });
             }
         }
 
@@ -365,6 +427,8 @@ impl IpfsNetwork {
             ipns_publish_reports: Vec::new(),
             ipns_resolve_reports: Vec::new(),
             events_processed: 0,
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::default(),
         };
         net.oracle_bootstrap();
         net
@@ -540,13 +604,56 @@ impl IpfsNetwork {
         self.nodes[a].connections.contains_key(&b)
     }
 
+    /// Read access to the run's accumulated metrics.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the run's metrics (experiments fold their own
+    /// counters in alongside the simulator's).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Enables/disables per-operation tracing. Already-collected traces
+    /// are kept.
+    pub fn set_trace_config(&mut self, config: TraceConfig) {
+        self.tracer.set_config(config);
+    }
+
+    /// The trace collected for an operation (tracing must have been
+    /// enabled before the operation started).
+    pub fn trace(&self, op: OpId) -> Option<&OpTrace> {
+        self.tracer.trace(op)
+    }
+
+    /// Removes and returns the trace collected for an operation.
+    pub fn take_trace(&mut self, op: OpId) -> Option<OpTrace> {
+        self.tracer.take(op)
+    }
+
+    /// Sweeps every node's provider store, dropping records past the 24 h
+    /// expiry (§3.1) and metering them; returns how many were removed.
+    /// The periodic table-refresh tick does this automatically when
+    /// [`NetworkConfig::table_refresh_interval`] is set.
+    pub fn sweep_provider_records(&mut self) -> usize {
+        let now = self.now();
+        let mut removed = 0;
+        for n in &mut self.nodes {
+            removed += n.node.dht.expire_records(now);
+        }
+        self.metrics.add("provider_records_expired", removed as u64);
+        removed
+    }
+
     /// Opens a warm connection between two nodes (no time charged; used
     /// for experiment setup, e.g. gateway neighbour sets).
     pub fn connect(&mut self, a: NodeId, b: NodeId) {
         self.conn_clock += 1;
         let stamp = self.conn_clock;
-        self.nodes[a].connections.insert(b, stamp);
-        self.nodes[b].connections.insert(a, stamp);
+        let now = self.now();
+        self.nodes[a].connections.insert(b, (stamp, now));
+        self.nodes[b].connections.insert(a, (stamp, now));
         self.prune_connections(a);
         self.prune_connections(b);
     }
@@ -558,15 +665,33 @@ impl IpfsNetwork {
             let victim = self.nodes[id]
                 .connections
                 .iter()
-                .min_by_key(|(_, stamp)| **stamp)
+                .min_by_key(|(_, (stamp, _))| *stamp)
                 .map(|(peer, _)| *peer);
             match victim {
                 Some(v) => {
                     self.nodes[id].connections.remove(&v);
                     self.nodes[v].connections.remove(&id);
+                    self.metrics.incr("conn_prunes");
                 }
                 None => break,
             }
+        }
+    }
+
+    /// Tears down warm connections of `id` that have sat unused past the
+    /// idle timeout (lazy sweep, run before the connection set is used).
+    fn expire_idle_connections(&mut self, id: NodeId, now: SimTime) {
+        let timeout = self.cfg.conn_idle_timeout;
+        let expired: Vec<NodeId> = self.nodes[id]
+            .connections
+            .iter()
+            .filter(|(_, (_, last_used))| now.since(*last_used) > timeout)
+            .map(|(peer, _)| *peer)
+            .collect();
+        for peer in expired {
+            self.nodes[id].connections.remove(&peer);
+            self.nodes[peer].connections.remove(&id);
+            self.metrics.incr("conn_idle_expired");
         }
     }
 
@@ -621,7 +746,8 @@ impl IpfsNetwork {
             .map(|(k, sid)| (k.distance(&own_key), *sid))
             .collect();
         candidates.sort_by_key(|a| a.0);
-        let mut to_add: Vec<NodeId> = candidates.into_iter().take(near).map(|(_, sid)| sid).collect();
+        let mut to_add: Vec<NodeId> =
+            candidates.into_iter().take(near).map(|(_, sid)| sid).collect();
         for _ in 0..self.cfg.bootstrap_random_peers / 3 {
             let (_, sid) = self.sorted_servers[self.rng.random_range(0..self.sorted_servers.len())];
             if sid != id && self.nodes[sid].online {
@@ -662,12 +788,12 @@ impl IpfsNetwork {
             }
         }
         match verdict {
-            AutonatVerdict::Public => self.nodes[id].node.dht.set_mode(
-                kademlia::behaviour::DhtMode::Server,
-            ),
-            AutonatVerdict::Private => self.nodes[id].node.dht.set_mode(
-                kademlia::behaviour::DhtMode::Client,
-            ),
+            AutonatVerdict::Public => {
+                self.nodes[id].node.dht.set_mode(kademlia::behaviour::DhtMode::Server)
+            }
+            AutonatVerdict::Private => {
+                self.nodes[id].node.dht.set_mode(kademlia::behaviour::DhtMode::Client)
+            }
             AutonatVerdict::Undecided => {}
         }
         verdict
@@ -735,6 +861,10 @@ impl IpfsNetwork {
                 stored: 0,
             },
         );
+        self.metrics.incr("ipns_publish_ops");
+        let t0 = self.now();
+        self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "ipns_publish" });
+        self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "walk" });
         let key = Key::from_peer(&record.name);
         let (qid, outputs) = self.nodes[id].node.dht.start_query(key, QueryTarget::Closest);
         self.query_owner.insert((id, qid), op);
@@ -748,10 +878,11 @@ impl IpfsNetwork {
     pub fn resolve_ipns(&mut self, id: NodeId, name: &PeerId) -> OpId {
         let op = OpId(self.next_op);
         self.next_op += 1;
-        self.ops.insert(
-            op,
-            OpState::ResolveIpns { node: id, name: name.clone(), t0: self.now() },
-        );
+        self.ops.insert(op, OpState::ResolveIpns { node: id, name: name.clone(), t0: self.now() });
+        self.metrics.incr("ipns_resolve_ops");
+        let t0 = self.now();
+        self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "ipns_resolve" });
+        self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "walk" });
         let key = Key::from_peer(name);
         let (qid, outputs) = self.nodes[id].node.dht.start_query(key, QueryTarget::Value);
         self.query_owner.insert((id, qid), op);
@@ -772,17 +903,22 @@ impl IpfsNetwork {
                 t_walk_end: None,
                 phase: PublishPhase::Walk,
                 silent,
+                walk_rpcs: 0,
+                walk_failures: 0,
             },
         );
+        if !silent {
+            self.metrics.incr("publish_ops");
+        }
+        self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "publish" });
+        self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "walk" });
         let key = Key::from_cid(&cid);
         let (qid, outputs) = self.nodes[id].node.dht.start_query(key, QueryTarget::Closest);
         self.query_owner.insert((id, qid), op);
         self.process_dht_outputs(id, outputs);
         if self.cfg.auto_republish {
-            self.queue.schedule(
-                self.cfg.node.republish_interval,
-                NetEvent::Republish { node: id, cid },
-            );
+            self.queue
+                .schedule(self.cfg.node.republish_interval, NetEvent::Republish { node: id, cid });
         }
         op
     }
@@ -811,8 +947,14 @@ impl IpfsNetwork {
                 addrbook_hit: false,
             },
         );
+        self.metrics.incr("retrieve_ops");
+        self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "retrieve" });
+        self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "bitswap_probe" });
         // Opportunistic Bitswap: broadcast WANT-HAVE to connected peers
-        // (§3.2, Figure 3 step 4).
+        // (§3.2, Figure 3 step 4). Idle connections expired first: the
+        // connection manager would have closed them long ago, so they must
+        // not feed the probe.
+        self.expire_idle_connections(id, t0);
         let connected: Vec<PeerId> = self.nodes[id]
             .connections
             .keys()
@@ -835,6 +977,8 @@ impl IpfsNetwork {
         if still_probing {
             self.queue
                 .schedule(self.cfg.node.bitswap_timeout, NetEvent::BitswapProbeTimeout { op });
+            self.tracer
+                .record_with(op, t0, || TraceEventKind::TimerArmed { timer: "bitswap_probe" });
             if self.cfg.parallel_dht_and_bitswap {
                 self.begin_provider_walk(op);
             }
@@ -881,20 +1025,32 @@ impl IpfsNetwork {
             }
             NetEvent::RpcResponse { to, query, from_peer, response } => {
                 self.pending_rpcs.remove(&(to, query, from_peer.clone()));
+                self.metrics.incr("dht_rpc_ok");
+                if self.tracer.is_enabled() {
+                    if let Some(&op) = self.query_owner.get(&(to, query)) {
+                        let peer = self.resolve(&from_peer).unwrap_or(usize::MAX);
+                        self.tracer.record_with(op, now, || TraceEventKind::RpcOk { peer });
+                    }
+                }
                 let outputs = self.nodes[to].node.dht.on_response(query, &from_peer, &response);
                 // Remember responder addresses (§3.2 address book).
                 for info in response.closer() {
                     if !info.addrs.is_empty() {
-                        self.nodes[to]
-                            .node
-                            .addr_book
-                            .insert(info.peer.clone(), info.addrs.clone());
+                        self.nodes[to].node.addr_book.insert(info.peer.clone(), info.addrs.clone());
                     }
                 }
                 self.process_dht_outputs(to, outputs);
             }
             NetEvent::RpcFail { node, query, peer } => {
                 if self.pending_rpcs.remove(&(node, query, peer.clone())) {
+                    self.metrics.incr("dht_rpc_failed");
+                    if self.tracer.is_enabled() {
+                        if let Some(&op) = self.query_owner.get(&(node, query)) {
+                            let p = self.resolve(&peer).unwrap_or(usize::MAX);
+                            self.tracer
+                                .record_with(op, now, || TraceEventKind::RpcFailed { peer: p });
+                        }
+                    }
                     let outputs = self.nodes[node].node.dht.on_failure(query, &peer);
                     self.process_dht_outputs(node, outputs);
                 }
@@ -903,10 +1059,13 @@ impl IpfsNetwork {
                 if self.nodes[to].online {
                     let from_info = self.nodes[from].node.info().clone();
                     let from_is_server = self.nodes[from].is_server;
+                    let request = Request::AddProvider { key, provider };
+                    self.metrics.incr(request_recv_metric(&request));
+                    self.metrics.incr("provider_records_stored");
                     self.nodes[to].node.dht.handle_request(
                         &from_info,
                         from_is_server,
-                        Request::AddProvider { key, provider },
+                        request,
                         now,
                     );
                 }
@@ -916,6 +1075,7 @@ impl IpfsNetwork {
                 if !self.nodes[to].online {
                     return; // dropped; guard timers handle the fallout
                 }
+                self.metrics.incr(bitswap_recv_metric(&message));
                 let from_peer = self.nodes[from].node.peer_id().clone();
                 let n = &mut self.nodes[to];
                 let outputs = n.node.bitswap.handle_inbound(&from_peer, message, &mut n.node.store);
@@ -930,12 +1090,17 @@ impl IpfsNetwork {
             }
             NetEvent::Republish { node, cid } => {
                 if self.nodes[node].online && self.nodes[node].node.store.has(&cid) {
+                    self.metrics.incr("provider_republishes");
                     self.publish_inner(node, cid, true);
                 }
             }
             NetEvent::RefreshTable { node } => {
                 if self.nodes[node].online {
                     self.announce_join(node);
+                    // Refresh doubles as the store's GC tick: drop provider
+                    // records past the 24 h expiry (§3.1).
+                    let expired = self.nodes[node].node.dht.expire_records(now);
+                    self.metrics.add("provider_records_expired", expired as u64);
                 }
                 if let Some(interval) = self.cfg.table_refresh_interval {
                     self.queue.schedule(interval, NetEvent::RefreshTable { node });
@@ -945,10 +1110,13 @@ impl IpfsNetwork {
                 if self.nodes[to].online {
                     let from_info = self.nodes[from].node.info().clone();
                     let from_is_server = self.nodes[from].is_server;
+                    let request = Request::PutValue { key, value };
+                    self.metrics.incr(request_recv_metric(&request));
+                    self.metrics.incr("ipns_records_stored");
                     self.nodes[to].node.dht.handle_request(
                         &from_info,
                         from_is_server,
-                        Request::PutValue { key, value },
+                        request,
                         now,
                     );
                 }
@@ -978,6 +1146,9 @@ impl IpfsNetwork {
             return;
         };
         let t_walk = t_walk_end.unwrap_or(now);
+        let ok = stored > 0;
+        self.metrics.incr(if ok { "ipns_publish_success" } else { "ipns_publish_failed" });
+        self.tracer.record_with(op, now, || TraceEventKind::OpFinished { success: ok });
         self.ipns_publish_reports.push(IpnsPublishReport {
             op,
             node,
@@ -985,7 +1156,7 @@ impl IpfsNetwork {
             total: now - t0,
             dht_walk: t_walk - t0,
             records_stored: stored,
-            success: stored > 0,
+            success: ok,
         });
     }
 
@@ -1002,6 +1173,8 @@ impl IpfsNetwork {
             let _ = self.nodes[node].node.ipns.put(r.clone(), now);
         }
         let success = record.is_some();
+        self.metrics.incr(if success { "ipns_resolve_success" } else { "ipns_resolve_failed" });
+        self.tracer.record_with(op, now, || TraceEventKind::OpFinished { success });
         self.ipns_resolve_reports.push(IpnsResolveReport {
             op,
             node,
@@ -1014,12 +1187,12 @@ impl IpfsNetwork {
 
     fn on_churn(&mut self, id: NodeId, online: bool) {
         self.nodes[id].online = online;
+        self.metrics.incr(if online { "churn_online" } else { "churn_offline" });
         if online {
             self.announce_join(id);
         }
         if !online {
-            let peers: Vec<NodeId> =
-                self.nodes[id].connections.drain().map(|(p, _)| p).collect();
+            let peers: Vec<NodeId> = self.nodes[id].connections.drain().map(|(p, _)| p).collect();
             for p in peers {
                 self.nodes[p].connections.remove(&id);
             }
@@ -1037,6 +1210,7 @@ impl IpfsNetwork {
         if !self.nodes[to].online {
             return; // requester's guard timeout will fire
         }
+        self.metrics.incr(request_recv_metric(&request));
         let from_info = self.nodes[from].node.info().clone();
         let from_is_server = self.nodes[from].is_server;
         let response =
@@ -1089,6 +1263,10 @@ impl IpfsNetwork {
             self.queue.schedule(self.cfg.fetch_timeout, NetEvent::FetchTimeout { op });
             return;
         }
+        self.metrics.incr("bitswap_probe_timeouts");
+        self.tracer.record_with(op, now, || TraceEventKind::TimerFired { timer: "bitswap_probe" });
+        self.tracer
+            .record_with(op, now, || TraceEventKind::PhaseEntered { phase: "provider_walk" });
         let action = {
             let Some(OpState::Retrieve { node, phase, probe_session, t_bitswap_end, .. }) =
                 self.ops.get_mut(&op)
@@ -1133,9 +1311,9 @@ impl IpfsNetwork {
                 DhtOutput::SendRequest { query, to, request } => {
                     self.send_query_rpc(id, query, to, request);
                 }
-                DhtOutput::QueryDone { query, outcome } => {
+                DhtOutput::QueryDone { query, outcome, stats } => {
                     if let Some(op) = self.query_owner.remove(&(id, query)) {
-                        self.on_query_done(op, outcome);
+                        self.on_query_done(op, outcome, stats);
                     }
                 }
             }
@@ -1144,6 +1322,15 @@ impl IpfsNetwork {
 
     fn send_query_rpc(&mut self, from: NodeId, query: QueryId, to: PeerInfo, request: Request) {
         self.pending_rpcs.insert((from, query, to.peer.clone()));
+        self.metrics.incr(request_sent_metric(&request));
+        if self.tracer.is_enabled() {
+            if let Some(&op) = self.query_owner.get(&(from, query)) {
+                let now = self.now();
+                let peer = self.resolve(&to.peer).unwrap_or(usize::MAX);
+                let kind = request.name();
+                self.tracer.record_with(op, now, || TraceEventKind::RpcSent { kind, peer });
+            }
+        }
         match self.dial(from, &to.peer) {
             Some((target, connect_delay)) => {
                 let delay = connect_delay + self.one_way(from, target);
@@ -1156,27 +1343,44 @@ impl IpfsNetwork {
                 );
             }
             None => {
-                let delay = self.sample_fail_delay();
-                self.queue
-                    .schedule(delay, NetEvent::RpcFail { node: from, query, peer: to.peer });
+                let (delay, class) = self.sample_fail_delay();
+                if self.tracer.is_enabled() {
+                    if let Some(&op) = self.query_owner.get(&(from, query)) {
+                        let now = self.now();
+                        let peer = self.resolve(&to.peer).unwrap_or(usize::MAX);
+                        self.tracer
+                            .record_with(op, now, || TraceEventKind::DialFailed { peer, class });
+                    }
+                }
+                self.queue.schedule(delay, NetEvent::RpcFail { node: from, query, peer: to.peer });
             }
         }
     }
 
-    fn on_query_done(&mut self, op: OpId, outcome: QueryOutcome) {
+    fn on_query_done(&mut self, op: OpId, outcome: QueryOutcome, stats: QueryStats) {
         let now = self.now();
+        self.tracer.record_with(op, now, || TraceEventKind::QueryConverged {
+            rpcs: stats.rpcs_sent,
+            responses: stats.responses,
+            failures: stats.failures,
+            hops: stats.max_hops,
+        });
+        self.metrics.observe("dht_walk_rpcs", stats.rpcs_sent as f64);
         // Probe sessions to cancel once the op-table borrow is released.
         let mut self_probe_cancel: Vec<(NodeId, SessionHandle)> = Vec::new();
         // Phase 1: update op state under a scoped borrow, extract an action.
         let action = {
             let Some(state) = self.ops.get_mut(&op) else { return };
             match state {
-                OpState::Publish { node, cid, t_walk_end, phase, .. } => {
+                OpState::Publish {
+                    node, cid, t_walk_end, phase, walk_rpcs, walk_failures, ..
+                } => {
                     *t_walk_end = Some(now);
+                    *walk_rpcs = stats.rpcs_sent;
+                    *walk_failures = stats.failures;
                     match outcome {
                         QueryOutcome::Closest(peers) if !peers.is_empty() => {
-                            *phase =
-                                PublishPhase::RpcBatch { outstanding: peers.len(), stored: 0 };
+                            *phase = PublishPhase::RpcBatch { outstanding: peers.len(), stored: 0 };
                             Action::PublishBatch { node: *node, cid: cid.clone(), peers }
                         }
                         _ => Action::PublishFail,
@@ -1268,6 +1472,8 @@ impl IpfsNetwork {
         }
         match action {
             Action::PublishBatch { node, cid, peers } => {
+                self.tracer
+                    .record_with(op, now, || TraceEventKind::PhaseEntered { phase: "rpc_batch" });
                 let provider = self.nodes[node].node.info().clone();
                 let key = Key::from_cid(&cid);
                 for target in peers {
@@ -1276,6 +1482,8 @@ impl IpfsNetwork {
             }
             Action::PublishFail => self.finish_publish(now, op, false),
             Action::IpnsBatch { node, key, value, peers } => {
+                self.tracer
+                    .record_with(op, now, || TraceEventKind::PhaseEntered { phase: "rpc_batch" });
                 for target in peers {
                     self.send_value_store(op, node, target, key, value.clone());
                 }
@@ -1296,11 +1504,16 @@ impl IpfsNetwork {
                         *phase = RetrievePhase::Fetch;
                         *addrbook_hit = true;
                     }
+                    self.metrics.incr("addr_book_hits");
+                    self.tracer.record_with(op, now, || TraceEventKind::AddrBookHit);
                     self.start_fetch(op, node, PeerInfo { peer: provider, addrs });
                 } else {
                     if let Some(OpState::Retrieve { phase, .. }) = self.ops.get_mut(&op) {
                         *phase = RetrievePhase::PeerWalk;
                     }
+                    self.tracer.record_with(op, now, || TraceEventKind::PhaseEntered {
+                        phase: "peer_walk",
+                    });
                     let key = Key::from_peer(&provider);
                     let (qid, outputs) =
                         self.nodes[node].node.dht.start_query(key, QueryTarget::Peer(provider));
@@ -1344,7 +1557,7 @@ impl IpfsNetwork {
                 self.queue.schedule(delay, NetEvent::ProviderStoreSettled { op, ok: true });
             }
             _ => {
-                let delay = self.sample_fail_delay();
+                let (delay, _) = self.sample_fail_delay();
                 self.queue.schedule(delay, NetEvent::ProviderStoreSettled { op, ok: false });
             }
         }
@@ -1360,7 +1573,7 @@ impl IpfsNetwork {
                 self.queue.schedule(delay, NetEvent::ValueStoreSettled { op, ok: true });
             }
             _ => {
-                let delay = self.sample_fail_delay();
+                let (delay, _) = self.sample_fail_delay();
                 self.queue.schedule(delay, NetEvent::ValueStoreSettled { op, ok: false });
             }
         }
@@ -1375,18 +1588,26 @@ impl IpfsNetwork {
         if let Some(OpState::Retrieve { t_fetch_start, .. }) = self.ops.get_mut(&op) {
             *t_fetch_start = Some(now);
         }
+        let peer = self.resolve(&provider.peer).unwrap_or(usize::MAX);
+        self.tracer.record_with(op, now, || TraceEventKind::PhaseEntered { phase: "fetch" });
+        self.tracer.record_with(op, now, || TraceEventKind::DialStarted { peer });
         match self.dial(node, &provider.peer) {
             Some((_, connect_delay)) => {
+                let warm = connect_delay == SimDuration::ZERO;
+                self.tracer.record_with(op, now, || TraceEventKind::DialOk { peer, warm });
                 self.queue.schedule(
                     connect_delay,
                     NetEvent::FetchConnected { op, provider: provider.peer },
                 );
                 self.queue.schedule(self.cfg.fetch_timeout, NetEvent::FetchTimeout { op });
+                self.tracer
+                    .record_with(op, now, || TraceEventKind::TimerArmed { timer: "fetch_guard" });
             }
             None => {
                 // Provider unreachable: the retrieval fails after the dial
                 // timeout.
-                let delay = self.sample_fail_delay();
+                let (delay, class) = self.sample_fail_delay();
+                self.tracer.record_with(op, now, || TraceEventKind::DialFailed { peer, class });
                 self.queue.schedule(delay, NetEvent::FetchTimeout { op });
             }
         }
@@ -1412,6 +1633,7 @@ impl IpfsNetwork {
             match output {
                 EngineOutput::Send { to, message } => {
                     let Some(target) = self.resolve(&to) else { continue };
+                    self.metrics.incr(bitswap_sent_metric(&message));
                     let bytes = message.wire_size();
                     let from_region = self.nodes[id].region;
                     let from_bw = self.nodes[id].bandwidth;
@@ -1433,7 +1655,15 @@ impl IpfsNetwork {
                         self.on_session_complete(op, session);
                     }
                 }
-                EngineOutput::BlockStored { .. } => {}
+                EngineOutput::BlockStored { session, .. } => {
+                    self.metrics.incr("bitswap_blocks_stored");
+                    if self.tracer.is_enabled() {
+                        if let Some(&op) = self.session_owner.get(&(id, session)) {
+                            let now = self.now();
+                            self.tracer.record_with(op, now, || TraceEventKind::BlockReceived);
+                        }
+                    }
+                }
                 EngineOutput::WantFailed { session, .. } => {
                     // Expected during the probe phase (neighbours lack the
                     // content); fatal during a fetch (provider reneged).
@@ -1457,8 +1687,9 @@ impl IpfsNetwork {
     fn on_session_complete(&mut self, op: OpId, session: SessionHandle) {
         let now = self.now();
         let finish = {
-            let Some(OpState::Retrieve { phase, probe_session, via_bitswap, t_bitswap_end, .. }) =
-                self.ops.get_mut(&op)
+            let Some(OpState::Retrieve {
+                phase, probe_session, via_bitswap, t_bitswap_end, ..
+            }) = self.ops.get_mut(&op)
             else {
                 return;
             };
@@ -1483,8 +1714,16 @@ impl IpfsNetwork {
     // ------------------------------------------------------------------
 
     fn finish_publish(&mut self, now: SimTime, op: OpId, success: bool) {
-        let Some(OpState::Publish { node, cid, t0, t_walk_end, phase, silent }) =
-            self.ops.remove(&op)
+        let Some(OpState::Publish {
+            node,
+            cid,
+            t0,
+            t_walk_end,
+            phase,
+            silent,
+            walk_rpcs,
+            walk_failures,
+        }) = self.ops.remove(&op)
         else {
             return;
         };
@@ -1496,6 +1735,9 @@ impl IpfsNetwork {
             PublishPhase::RpcBatch { stored, .. } => stored,
             PublishPhase::Walk => 0,
         };
+        let ok = success && stored > 0;
+        self.metrics.incr(if ok { "publish_success" } else { "publish_failed" });
+        self.tracer.record_with(op, now, || TraceEventKind::OpFinished { success: ok });
         self.publish_reports.push(PublishReport {
             op,
             node,
@@ -1505,9 +1747,9 @@ impl IpfsNetwork {
             dht_walk: t_walk - t0,
             rpc_batch: now - t_walk,
             records_stored: stored,
-            walk_rpcs: 0,
-            walk_failures: 0,
-            success: success && stored > 0,
+            walk_rpcs,
+            walk_failures,
+            success: ok,
         });
     }
 
@@ -1536,11 +1778,12 @@ impl IpfsNetwork {
         let t_prov = t_provider_end.unwrap_or(t_bs);
         let t_peer = t_peer_end.unwrap_or(t_prov);
         let t_fetch0 = t_fetch_start.unwrap_or(t_peer);
-        let bytes = if success {
-            self.nodes[node].node.store.stats().bytes
-        } else {
-            0
-        };
+        let bytes = if success { self.nodes[node].node.store.stats().bytes } else { 0 };
+        self.metrics.incr(if success { "retrieve_success" } else { "retrieve_failed" });
+        if success && via_bitswap {
+            self.metrics.incr("retrieve_via_bitswap");
+        }
+        self.tracer.record_with(op, now, || TraceEventKind::OpFinished { success });
         self.retrieve_reports.push(RetrieveReport {
             op,
             node,
@@ -1574,14 +1817,25 @@ impl IpfsNetwork {
     /// the peer is not dialable.
     fn dial(&mut self, from: NodeId, peer: &PeerId) -> Option<(NodeId, SimDuration)> {
         let target = self.resolve(peer)?;
+        self.metrics.incr("dials_attempted");
         if !self.nodes[target].online {
             return None;
         }
-        if self.nodes[from].connections.contains_key(&target) {
-            self.conn_clock += 1;
-            let stamp = self.conn_clock;
-            self.nodes[from].connections.insert(target, stamp);
-            return Some((target, SimDuration::ZERO));
+        if let Some(&(_, last_used)) = self.nodes[from].connections.get(&target) {
+            let now = self.now();
+            if now.since(last_used) > self.cfg.conn_idle_timeout {
+                // The connection manager closed this idle connection long
+                // ago; fall through to a fresh dial.
+                self.nodes[from].connections.remove(&target);
+                self.nodes[target].connections.remove(&from);
+                self.metrics.incr("conn_idle_expired");
+            } else {
+                self.conn_clock += 1;
+                let stamp = self.conn_clock;
+                self.nodes[from].connections.insert(target, (stamp, now));
+                self.metrics.incr("dials_warm");
+                return Some((target, SimDuration::ZERO));
+            }
         }
         let extra_legs = if self.nodes[target].is_server {
             4 // SYN, SYN-ACK, TLS x2
@@ -1601,10 +1855,12 @@ impl IpfsNetwork {
         let d = self.one_way(from, target) * extra_legs;
         self.conn_clock += 1;
         let stamp = self.conn_clock;
-        self.nodes[from].connections.insert(target, stamp);
-        self.nodes[target].connections.insert(from, stamp);
+        let now = self.now();
+        self.nodes[from].connections.insert(target, (stamp, now));
+        self.nodes[target].connections.insert(from, (stamp, now));
         self.prune_connections(from);
         self.prune_connections(target);
+        self.metrics.incr("dials_ok");
         Some((target, d))
     }
 
@@ -1617,18 +1873,22 @@ impl IpfsNetwork {
     /// Samples the delay of a failed dial per the §6.1 timeout mix. A
     /// small positive overhead rides on top of each timer (address
     /// resolution, scheduler latency), so failures land just *past* the
-    /// 5 s / 45 s marks like the spikes in Figure 9c.
-    fn sample_fail_delay(&mut self) -> SimDuration {
+    /// 5 s / 45 s marks like the spikes in Figure 9c. Returns the delay
+    /// and its transport class, and meters the failure.
+    fn sample_fail_delay(&mut self) -> (SimDuration, DialClass) {
         let x: f64 = self.rng.random_range(0.0..1.0);
         let overhead = SimDuration::from_millis(self.rng.random_range(20..300));
         let t = &self.cfg.timeouts;
-        if x < t.fast_refuse_share {
-            t.fast_refuse_delay + overhead
+        let (delay, class) = if x < t.fast_refuse_share {
+            (t.fast_refuse_delay + overhead, DialClass::FastRefuse)
         } else if x < t.fast_refuse_share + t.websocket_share {
-            t.websocket_timeout + overhead
+            (t.websocket_timeout + overhead, DialClass::Websocket45s)
         } else {
-            t.dial_timeout + overhead
-        }
+            (t.dial_timeout + overhead, DialClass::Timeout5s)
+        };
+        self.metrics.incr("dials_failed");
+        self.metrics.incr(class.metric());
+        (delay, class)
     }
 }
 
@@ -1723,11 +1983,7 @@ mod tests {
             net.run_until_quiet();
             net.retrieve(requester, cid);
             net.run_until_quiet();
-            (
-                net.publish_reports[0].total,
-                net.retrieve_reports[0].total,
-                net.events_processed,
-            )
+            (net.publish_reports[0].total, net.retrieve_reports[0].total, net.events_processed)
         };
         assert_eq!(run(42), run(42));
     }
@@ -1879,8 +2135,7 @@ mod tests {
                 provider_records_carry_addrs: true,
                 ..Default::default()
             };
-            let net =
-                IpfsNetwork::from_population(&pop, &[VantagePoint::EuCentral1], cfg, 41);
+            let net = IpfsNetwork::from_population(&pop, &[VantagePoint::EuCentral1], cfg, 41);
             (net, pop)
         };
         for dcutr in [false, true] {
@@ -1892,8 +2147,7 @@ mod tests {
                 .position(|p| {
                     p.nat
                         && p.schedule.online_at(SimTime::ZERO)
-                        && p.schedule
-                            .online_at(SimTime::ZERO + SimDuration::from_hours(2))
+                        && p.schedule.online_at(SimTime::ZERO + SimDuration::from_hours(2))
                 })
                 .expect("a long-lived NAT'ed peer exists");
             let requester = net.vantage_ids(1)[0];
@@ -1901,8 +2155,10 @@ mod tests {
             let cid = net.import_content(nat_provider, &data);
             net.publish(nat_provider, cid.clone());
             net.run_until_quiet();
-            assert!(net.publish_reports.last().unwrap().success,
-                "NAT'ed peers can still *publish* records (they dial out)");
+            assert!(
+                net.publish_reports.last().unwrap().success,
+                "NAT'ed peers can still *publish* records (they dial out)"
+            );
             // Drop the outbound connections the publish walk opened — a
             // NAT'ed peer can serve over those (it dialed out), but here we
             // test reachability for a *fresh* requester.
@@ -1985,7 +2241,12 @@ mod tests {
     #[test]
     fn connection_manager_prunes_lru() {
         let pop = Population::generate(
-            PopulationConfig { size: 60, nat_fraction: 0.0, horizon: SimDuration::from_hours(2), ..Default::default() },
+            PopulationConfig {
+                size: 60,
+                nat_fraction: 0.0,
+                horizon: SimDuration::from_hours(2),
+                ..Default::default()
+            },
             42,
         );
         let cfg = NetworkConfig { max_connections: 5, ..Default::default() };
@@ -2003,7 +2264,12 @@ mod tests {
     #[test]
     fn retriever_becomes_provider_republished() {
         let pop = Population::generate(
-            PopulationConfig { size: 200, nat_fraction: 0.3, horizon: SimDuration::from_hours(6), ..Default::default() },
+            PopulationConfig {
+                size: 200,
+                nat_fraction: 0.3,
+                horizon: SimDuration::from_hours(6),
+                ..Default::default()
+            },
             21,
         );
         let cfg = NetworkConfig { retriever_becomes_provider: true, ..Default::default() };

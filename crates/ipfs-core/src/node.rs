@@ -12,9 +12,9 @@ use crate::config::NodeConfig;
 use crate::ipns::{ipns_value_selector, IpnsStore};
 use bitswap::BitswapEngine;
 use bytes::Bytes;
-use kademlia::{DhtBehaviour, DhtConfig};
 use kademlia::behaviour::DhtMode;
 use kademlia::routing::PeerInfo;
+use kademlia::{DhtBehaviour, DhtConfig};
 use merkledag::{BuildReport, DagBuilder, MemoryBlockStore, Resolver};
 use multiformats::{Cid, Keypair, Multiaddr, PeerId};
 
@@ -38,7 +38,12 @@ pub struct IpfsNode {
 
 impl IpfsNode {
     /// Creates a node from its keypair, advertised addresses and DHT mode.
-    pub fn new(keypair: Keypair, addrs: Vec<Multiaddr>, mode: DhtMode, config: NodeConfig) -> IpfsNode {
+    pub fn new(
+        keypair: Keypair,
+        addrs: Vec<Multiaddr>,
+        mode: DhtMode,
+        config: NodeConfig,
+    ) -> IpfsNode {
         let info = PeerInfo { peer: keypair.peer_id(), addrs };
         let dht = DhtBehaviour::new(
             info.clone(),

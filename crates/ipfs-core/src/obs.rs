@@ -1,0 +1,563 @@
+//! Observability layer: a metrics registry plus a structured per-operation
+//! event trace.
+//!
+//! The simulation stack emits two kinds of telemetry:
+//!
+//! * **Metrics** — named monotonic counters and raw-sample histograms kept
+//!   in a [`MetricsRegistry`]. Counters cover the surfaces the paper
+//!   measures: DHT RPC volume by type (§3.1), dial attempts and failures
+//!   split by transport timeout class (§6.1), Bitswap message counts by
+//!   type (§3.2), provider-record lifecycle (§3.1), connection-manager
+//!   prunes, gateway cache tiers (§6.3) and churn transitions (§4.1).
+//! * **Traces** — a per-[`OpId`] sequence of timestamped [`TraceEvent`]s
+//!   recording the §3.2 content-retrieval pipeline (Bitswap probe →
+//!   provider walk → peer walk → dial → fetch) and the publish/IPNS
+//!   equivalents, collected by a [`Tracer`].
+//!
+//! Tracing is off by default. [`Tracer::record_with`] takes a closure that
+//! builds the event, so a disabled tracer costs exactly one branch per
+//! call site and performs no allocation.
+
+use crate::ops::OpId;
+use simnet::SimTime;
+use std::collections::{BTreeMap, HashMap};
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Registry of named counters and histograms.
+///
+/// Counter names are `&'static str` so incrementing never allocates.
+/// Histograms store raw `f64` samples; at simulation scale (thousands of
+/// ops) this is small and gives exact percentiles at export time.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Vec<f64>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increments counter `name` by `n`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Sets counter `name` to an absolute value (for gauges sampled at
+    /// export time, e.g. cache eviction totals owned by another struct).
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one sample into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, sample: f64) {
+        self.histograms.entry(name).or_default().push(sample);
+    }
+
+    /// Raw samples of histogram `name` (empty slice if never touched).
+    pub fn samples(&self, name: &str) -> &[f64] {
+        self.histograms.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &[f64])> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+
+    /// Folds another registry into this one (counters add, samples append).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k).or_default().extend_from_slice(v);
+        }
+    }
+
+    /// Serialises the registry as a JSON object:
+    /// `{"counters": {..}, "histograms": {"name": {"n": .., "mean": ..,
+    /// "p50": .., "p90": .., "p99": ..}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, samples)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = sorted.len();
+            let mean = if n == 0 { 0.0 } else { sorted.iter().sum::<f64>() / n as f64 };
+            out.push_str(&format!(
+                "\"{k}\":{{\"n\":{n},\"mean\":{mean},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                pct(&sorted, 0.50),
+                pct(&sorted, 0.90),
+                pct(&sorted, 0.99),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Flattens counters into `(name, value)` CSV rows.
+    pub fn to_csv_rows(&self) -> Vec<(String, u64)> {
+        self.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+}
+
+/// Nearest-rank percentile over pre-sorted samples.
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+// ---------------------------------------------------------------------------
+// Traces
+// ---------------------------------------------------------------------------
+
+/// Transport class of a failed dial, following the §6.1 latency split:
+/// immediate connection-refused, the 5 s TCP/QUIC timeout, and the 45 s
+/// WebSocket timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DialClass {
+    /// Target port closed: failure reported almost immediately.
+    FastRefuse,
+    /// TCP / QUIC dial timeout (5 s).
+    Timeout5s,
+    /// WebSocket dial timeout (45 s).
+    Websocket45s,
+}
+
+impl DialClass {
+    /// Metric/trace label for the class.
+    pub fn label(self) -> &'static str {
+        match self {
+            DialClass::FastRefuse => "fast_refuse",
+            DialClass::Timeout5s => "timeout_5s",
+            DialClass::Websocket45s => "timeout_45s",
+        }
+    }
+
+    /// Counter name bumped when a dial fails with this class.
+    pub fn metric(self) -> &'static str {
+        match self {
+            DialClass::FastRefuse => "dial_failed_fast_refuse",
+            DialClass::Timeout5s => "dial_failed_timeout_5s",
+            DialClass::Websocket45s => "dial_failed_timeout_45s",
+        }
+    }
+}
+
+/// One step of an operation's lifecycle, as observed by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventKind {
+    /// The operation was submitted ("publish", "retrieve", ...).
+    OpStarted {
+        /// Operation kind label.
+        kind: &'static str,
+    },
+    /// The operation entered a pipeline phase ("bitswap_probe",
+    /// "provider_walk", "peer_walk", "fetch", "walk", "rpc_batch").
+    PhaseEntered {
+        /// Phase label.
+        phase: &'static str,
+    },
+    /// A DHT RPC left this node on behalf of the operation.
+    RpcSent {
+        /// Request type label ("FIND_NODE", "GET_PROVIDERS", ...).
+        kind: &'static str,
+        /// Destination node.
+        peer: usize,
+    },
+    /// A DHT RPC response came back.
+    RpcOk {
+        /// Responding node.
+        peer: usize,
+    },
+    /// A DHT RPC failed (unreachable peer / dial timeout).
+    RpcFailed {
+        /// Unreachable node.
+        peer: usize,
+    },
+    /// A DHT walk converged; carries the walk's final statistics.
+    QueryConverged {
+        /// RPCs issued by the walk.
+        rpcs: u64,
+        /// Responses received.
+        responses: u64,
+        /// Failed RPCs.
+        failures: u64,
+        /// Deepest hop reached.
+        hops: u32,
+    },
+    /// A dial to `peer` began.
+    DialStarted {
+        /// Dialed node.
+        peer: usize,
+    },
+    /// A dial succeeded.
+    DialOk {
+        /// Dialed node.
+        peer: usize,
+        /// Whether an existing warm connection was reused.
+        warm: bool,
+    },
+    /// A dial failed.
+    DialFailed {
+        /// Dialed node.
+        peer: usize,
+        /// Failure class (§6.1 timeout split).
+        class: DialClass,
+    },
+    /// A timer guarding the operation was armed.
+    TimerArmed {
+        /// Timer label ("bitswap_probe", ...).
+        timer: &'static str,
+    },
+    /// A timer guarding the operation fired.
+    TimerFired {
+        /// Timer label.
+        timer: &'static str,
+    },
+    /// A Bitswap message left this node for the operation.
+    BitswapSent {
+        /// Message type label ("WANT_HAVE", "BLOCK", ...).
+        kind: &'static str,
+        /// Destination node.
+        peer: usize,
+    },
+    /// A Bitswap message arrived for the operation.
+    BitswapReceived {
+        /// Message type label.
+        kind: &'static str,
+        /// Sending node.
+        peer: usize,
+    },
+    /// A wanted block arrived and was stored.
+    BlockReceived,
+    /// The provider's address was already cached, skipping the peer walk
+    /// (the multiaddress shortcut of §3.2).
+    AddrBookHit,
+    /// The operation finished.
+    OpFinished {
+        /// Whether it succeeded.
+        success: bool,
+    },
+}
+
+impl TraceEventKind {
+    /// Snake-case label identifying the event variant.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::OpStarted { .. } => "op_started",
+            TraceEventKind::PhaseEntered { .. } => "phase_entered",
+            TraceEventKind::RpcSent { .. } => "rpc_sent",
+            TraceEventKind::RpcOk { .. } => "rpc_ok",
+            TraceEventKind::RpcFailed { .. } => "rpc_failed",
+            TraceEventKind::QueryConverged { .. } => "query_converged",
+            TraceEventKind::DialStarted { .. } => "dial_started",
+            TraceEventKind::DialOk { .. } => "dial_ok",
+            TraceEventKind::DialFailed { .. } => "dial_failed",
+            TraceEventKind::TimerArmed { .. } => "timer_armed",
+            TraceEventKind::TimerFired { .. } => "timer_fired",
+            TraceEventKind::BitswapSent { .. } => "bitswap_sent",
+            TraceEventKind::BitswapReceived { .. } => "bitswap_received",
+            TraceEventKind::BlockReceived => "block_received",
+            TraceEventKind::AddrBookHit => "addr_book_hit",
+            TraceEventKind::OpFinished { .. } => "op_finished",
+        }
+    }
+
+    /// Variant payload as JSON key/value pairs (without braces), empty for
+    /// payload-free variants.
+    fn json_fields(&self) -> String {
+        match self {
+            TraceEventKind::OpStarted { kind } => format!(",\"kind\":\"{kind}\""),
+            TraceEventKind::PhaseEntered { phase } => format!(",\"phase\":\"{phase}\""),
+            TraceEventKind::RpcSent { kind, peer } => {
+                format!(",\"kind\":\"{kind}\",\"peer\":{peer}")
+            }
+            TraceEventKind::RpcOk { peer } | TraceEventKind::RpcFailed { peer } => {
+                format!(",\"peer\":{peer}")
+            }
+            TraceEventKind::QueryConverged { rpcs, responses, failures, hops } => format!(
+                ",\"rpcs\":{rpcs},\"responses\":{responses},\"failures\":{failures},\"hops\":{hops}"
+            ),
+            TraceEventKind::DialStarted { peer } => format!(",\"peer\":{peer}"),
+            TraceEventKind::DialOk { peer, warm } => format!(",\"peer\":{peer},\"warm\":{warm}"),
+            TraceEventKind::DialFailed { peer, class } => {
+                format!(",\"peer\":{peer},\"class\":\"{}\"", class.label())
+            }
+            TraceEventKind::TimerArmed { timer } | TraceEventKind::TimerFired { timer } => {
+                format!(",\"timer\":\"{timer}\"")
+            }
+            TraceEventKind::BitswapSent { kind, peer }
+            | TraceEventKind::BitswapReceived { kind, peer } => {
+                format!(",\"kind\":\"{kind}\",\"peer\":{peer}")
+            }
+            TraceEventKind::BlockReceived | TraceEventKind::AddrBookHit => String::new(),
+            TraceEventKind::OpFinished { success } => format!(",\"success\":{success}"),
+        }
+    }
+}
+
+/// One timestamped trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time the event occurred.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The accumulated trace of one operation.
+#[derive(Debug, Clone, Default)]
+pub struct OpTrace {
+    /// Events in emission (and therefore time) order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl OpTrace {
+    /// Labels of the `PhaseEntered` events, in order — the observed
+    /// pipeline of the operation.
+    pub fn phases(&self) -> Vec<&'static str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::PhaseEntered { phase } => Some(phase),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Index of the first event matching `pred`, if any.
+    pub fn position<F: Fn(&TraceEventKind) -> bool>(&self, pred: F) -> Option<usize> {
+        self.events.iter().position(|e| pred(&e.kind))
+    }
+
+    /// Whether any event matches `pred`.
+    pub fn contains<F: Fn(&TraceEventKind) -> bool>(&self, pred: F) -> bool {
+        self.position(pred).is_some()
+    }
+
+    /// Serialises the trace as a JSON array of event objects, each with
+    /// `t_us` (microseconds of simulated time), `event`, and the variant's
+    /// payload fields.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"t_us\":{},\"event\":\"{}\"{}}}",
+                ev.at.as_nanos() / 1_000,
+                ev.kind.label(),
+                ev.kind.json_fields()
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Switches for trace collection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceConfig {
+    /// Master switch: when false, [`Tracer::record_with`] returns after a
+    /// single branch and never invokes its closure.
+    pub enabled: bool,
+}
+
+impl TraceConfig {
+    /// A config with tracing on.
+    pub fn enabled() -> Self {
+        TraceConfig { enabled: true }
+    }
+}
+
+/// Collects [`OpTrace`]s for in-flight and completed operations.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    config: TraceConfig,
+    traces: HashMap<OpId, OpTrace>,
+}
+
+impl Tracer {
+    /// Creates a tracer with the given config.
+    pub fn new(config: TraceConfig) -> Self {
+        Tracer { config, traces: HashMap::new() }
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Replaces the config (existing traces are kept).
+    pub fn set_config(&mut self, config: TraceConfig) {
+        self.config = config;
+    }
+
+    /// Records an event for `op` at time `at`. The closure that builds the
+    /// event only runs when tracing is enabled, so the disabled path is a
+    /// single branch with no allocation.
+    #[inline]
+    pub fn record_with<F: FnOnce() -> TraceEventKind>(&mut self, op: OpId, at: SimTime, f: F) {
+        if !self.config.enabled {
+            return;
+        }
+        self.traces.entry(op).or_default().events.push(TraceEvent { at, kind: f() });
+    }
+
+    /// The trace collected for `op`, if any.
+    pub fn trace(&self, op: OpId) -> Option<&OpTrace> {
+        self.traces.get(&op)
+    }
+
+    /// Removes and returns the trace collected for `op`.
+    pub fn take(&mut self, op: OpId) -> Option<OpTrace> {
+        self.traces.remove(&op)
+    }
+
+    /// Number of operations with collected traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether no traces have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Drops all collected traces.
+    pub fn clear(&mut self) {
+        self.traces.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimDuration;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.get("dials_attempted"), 0);
+        reg.incr("dials_attempted");
+        reg.add("dials_attempted", 4);
+        assert_eq!(reg.get("dials_attempted"), 5);
+        reg.set("gauge", 42);
+        reg.set("gauge", 17);
+        assert_eq!(reg.get("gauge"), 17);
+    }
+
+    #[test]
+    fn histograms_store_raw_samples() {
+        let mut reg = MetricsRegistry::new();
+        for i in 0..10 {
+            reg.observe("walk_rpcs", i as f64);
+        }
+        assert_eq!(reg.samples("walk_rpcs").len(), 10);
+        assert_eq!(reg.samples("missing"), &[] as &[f64]);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_appends_samples() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.add("x", 2);
+        b.add("x", 3);
+        b.incr("y");
+        b.observe("h", 1.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+        assert_eq!(a.samples("h"), &[1.0]);
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("rpcs", 7);
+        reg.observe("latency", 1.0);
+        reg.observe("latency", 3.0);
+        let json = reg.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rpcs\":7"));
+        assert!(json.contains("\"n\":2"));
+        assert!(json.contains("\"mean\":2"));
+    }
+
+    #[test]
+    fn disabled_tracer_never_invokes_closure() {
+        let mut tracer = Tracer::new(TraceConfig::default());
+        let mut called = false;
+        tracer.record_with(OpId(1), SimTime::ZERO, || {
+            called = true;
+            TraceEventKind::BlockReceived
+        });
+        assert!(!called, "closure must not run when tracing is disabled");
+        assert!(tracer.is_empty(), "no trace storage allocated when disabled");
+    }
+
+    #[test]
+    fn enabled_tracer_collects_in_order() {
+        let mut tracer = Tracer::new(TraceConfig::enabled());
+        let op = OpId(9);
+        tracer.record_with(op, SimTime::ZERO, || TraceEventKind::OpStarted { kind: "retrieve" });
+        tracer.record_with(op, SimTime::ZERO + SimDuration::from_secs(1), || {
+            TraceEventKind::PhaseEntered { phase: "provider_walk" }
+        });
+        let trace = tracer.trace(op).unwrap();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.phases(), vec!["provider_walk"]);
+        let taken = tracer.take(op).unwrap();
+        assert_eq!(taken.events.len(), 2);
+        assert!(tracer.trace(op).is_none());
+    }
+
+    #[test]
+    fn trace_json_includes_timestamps_and_payload() {
+        let mut tracer = Tracer::new(TraceConfig::enabled());
+        let op = OpId(3);
+        tracer.record_with(op, SimTime::ZERO + SimDuration::from_millis(1500), || {
+            TraceEventKind::DialFailed { peer: 12, class: DialClass::Timeout5s }
+        });
+        let json = tracer.trace(op).unwrap().to_json();
+        assert_eq!(
+            json,
+            "[{\"t_us\":1500000,\"event\":\"dial_failed\",\"peer\":12,\"class\":\"timeout_5s\"}]"
+        );
+    }
+}

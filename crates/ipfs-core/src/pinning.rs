@@ -82,11 +82,8 @@ impl PinningService {
             }
             report
         };
-        let publish_ops = report
-            .roots
-            .iter()
-            .map(|root| net.publish(self.node, root.clone()))
-            .collect();
+        let publish_ops =
+            report.roots.iter().map(|root| net.publish(self.node, root.clone())).collect();
         Ok(PinReceipt {
             roots: report.roots,
             blocks: report.blocks,

@@ -107,7 +107,25 @@ pub enum DhtOutput {
         query: QueryId,
         /// Its outcome.
         outcome: QueryOutcome,
+        /// Final walk statistics, captured before the query is dropped.
+        stats: QueryStats,
     },
+}
+
+/// Final statistics of a completed iterative walk, carried on
+/// [`DhtOutput::QueryDone`] because the behaviour drops the query state the
+/// moment it completes (so [`DhtBehaviour::query_stats`] can no longer
+/// answer for it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// RPCs issued over the walk's lifetime.
+    pub rpcs_sent: u64,
+    /// Responses received.
+    pub responses: u64,
+    /// RPCs that failed (timeout / unreachable peer).
+    pub failures: u64,
+    /// Deepest hop reached from the seed set.
+    pub max_hops: u32,
 }
 
 /// Events surfaced to the node that owns this behaviour.
@@ -173,6 +191,12 @@ impl DhtBehaviour {
         &mut self.store
     }
 
+    /// Drops expired provider records (24 h expiry, paper §3.1) and
+    /// returns how many were removed, so drivers can meter expiries.
+    pub fn expire_records(&mut self, now: SimTime) -> usize {
+        self.store.expire(now)
+    }
+
     /// Learns about a peer (bootstrap, identify, inbound traffic). Only
     /// servers enter the routing table.
     pub fn add_peer(&mut self, info: PeerInfo, is_server: bool) -> bool {
@@ -203,9 +227,9 @@ impl DhtBehaviour {
         // Learn the requester if it is itself a server.
         self.add_peer(from.clone(), from_is_server);
         match request {
-            Request::FindNode { target } => Some(Response::Nodes {
-                closer: self.routing.closest(&target, self.config.k),
-            }),
+            Request::FindNode { target } => {
+                Some(Response::Nodes { closer: self.routing.closest(&target, self.config.k) })
+            }
             Request::GetProviders { key } => Some(Response::Providers {
                 providers: self.store.providers(&key, now),
                 closer: self.routing.closest(&key, self.config.k),
@@ -256,15 +280,18 @@ impl DhtBehaviour {
     }
 
     /// Feeds a response into its query and returns follow-up outputs.
-    pub fn on_response(&mut self, id: QueryId, from: &PeerId, response: &Response) -> Vec<DhtOutput> {
+    pub fn on_response(
+        &mut self,
+        id: QueryId,
+        from: &PeerId,
+        response: &Response,
+    ) -> Vec<DhtOutput> {
         let Some(query) = self.queries.get_mut(&id) else {
             return Vec::new();
         };
         match response {
             Response::Nodes { closer } => query.on_response(from, closer, &[]),
-            Response::Providers { providers, closer } => {
-                query.on_response(from, closer, providers)
-            }
+            Response::Providers { providers, closer } => query.on_response(from, closer, providers),
             Response::Value { value, closer } => {
                 query.on_response_with_value(from, closer, &[], value.as_deref())
             }
@@ -314,8 +341,14 @@ impl DhtBehaviour {
                 QueryStep::Wait => break,
                 QueryStep::Done => {
                     let outcome = query.outcome();
+                    let stats = QueryStats {
+                        rpcs_sent: query.rpcs_sent,
+                        responses: query.responses,
+                        failures: query.failures,
+                        max_hops: query.max_hops,
+                    };
                     self.queries.remove(&id);
-                    outputs.push(DhtOutput::QueryDone { query: id, outcome });
+                    outputs.push(DhtOutput::QueryDone { query: id, outcome, stats });
                     break;
                 }
             }
@@ -339,10 +372,8 @@ mod tests {
 
     #[test]
     fn clients_do_not_serve() {
-        let mut client = DhtBehaviour::new(
-            info(1),
-            DhtConfig { mode: DhtMode::Client, ..Default::default() },
-        );
+        let mut client =
+            DhtBehaviour::new(info(1), DhtConfig { mode: DhtMode::Client, ..Default::default() });
         let resp = client.handle_request(
             &info(2),
             true,
@@ -400,9 +431,8 @@ mod tests {
             Request::AddProvider { key, provider: info(3) },
             SimTime::ZERO,
         );
-        let resp = s
-            .handle_request(&info(4), true, Request::GetProviders { key }, SimTime::ZERO)
-            .unwrap();
+        let resp =
+            s.handle_request(&info(4), true, Request::GetProviders { key }, SimTime::ZERO).unwrap();
         match resp {
             Response::Providers { providers, .. } => {
                 assert_eq!(providers.len(), 1);
@@ -457,8 +487,10 @@ mod tests {
                     };
                     outputs.extend(follow);
                 }
-                DhtOutput::QueryDone { query, outcome } => {
+                DhtOutput::QueryDone { query, outcome, stats } => {
                     assert_eq!(query, qid);
+                    assert!(stats.rpcs_sent > 0, "walk issued at least one RPC");
+                    assert_eq!(stats.responses, 1, "only B responded");
                     done = Some(outcome);
                 }
             }
@@ -490,9 +522,10 @@ mod tests {
         let (qid, outputs) = a.start_query(Key::ZERO, QueryTarget::Providers);
         assert_eq!(outputs.len(), 1);
         match &outputs[0] {
-            DhtOutput::QueryDone { query, outcome } => {
+            DhtOutput::QueryDone { query, outcome, stats } => {
                 assert_eq!(*query, qid);
                 assert_eq!(*outcome, QueryOutcome::Exhausted);
+                assert_eq!(stats.rpcs_sent, 0, "no peers to ask");
             }
             other => panic!("{other:?}"),
         }
@@ -500,10 +533,8 @@ mod tests {
 
     #[test]
     fn autonat_mode_upgrade() {
-        let mut n = DhtBehaviour::new(
-            info(1),
-            DhtConfig { mode: DhtMode::Client, ..Default::default() },
-        );
+        let mut n =
+            DhtBehaviour::new(info(1), DhtConfig { mode: DhtMode::Client, ..Default::default() });
         assert_eq!(n.mode(), DhtMode::Client);
         n.set_mode(DhtMode::Server);
         assert_eq!(n.mode(), DhtMode::Server);

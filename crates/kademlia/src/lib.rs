@@ -34,7 +34,7 @@ pub mod records;
 pub mod routing;
 pub mod rpc;
 
-pub use behaviour::{DhtBehaviour, DhtConfig, DhtEvent, DhtInput, DhtOutput, QueryId};
+pub use behaviour::{DhtBehaviour, DhtConfig, DhtEvent, DhtInput, DhtOutput, QueryId, QueryStats};
 pub use key::{Distance, Key};
 pub use query::{IterativeQuery, QueryOutcome, QueryStep, QueryTarget};
 pub use records::{PeerRecord, ProviderRecord, RecordStore};

@@ -219,9 +219,11 @@ impl IterativeQuery {
                     }
                 }
                 // Fewer than k candidates total: done once none are pending.
-                self.in_flight == 0 && !self.candidates.values().any(|i| {
-                    matches!(self.state[&i.peer], CandidateState::New)
-                })
+                self.in_flight == 0
+                    && !self
+                        .candidates
+                        .values()
+                        .any(|i| matches!(self.state[&i.peer], CandidateState::New))
             }
         }
     }
@@ -229,10 +231,7 @@ impl IterativeQuery {
     /// Whether every candidate has been tried and the walk cannot progress.
     fn exhausted(&self) -> bool {
         self.in_flight == 0
-            && !self
-                .candidates
-                .values()
-                .any(|i| matches!(self.state[&i.peer], CandidateState::New))
+            && !self.candidates.values().any(|i| matches!(self.state[&i.peer], CandidateState::New))
     }
 
     /// Asks the machine what to do next. Returns at most one step; call
@@ -352,10 +351,9 @@ impl IterativeQuery {
                 }
             }
             QueryTarget::Value => match &self.found_value {
-                Some((value, served_by)) => QueryOutcome::Value {
-                    value: value.clone(),
-                    served_by: served_by.clone(),
-                },
+                Some((value, served_by)) => {
+                    QueryOutcome::Value { value: value.clone(), served_by: served_by.clone() }
+                }
                 None => QueryOutcome::Exhausted,
             },
             QueryTarget::Closest => {
@@ -473,11 +471,7 @@ mod tests {
         // The single truly-closest peer always times out.
         let dead = net.true_k_closest(&t, 1)[0].clone();
         let seeds = vec![peer(1), peer(2), peer(3)];
-        let q = drive(
-            &net,
-            IterativeQuery::new(t, QueryTarget::Closest, seeds),
-            |p| *p == dead,
-        );
+        let q = drive(&net, IterativeQuery::new(t, QueryTarget::Closest, seeds), |p| *p == dead);
         match q.outcome() {
             QueryOutcome::Closest(found) => {
                 assert_eq!(found.len(), K);
@@ -512,11 +506,7 @@ mod tests {
                 QueryStep::Wait => unreachable!(),
                 QueryStep::Query(info) => {
                     let closer = net.closest(q.target_key(), K, &info.peer);
-                    let provs = if info.peer == holder {
-                        vec![record.clone()]
-                    } else {
-                        vec![]
-                    };
+                    let provs = if info.peer == holder { vec![record.clone()] } else { vec![] };
                     q.on_response(&info.peer, &closer, &provs);
                 }
             }
@@ -528,11 +518,7 @@ mod tests {
             }
             other => panic!("unexpected outcome {other:?}"),
         }
-        assert!(
-            q.rpcs_sent < 50,
-            "provider walk should terminate early, sent {}",
-            q.rpcs_sent
-        );
+        assert!(q.rpcs_sent < 50, "provider walk should terminate early, sent {}", q.rpcs_sent);
     }
 
     #[test]
@@ -553,11 +539,7 @@ mod tests {
                 QueryStep::Query(info) => {
                     let mut closer = net.closest(q.target_key(), K, &info.peer);
                     // Peers close to the target know its addresses.
-                    if Key::from_peer(&info.peer)
-                        .distance(&t)
-                        .leading_zeros()
-                        >= 2
-                    {
+                    if Key::from_peer(&info.peer).distance(&t).leading_zeros() >= 2 {
                         closer.push(PeerInfo { peer: wanted.clone(), addrs: vec![addr.clone()] });
                     }
                     q.on_response(&info.peer, &closer, &[]);
@@ -651,11 +633,7 @@ mod tests {
     fn hop_count_tracks_discovery_depth() {
         let net = MiniNet::new(300);
         let t = target();
-        let q = drive(
-            &net,
-            IterativeQuery::new(t, QueryTarget::Closest, vec![peer(1)]),
-            |_| false,
-        );
+        let q = drive(&net, IterativeQuery::new(t, QueryTarget::Closest, vec![peer(1)]), |_| false);
         assert!(q.max_hops >= 1, "walk must traverse at least one hop");
     }
 }

@@ -95,10 +95,7 @@ impl RecordStore {
         self.providers
             .get(key)
             .map(|rs| {
-                rs.iter()
-                    .filter(|r| now.since(r.received_at) < PROVIDER_EXPIRY)
-                    .cloned()
-                    .collect()
+                rs.iter().filter(|r| now.since(r.received_at) < PROVIDER_EXPIRY).cloned().collect()
             })
             .unwrap_or_default()
     }

@@ -117,12 +117,8 @@ impl RoutingTable {
     /// first. This is the reply set for FIND_NODE (§3.2) and the candidate
     /// seed for local queries.
     pub fn closest(&self, target: &Key, count: usize) -> Vec<PeerInfo> {
-        let mut all: Vec<(&Entry, crate::key::Distance)> = self
-            .buckets
-            .iter()
-            .flatten()
-            .map(|e| (e, e.key.distance(target)))
-            .collect();
+        let mut all: Vec<(&Entry, crate::key::Distance)> =
+            self.buckets.iter().flatten().map(|e| (e, e.key.distance(target))).collect();
         all.sort_by_key(|a| a.1);
         all.into_iter().take(count).map(|(e, _)| e.info.clone()).collect()
     }
@@ -244,19 +240,14 @@ mod tests {
         let target = Key::from_cid(&multiformats::Cid::from_raw_data(b"target"));
         let closest = rt.closest(&target, 20);
         assert_eq!(closest.len(), 20);
-        let dists: Vec<_> = closest
-            .iter()
-            .map(|p| Key::from_peer(&p.peer).distance(&target))
-            .collect();
+        let dists: Vec<_> =
+            closest.iter().map(|p| Key::from_peer(&p.peer).distance(&target)).collect();
         for w in dists.windows(2) {
             assert!(w[0] <= w[1], "closest() must sort ascending");
         }
         // The returned set must be exactly the true 20 nearest of all peers.
-        let mut all: Vec<_> = rt
-            .all_peers()
-            .iter()
-            .map(|p| Key::from_peer(&p.peer).distance(&target))
-            .collect();
+        let mut all: Vec<_> =
+            rt.all_peers().iter().map(|p| Key::from_peer(&p.peer).distance(&target)).collect();
         all.sort();
         assert_eq!(dists, all[..20].to_vec());
     }

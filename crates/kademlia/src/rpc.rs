@@ -119,7 +119,8 @@ mod tests {
     #[test]
     fn add_provider_is_fire_and_forget() {
         let key = Key::from_cid(&Cid::from_raw_data(b"x"));
-        let provider = PeerInfo { peer: multiformats::Keypair::from_seed(1).peer_id(), addrs: vec![] };
+        let provider =
+            PeerInfo { peer: multiformats::Keypair::from_seed(1).peer_id(), addrs: vec![] };
         assert!(!Request::AddProvider { key, provider }.expects_response());
         assert!(Request::FindNode { target: key }.expects_response());
         assert!(Request::GetProviders { key }.expects_response());
@@ -136,10 +137,7 @@ mod tests {
     fn response_closer_accessor() {
         let p = PeerInfo { peer: multiformats::Keypair::from_seed(2).peer_id(), addrs: vec![] };
         assert_eq!(Response::Nodes { closer: vec![p.clone()] }.closer().len(), 1);
-        assert_eq!(
-            Response::Providers { providers: vec![], closer: vec![p] }.closer().len(),
-            1
-        );
+        assert_eq!(Response::Providers { providers: vec![], closer: vec![p] }.closer().len(), 1);
         assert!(Response::Ack.closer().is_empty());
     }
 }

@@ -110,12 +110,7 @@ impl MemoryBlockStore {
                 }
             }
         }
-        let dead: Vec<Cid> = self
-            .blocks
-            .keys()
-            .filter(|c| !live.contains(*c))
-            .cloned()
-            .collect();
+        let dead: Vec<Cid> = self.blocks.keys().filter(|c| !live.contains(*c)).cloned().collect();
         let mut removed_bytes = 0u64;
         for cid in &dead {
             if let Some(b) = self.blocks.remove(cid) {
@@ -218,14 +213,9 @@ mod tests {
         let chunker = FixedSizeChunker::new(64);
         let keep = Bytes::from(vec![1u8; 640]);
         let drop_ = Bytes::from(vec![2u8; 640]);
-        let keep_root = DagBuilder::new(&mut store)
-            .add_with_chunker(&keep, &chunker)
-            .unwrap()
-            .root;
-        let drop_root = DagBuilder::new(&mut store)
-            .add_with_chunker(&drop_, &chunker)
-            .unwrap()
-            .root;
+        let keep_root = DagBuilder::new(&mut store).add_with_chunker(&keep, &chunker).unwrap().root;
+        let drop_root =
+            DagBuilder::new(&mut store).add_with_chunker(&drop_, &chunker).unwrap().root;
         store.pin(keep_root.clone());
 
         let before = store.stats().blocks;

@@ -162,9 +162,7 @@ mod tests {
         let mut store = MemoryBlockStore::new();
         let data = bytes_of(10_000, 2);
         let chunker = FixedSizeChunker::new(1024);
-        let report = DagBuilder::new(&mut store)
-            .add_with_chunker(&data, &chunker)
-            .unwrap();
+        let report = DagBuilder::new(&mut store).add_with_chunker(&data, &chunker).unwrap();
         assert_eq!(report.chunks, 10);
         assert_eq!(report.depth, 1);
         assert_eq!(report.branch_nodes, 1);
@@ -192,9 +190,7 @@ mod tests {
         // 8 identical 512-byte chunks.
         let data = Bytes::from(vec![0xCDu8; 4096]);
         let chunker = FixedSizeChunker::new(512);
-        let report = DagBuilder::new(&mut store)
-            .add_with_chunker(&data, &chunker)
-            .unwrap();
+        let report = DagBuilder::new(&mut store).add_with_chunker(&data, &chunker).unwrap();
         assert_eq!(report.chunks, 8);
         assert_eq!(report.new_leaves, 1);
         assert_eq!(report.deduplicated_leaves, 7);
@@ -205,12 +201,8 @@ mod tests {
         let mut store = MemoryBlockStore::new();
         let data = bytes_of(10_000, 4);
         let chunker = FixedSizeChunker::new(1024);
-        let first = DagBuilder::new(&mut store)
-            .add_with_chunker(&data, &chunker)
-            .unwrap();
-        let second = DagBuilder::new(&mut store)
-            .add_with_chunker(&data, &chunker)
-            .unwrap();
+        let first = DagBuilder::new(&mut store).add_with_chunker(&data, &chunker).unwrap();
+        let second = DagBuilder::new(&mut store).add_with_chunker(&data, &chunker).unwrap();
         assert_eq!(first.root, second.root);
         assert_eq!(second.new_leaves, 0);
         assert_eq!(second.deduplicated_leaves, first.chunks);

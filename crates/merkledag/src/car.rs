@@ -191,10 +191,7 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let mut dst = MemoryBlockStore::new();
-        assert!(matches!(
-            import(&mut dst, b"NOTACAR1rest"),
-            Err(Error::InvalidArchive(_))
-        ));
+        assert!(matches!(import(&mut dst, b"NOTACAR1rest"), Err(Error::InvalidArchive(_))));
     }
 
     #[test]

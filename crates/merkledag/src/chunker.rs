@@ -206,10 +206,7 @@ mod tests {
     #[test]
     fn empty_input_single_empty_chunk() {
         assert_eq!(FixedSizeChunker::default().chunk(&Bytes::new()).len(), 1);
-        assert_eq!(
-            ContentDefinedChunker::ipfs_default().chunk(&Bytes::new()).len(),
-            1
-        );
+        assert_eq!(ContentDefinedChunker::ipfs_default().chunk(&Bytes::new()).len(), 1);
     }
 
     #[test]
@@ -231,10 +228,7 @@ mod tests {
     fn cdc_is_deterministic() {
         let data = pseudo_random(100_000, 7);
         let ck = ContentDefinedChunker::new(1024, 8192, 11);
-        assert_eq!(
-            ck.chunk(&data).len(),
-            ck.chunk(&data.clone()).len()
-        );
+        assert_eq!(ck.chunk(&data).len(), ck.chunk(&data.clone()).len());
     }
 
     #[test]

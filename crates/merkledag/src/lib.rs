@@ -30,8 +30,8 @@ pub mod resolver;
 pub mod unixfs;
 
 pub use blockstore::{BlockStore, MemoryBlockStore};
-pub use car::{export as car_export, import as car_import, ImportReport};
 pub use builder::{BuildReport, DagBuilder, DagLayout};
+pub use car::{export as car_export, import as car_import, ImportReport};
 pub use chunker::{Chunker, ContentDefinedChunker, FixedSizeChunker, DEFAULT_CHUNK_SIZE};
 pub use node::{DagNode, Link};
 pub use resolver::{Resolver, WalkEvent};

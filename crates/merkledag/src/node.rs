@@ -165,10 +165,7 @@ mod tests {
         let node = DagNode::branch(vec![leaf(b"one"), leaf(b"two")]);
         let bytes = node.encode();
         for cut in 1..bytes.len() {
-            assert!(
-                DagNode::decode(&bytes[..cut]).is_err(),
-                "truncation at {cut} must fail"
-            );
+            assert!(DagNode::decode(&bytes[..cut]).is_err(), "truncation at {cut} must fail");
         }
     }
 

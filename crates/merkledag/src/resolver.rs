@@ -51,19 +51,13 @@ impl<'a, S: BlockStore> Resolver<'a, S> {
     /// Reassembles the full file rooted at `root`, verifying every block.
     pub fn read_file(&mut self, root: &Cid) -> Result<Bytes> {
         let mut out = Vec::new();
-        self.walk(root, 0, &mut |_event| {}, &mut |leaf: &Bytes| {
-            out.extend_from_slice(leaf)
-        })?;
+        self.walk(root, 0, &mut |_event| {}, &mut |leaf: &Bytes| out.extend_from_slice(leaf))?;
         Ok(Bytes::from(out))
     }
 
     /// Walks the DAG, invoking `on_event` per node and `on_leaf` per leaf
     /// payload in file order.
-    pub fn walk_file(
-        &mut self,
-        root: &Cid,
-        on_event: &mut dyn FnMut(WalkEvent),
-    ) -> Result<u64> {
+    pub fn walk_file(&mut self, root: &Cid, on_event: &mut dyn FnMut(WalkEvent)) -> Result<u64> {
         let mut total = 0u64;
         self.walk(root, 0, on_event, &mut |leaf: &Bytes| total += leaf.len() as u64)?;
         Ok(total)
@@ -94,21 +88,14 @@ impl<'a, S: BlockStore> Resolver<'a, S> {
         if depth > MAX_DEPTH {
             return Err(Error::TooDeep(MAX_DEPTH));
         }
-        let bytes = self
-            .store
-            .get(cid)
-            .ok_or_else(|| Error::BlockNotFound(cid.clone()))?;
+        let bytes = self.store.get(cid).ok_or_else(|| Error::BlockNotFound(cid.clone()))?;
         if !cid.hash().verify(&bytes) {
             return Err(Error::HashMismatch(cid.clone()));
         }
         match cid.codec() {
             Multicodec::DagPb => {
                 let node = DagNode::decode(&bytes)?;
-                on_event(WalkEvent::Branch {
-                    cid: cid.clone(),
-                    children: node.links.len(),
-                    depth,
-                });
+                on_event(WalkEvent::Branch { cid: cid.clone(), children: node.links.len(), depth });
                 // A branch node's own data (if any) precedes its children —
                 // matches UnixFS where file data may inline in the root.
                 if !node.data.is_empty() {
@@ -165,17 +152,11 @@ mod tests {
         let mut store = MemoryBlockStore::new();
         let data = sample(4096);
         let chunker = FixedSizeChunker::new(512);
-        let root = DagBuilder::new(&mut store)
-            .add_with_chunker(&data, &chunker)
-            .unwrap()
-            .root;
+        let root = DagBuilder::new(&mut store).add_with_chunker(&data, &chunker).unwrap().root;
         // Remove one leaf.
         let victim = Cid::from_raw_data(&data.slice(512..1024));
         store.delete(&victim);
-        assert_eq!(
-            Resolver::new(&mut store).read_file(&root),
-            Err(Error::BlockNotFound(victim))
-        );
+        assert_eq!(Resolver::new(&mut store).read_file(&root), Err(Error::BlockNotFound(victim)));
     }
 
     #[test]
@@ -183,16 +164,10 @@ mod tests {
         let mut store = MemoryBlockStore::new();
         let data = sample(2048);
         let chunker = FixedSizeChunker::new(512);
-        let root = DagBuilder::new(&mut store)
-            .add_with_chunker(&data, &chunker)
-            .unwrap()
-            .root;
+        let root = DagBuilder::new(&mut store).add_with_chunker(&data, &chunker).unwrap().root;
         let victim = Cid::from_raw_data(&data.slice(0..512));
         store.put(victim.clone(), Bytes::from_static(b"evil bytes"));
-        assert_eq!(
-            Resolver::new(&mut store).read_file(&root),
-            Err(Error::HashMismatch(victim))
-        );
+        assert_eq!(Resolver::new(&mut store).read_file(&root), Err(Error::HashMismatch(victim)));
     }
 
     #[test]
@@ -206,9 +181,7 @@ mod tests {
             .unwrap()
             .root;
         let mut events = Vec::new();
-        let total = Resolver::new(&mut store)
-            .walk_file(&root, &mut |e| events.push(e))
-            .unwrap();
+        let total = Resolver::new(&mut store).walk_file(&root, &mut |e| events.push(e)).unwrap();
         assert_eq!(total, 256);
         // 4 leaves under fanout 2: 2 branches + root branch + 4 leaves.
         let branches = events.iter().filter(|e| matches!(e, WalkEvent::Branch { .. })).count();
@@ -253,9 +226,6 @@ mod tests {
             cid = Cid::from_dag_node(&bytes);
             store.put(cid.clone(), Bytes::from(bytes));
         }
-        assert_eq!(
-            Resolver::new(&mut store).read_file(&cid),
-            Err(Error::TooDeep(MAX_DEPTH))
-        );
+        assert_eq!(Resolver::new(&mut store).read_file(&cid), Err(Error::TooDeep(MAX_DEPTH)));
     }
 }

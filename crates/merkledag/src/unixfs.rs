@@ -107,9 +107,7 @@ pub fn resolve_path<S: BlockStore>(store: &mut S, root: &Cid, path: &str) -> Res
     let mut current = root.clone();
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     for (i, segment) in segments.iter().enumerate() {
-        let bytes = store
-            .get(&current)
-            .ok_or_else(|| Error::BlockNotFound(current.clone()))?;
+        let bytes = store.get(&current).ok_or_else(|| Error::BlockNotFound(current.clone()))?;
         if !current.hash().verify(&bytes) {
             return Err(Error::HashMismatch(current.clone()));
         }
@@ -138,11 +136,7 @@ pub fn describe<S: BlockStore>(store: &mut S, cid: &Cid) -> Result<PathTarget> {
         let node = DagNode::decode(&bytes)?;
         Ok(PathTarget::Directory {
             cid: cid.clone(),
-            entries: node
-                .links
-                .into_iter()
-                .map(|l| (l.name, l.cid, l.tsize))
-                .collect(),
+            entries: node.links.into_iter().map(|l| (l.name, l.cid, l.tsize)).collect(),
         })
     } else {
         // File: size = full reassembled length (verified walk).
@@ -254,10 +248,7 @@ mod tests {
     fn reading_a_directory_errors() {
         let mut store = MemoryBlockStore::new();
         let (root, ..) = sample_site(&mut store);
-        assert!(matches!(
-            read_path(&mut store, &root, "docs"),
-            Err(Error::IsADirectory(_))
-        ));
+        assert!(matches!(read_path(&mut store, &root, "docs"), Err(Error::IsADirectory(_))));
     }
 
     #[test]
@@ -284,10 +275,7 @@ mod tests {
         assert!(d.add_entry(".", cid.clone(), 1).is_err());
         assert!(d.add_entry("..", cid.clone(), 1).is_err());
         d.add_entry("ok", cid.clone(), 1).unwrap();
-        assert!(matches!(
-            d.add_entry("ok", cid, 1),
-            Err(Error::DuplicateEntry(_))
-        ));
+        assert!(matches!(d.add_entry("ok", cid, 1), Err(Error::DuplicateEntry(_))));
     }
 
     #[test]
@@ -296,10 +284,7 @@ mod tests {
         // A multi-chunk file's root is a dag-pb branch but NOT a directory.
         let data = Bytes::from(vec![9u8; 5000]);
         let chunker = FixedSizeChunker::new(1024);
-        let file_root = DagBuilder::new(&mut store)
-            .add_with_chunker(&data, &chunker)
-            .unwrap()
-            .root;
+        let file_root = DagBuilder::new(&mut store).add_with_chunker(&data, &chunker).unwrap().root;
         assert!(!is_directory(&mut store, &file_root).unwrap());
 
         let mut d = DirectoryBuilder::new();

@@ -76,10 +76,7 @@ impl Multibase {
 
     /// Looks a base up by its prefix character.
     pub fn from_prefix(c: char) -> Result<Multibase> {
-        Multibase::ALL
-            .into_iter()
-            .find(|b| b.prefix() == c)
-            .ok_or(Error::UnknownBase(c))
+        Multibase::ALL.into_iter().find(|b| b.prefix() == c).ok_or(Error::UnknownBase(c))
     }
 
     /// Encodes `data` in this base *without* the multibase prefix.
@@ -285,10 +282,7 @@ mod tests {
     #[test]
     fn base58_leading_zeros() {
         assert_eq!(Multibase::Base58Btc.encode(b"\x00yes mani !"), "z17paNL19xttacUY");
-        assert_eq!(
-            Multibase::Base58Btc.encode(b"\x00\x00yes mani !"),
-            "z117paNL19xttacUY"
-        );
+        assert_eq!(Multibase::Base58Btc.encode(b"\x00\x00yes mani !"), "z117paNL19xttacUY");
         assert_eq!(decode("z117paNL19xttacUY").unwrap().1, b"\x00\x00yes mani !");
     }
 

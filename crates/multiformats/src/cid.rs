@@ -189,10 +189,7 @@ mod tests {
         // CIDv1/raw/sha2-256 of "hello world" — cross-checked against kubo:
         // `ipfs add --raw-leaves --cid-version=1`.
         let cid = Cid::from_raw_data(b"hello world");
-        assert_eq!(
-            cid.to_string(),
-            "bafkreifzjut3te2nhyekklss27nh3k72ysco7y32koao5eei66wof36n5e"
-        );
+        assert_eq!(cid.to_string(), "bafkreifzjut3te2nhyekklss27nh3k72ysco7y32koao5eei66wof36n5e");
     }
 
     #[test]
@@ -237,10 +234,7 @@ mod tests {
         assert_ne!(Cid::from_raw_data(b"a"), Cid::from_raw_data(b"b"));
         // Same data, different codec => different CID.
         let mh = Multihash::sha2_256(b"a");
-        assert_ne!(
-            Cid::new_v1(Multicodec::Raw, mh.clone()),
-            Cid::new_v1(Multicodec::DagPb, mh)
-        );
+        assert_ne!(Cid::new_v1(Multicodec::Raw, mh.clone()), Cid::new_v1(Multicodec::DagPb, mh));
     }
 
     #[test]

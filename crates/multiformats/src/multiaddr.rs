@@ -88,8 +88,12 @@ impl Protocol {
     pub fn is_transport(&self) -> bool {
         matches!(
             self,
-            Protocol::Tcp(_) | Protocol::Udp(_) | Protocol::Quic | Protocol::QuicV1
-                | Protocol::Ws | Protocol::Wss
+            Protocol::Tcp(_)
+                | Protocol::Udp(_)
+                | Protocol::Quic
+                | Protocol::QuicV1
+                | Protocol::Ws
+                | Protocol::Wss
         )
     }
 }
@@ -177,24 +181,16 @@ impl Multiaddr {
             };
             let comp = match name {
                 "ip4" => Protocol::Ip4(
-                    value()?
-                        .parse()
-                        .map_err(|_| Error::InvalidAddressValue(s.to_string()))?,
+                    value()?.parse().map_err(|_| Error::InvalidAddressValue(s.to_string()))?,
                 ),
                 "ip6" => Protocol::Ip6(
-                    value()?
-                        .parse()
-                        .map_err(|_| Error::InvalidAddressValue(s.to_string()))?,
+                    value()?.parse().map_err(|_| Error::InvalidAddressValue(s.to_string()))?,
                 ),
                 "tcp" => Protocol::Tcp(
-                    value()?
-                        .parse()
-                        .map_err(|_| Error::InvalidAddressValue(s.to_string()))?,
+                    value()?.parse().map_err(|_| Error::InvalidAddressValue(s.to_string()))?,
                 ),
                 "udp" => Protocol::Udp(
-                    value()?
-                        .parse()
-                        .map_err(|_| Error::InvalidAddressValue(s.to_string()))?,
+                    value()?.parse().map_err(|_| Error::InvalidAddressValue(s.to_string()))?,
                 ),
                 "quic" => Protocol::Quic,
                 "quic-v1" => Protocol::QuicV1,
@@ -232,7 +228,10 @@ impl Multiaddr {
                     varint::encode(mh.len() as u64, &mut out);
                     out.extend_from_slice(&mh);
                 }
-                Protocol::Quic | Protocol::QuicV1 | Protocol::Ws | Protocol::Wss
+                Protocol::Quic
+                | Protocol::QuicV1
+                | Protocol::Ws
+                | Protocol::Wss
                 | Protocol::P2pCircuit => {}
             }
         }
@@ -257,7 +256,11 @@ impl Multiaddr {
                 6 | 273 => {
                     let o = take_fixed::<2>(&mut slice)?;
                     let port = u16::from_be_bytes(o);
-                    if code == 6 { Protocol::Tcp(port) } else { Protocol::Udp(port) }
+                    if code == 6 {
+                        Protocol::Tcp(port)
+                    } else {
+                        Protocol::Udp(port)
+                    }
                 }
                 460 => Protocol::Quic,
                 461 => Protocol::QuicV1,
@@ -314,8 +317,9 @@ impl core::fmt::Display for Multiaddr {
                 Protocol::Ip4(a) => write!(f, "/{a}")?,
                 Protocol::Ip6(a) => write!(f, "/{a}")?,
                 Protocol::Tcp(p) | Protocol::Udp(p) => write!(f, "/{p}")?,
-                Protocol::Dns(n) | Protocol::Dns4(n) | Protocol::Dns6(n)
-                | Protocol::Dnsaddr(n) => write!(f, "/{n}")?,
+                Protocol::Dns(n) | Protocol::Dns4(n) | Protocol::Dns6(n) | Protocol::Dnsaddr(n) => {
+                    write!(f, "/{n}")?
+                }
                 Protocol::P2p(id) => write!(f, "/{id}")?,
                 _ => {}
             }
@@ -358,8 +362,8 @@ mod tests {
     fn paper_figure2_example_shape() {
         // Figure 2: /ip4/1.2.3.4/tcp/3333/p2p/QmZyWQ14...
         let kp = Keypair::from_seed(7);
-        let ma = Multiaddr::ip4_tcp(Ipv4Addr::new(1, 2, 3, 4), 3333)
-            .with(Protocol::P2p(kp.peer_id()));
+        let ma =
+            Multiaddr::ip4_tcp(Ipv4Addr::new(1, 2, 3, 4), 3333).with(Protocol::P2p(kp.peer_id()));
         let s = ma.to_string();
         assert!(s.starts_with("/ip4/1.2.3.4/tcp/3333/p2p/"), "{s}");
         let back = Multiaddr::parse(&s).unwrap();

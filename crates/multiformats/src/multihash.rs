@@ -139,9 +139,7 @@ impl Multihash {
 
 impl core::fmt::Debug for Multihash {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let name = MultihashCode::from_code(self.code)
-            .map(|c| c.name())
-            .unwrap_or("unknown");
+        let name = MultihashCode::from_code(self.code).map(|c| c.name()).unwrap_or("unknown");
         write!(f, "Multihash({name}:")?;
         for b in self.digest.iter().take(6) {
             write!(f, "{b:02x}")?;
@@ -193,10 +191,7 @@ mod tests {
     fn rejects_unknown_function() {
         // code 0x16 (sha3-256) is not in our registry subset.
         let bytes = [0x16u8, 0x02, 0xaa, 0xbb];
-        assert_eq!(
-            Multihash::from_bytes(&bytes),
-            Err(Error::UnknownHashCode(0x16))
-        );
+        assert_eq!(Multihash::from_bytes(&bytes), Err(Error::UnknownHashCode(0x16)));
     }
 
     #[test]

@@ -56,9 +56,7 @@ pub fn decode(input: &[u8]) -> Result<(u64, usize)> {
         if i == MAX_LEN - 1 && byte & 0x80 != 0 {
             return Err(Error::InvalidVarint);
         }
-        value |= payload
-            .checked_shl((7 * i) as u32)
-            .ok_or(Error::InvalidVarint)?;
+        value |= payload.checked_shl((7 * i) as u32).ok_or(Error::InvalidVarint)?;
         if byte & 0x80 == 0 {
             // Minimal-encoding check: the last byte of a multi-byte varint
             // must be non-zero.

@@ -124,7 +124,9 @@ impl ChurnModel {
         let mult = lognormal(rng, 0.0, p.session_sigma);
         // Clamp to [30 s, 14 d] — sub-probe-interval sessions are invisible
         // to the paper's crawler anyway.
-        SimDuration::from_secs_f64((p.median_session.as_secs_f64() * mult).clamp(30.0, 14.0 * 86_400.0))
+        SimDuration::from_secs_f64(
+            (p.median_session.as_secs_f64() * mult).clamp(30.0, 14.0 * 86_400.0),
+        )
     }
 
     /// Draws one offline gap for a country.
@@ -169,9 +171,9 @@ impl ChurnModel {
     ) -> SessionSchedule {
         match class {
             StabilityClass::NeverReachable => SessionSchedule { sessions: Vec::new() },
-            StabilityClass::Reliable => SessionSchedule {
-                sessions: vec![(SimTime::ZERO, SimTime::ZERO + horizon)],
-            },
+            StabilityClass::Reliable => {
+                SessionSchedule { sessions: vec![(SimTime::ZERO, SimTime::ZERO + horizon)] }
+            }
             StabilityClass::Churning => {
                 let mut sessions = Vec::new();
                 // Random phase: start mid-session or mid-gap.
@@ -226,9 +228,7 @@ impl SessionSchedule {
 
     /// Total online time.
     pub fn total_online(&self) -> SimDuration {
-        self.sessions
-            .iter()
-            .fold(SimDuration::ZERO, |acc, (s, e)| acc + (*e - *s))
+        self.sessions.iter().fold(SimDuration::ZERO, |acc, (s, e)| acc + (*e - *s))
     }
 
     /// Fraction of `horizon` spent online.
@@ -252,9 +252,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(20);
         let n = 20_000;
         let median = |c: Country, rng: &mut StdRng| {
-            let mut v: Vec<f64> = (0..n)
-                .map(|_| model.sample_session(rng, c).as_secs_f64())
-                .collect();
+            let mut v: Vec<f64> =
+                (0..n).map(|_| model.sample_session(rng, c).as_secs_f64()).collect();
             v.sort_by(f64::total_cmp);
             v[n / 2]
         };
@@ -325,8 +324,7 @@ mod tests {
         let model = ChurnModel;
         let mut rng = StdRng::seed_from_u64(24);
         let h = SimDuration::from_hours(24);
-        let sched =
-            model.sample_schedule(&mut rng, Country::CN, StabilityClass::NeverReachable, h);
+        let sched = model.sample_schedule(&mut rng, Country::CN, StabilityClass::NeverReachable, h);
         assert_eq!(sched.total_online(), SimDuration::ZERO);
         assert!(!sched.online_at(SimTime::ZERO));
     }
@@ -336,9 +334,8 @@ mod tests {
         let model = ChurnModel;
         let mut rng = StdRng::seed_from_u64(25);
         let n = 100_000;
-        let reliable = (0..n)
-            .filter(|_| model.sample_class(&mut rng) == StabilityClass::Reliable)
-            .count();
+        let reliable =
+            (0..n).filter(|_| model.sample_class(&mut rng) == StabilityClass::Reliable).count();
         let share = reliable as f64 / n as f64;
         assert!((share - 0.014).abs() < 0.003, "reliable share {share}");
     }

@@ -14,27 +14,72 @@ use rand::Rng;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum Country {
-    US, CN, FR, TW, KR, DE, HK, JP, GB, CA, NL, RU, SG, PL, BR, AU, IN, ZA, Other,
+    US,
+    CN,
+    FR,
+    TW,
+    KR,
+    DE,
+    HK,
+    JP,
+    GB,
+    CA,
+    NL,
+    RU,
+    SG,
+    PL,
+    BR,
+    AU,
+    IN,
+    ZA,
+    Other,
 }
 
 impl Country {
     /// All countries in table order.
     pub const ALL: [Country; 19] = [
-        Country::US, Country::CN, Country::FR, Country::TW, Country::KR,
-        Country::DE, Country::HK, Country::JP, Country::GB, Country::CA,
-        Country::NL, Country::RU, Country::SG, Country::PL, Country::BR,
-        Country::AU, Country::IN, Country::ZA, Country::Other,
+        Country::US,
+        Country::CN,
+        Country::FR,
+        Country::TW,
+        Country::KR,
+        Country::DE,
+        Country::HK,
+        Country::JP,
+        Country::GB,
+        Country::CA,
+        Country::NL,
+        Country::RU,
+        Country::SG,
+        Country::PL,
+        Country::BR,
+        Country::AU,
+        Country::IN,
+        Country::ZA,
+        Country::Other,
     ];
 
     /// ISO-ish display code.
     pub fn code(self) -> &'static str {
         match self {
-            Country::US => "US", Country::CN => "CN", Country::FR => "FR",
-            Country::TW => "TW", Country::KR => "KR", Country::DE => "DE",
-            Country::HK => "HK", Country::JP => "JP", Country::GB => "GB",
-            Country::CA => "CA", Country::NL => "NL", Country::RU => "RU",
-            Country::SG => "SG", Country::PL => "PL", Country::BR => "BR",
-            Country::AU => "AU", Country::IN => "IN", Country::ZA => "ZA",
+            Country::US => "US",
+            Country::CN => "CN",
+            Country::FR => "FR",
+            Country::TW => "TW",
+            Country::KR => "KR",
+            Country::DE => "DE",
+            Country::HK => "HK",
+            Country::JP => "JP",
+            Country::GB => "GB",
+            Country::CA => "CA",
+            Country::NL => "NL",
+            Country::RU => "RU",
+            Country::SG => "SG",
+            Country::PL => "PL",
+            Country::BR => "BR",
+            Country::AU => "AU",
+            Country::IN => "IN",
+            Country::ZA => "ZA",
             Country::Other => "other",
         }
     }
@@ -220,21 +265,13 @@ impl GeoDb {
     /// Samples a peer country following Figure 5's distribution.
     pub fn sample_peer_country<R: Rng + ?Sized>(&self, rng: &mut R) -> Country {
         let x = rng.random_range(0..1000u32);
-        self.peer_cdf
-            .iter()
-            .find(|(cum, _)| x < *cum)
-            .map(|(_, c)| *c)
-            .expect("cdf covers range")
+        self.peer_cdf.iter().find(|(cum, _)| x < *cum).map(|(_, c)| *c).expect("cdf covers range")
     }
 
     /// Samples a gateway-user country following Figure 6's distribution.
     pub fn sample_user_country<R: Rng + ?Sized>(&self, rng: &mut R) -> Country {
         let x = rng.random_range(0..1000u32);
-        self.user_cdf
-            .iter()
-            .find(|(cum, _)| x < *cum)
-            .map(|(_, c)| *c)
-            .expect("cdf covers range")
+        self.user_cdf.iter().find(|(cum, _)| x < *cum).map(|(_, c)| *c).expect("cdf covers range")
     }
 
     /// Number of synthetic ASes owned by a country (proportional to its
@@ -249,11 +286,11 @@ impl GeoDb {
     /// remainder spreads over the country's synthetic tail with Zipf s=1.5.
     fn head_weights(country: Country) -> &'static [f64] {
         match country {
-            Country::CN => &[0.65, 0.30],       // AS4134, AS4837 (Table 2)
-            Country::HK => &[0.85],             // AS4760 HKT
-            Country::BR => &[0.80],             // AS26599 Telefonica
-            Country::TW => &[0.80],             // AS3462 HINET
-            Country::KR => &[0.60, 0.25],       // incumbent telcos
+            Country::CN => &[0.65, 0.30], // AS4134, AS4837 (Table 2)
+            Country::HK => &[0.85],       // AS4760 HKT
+            Country::BR => &[0.80],       // AS26599 Telefonica
+            Country::TW => &[0.80],       // AS3462 HINET
+            Country::KR => &[0.60, 0.25], // incumbent telcos
             Country::FR => &[0.50, 0.20],
             Country::US => &[0.30, 0.15, 0.10], // more fragmented market
             _ => &[0.40, 0.20],
@@ -333,7 +370,9 @@ impl GeoDb {
         // Synthetic IP: AS-derived /16 prefix, salt-derived suffix. The
         // prefix keeps same-AS hosts adjacent (useful for AS-level views).
         let prefix = (asn.wrapping_mul(2654435761) % 0xDFFF) + 0x0100; // avoid 0.x and 224+.x
-        let ip = std::net::Ipv4Addr::from((prefix << 16) | (ip_salt & 0xFFFF) | ((ip_salt & 0xF0000) >> 4));
+        let ip = std::net::Ipv4Addr::from(
+            (prefix << 16) | (ip_salt & 0xFFFF) | ((ip_salt & 0xF0000) >> 4),
+        );
         HostInfo { ip, country, region, asn, as_rank, cloud }
     }
 }

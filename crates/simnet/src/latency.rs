@@ -183,7 +183,12 @@ impl LatencyModel {
 
     /// Samples a one-way latency between two zones: half the median RTT
     /// scaled by log-normal jitter (median multiplier 1.0).
-    pub fn sample_one_way<R: Rng + ?Sized>(&self, rng: &mut R, a: Region, b: Region) -> SimDuration {
+    pub fn sample_one_way<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        a: Region,
+        b: Region,
+    ) -> SimDuration {
         let half_rtt_ms = RTT_MS[a.index()][b.index()] as f64 / 2.0;
         let mult = sample_lognormal(rng, 0.0, self.jitter_sigma);
         SimDuration::from_secs_f64(half_rtt_ms * mult / 1e3)
@@ -251,7 +256,14 @@ mod tests {
         let labels: Vec<&str> = VantagePoint::ALL.iter().map(|v| v.label()).collect();
         assert_eq!(
             labels,
-            vec!["af_south_1", "ap_southeast_2", "eu_central_1", "me_south_1", "sa_east_1", "us_west_1"]
+            vec![
+                "af_south_1",
+                "ap_southeast_2",
+                "eu_central_1",
+                "me_south_1",
+                "sa_east_1",
+                "us_west_1"
+            ]
         );
     }
 
@@ -262,16 +274,12 @@ mod tests {
         let a = Region::EuropeCentral;
         let b = Region::NorthAmericaEast;
         let n = 2000;
-        let mean: f64 = (0..n)
-            .map(|_| model.sample_one_way(&mut rng, a, b).as_secs_f64())
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 =
+            (0..n).map(|_| model.sample_one_way(&mut rng, a, b).as_secs_f64()).sum::<f64>()
+                / n as f64;
         let expected = model.median_rtt(a, b).as_secs_f64() / 2.0;
         // Log-normal mean is exp(sigma^2/2) above the median; allow slack.
-        assert!(
-            (mean - expected).abs() / expected < 0.15,
-            "mean {mean} vs half-RTT {expected}"
-        );
+        assert!((mean - expected).abs() / expected < 0.15, "mean {mean} vs half-RTT {expected}");
     }
 
     #[test]
@@ -279,12 +287,20 @@ mod tests {
         let model = LatencyModel { jitter_sigma: 0.0 };
         let mut rng = StdRng::seed_from_u64(2);
         let small = model.sample_transfer(
-            &mut rng, 1_000, Region::EuropeWest, BandwidthClass::Datacenter,
-            Region::EuropeWest, BandwidthClass::Datacenter,
+            &mut rng,
+            1_000,
+            Region::EuropeWest,
+            BandwidthClass::Datacenter,
+            Region::EuropeWest,
+            BandwidthClass::Datacenter,
         );
         let big = model.sample_transfer(
-            &mut rng, 100_000_000, Region::EuropeWest, BandwidthClass::Datacenter,
-            Region::EuropeWest, BandwidthClass::Datacenter,
+            &mut rng,
+            100_000_000,
+            Region::EuropeWest,
+            BandwidthClass::Datacenter,
+            Region::EuropeWest,
+            BandwidthClass::Datacenter,
         );
         assert!(big > small);
         // 100 MB at 1 Gbit/s ≈ 0.8 s serialization.
@@ -297,8 +313,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         // Residential uplink (20 Mbit/s) throttles datacenter downlink.
         let t = model.sample_transfer(
-            &mut rng, 2_500_000, Region::EuropeWest, BandwidthClass::Residential,
-            Region::EuropeWest, BandwidthClass::Datacenter,
+            &mut rng,
+            2_500_000,
+            Region::EuropeWest,
+            BandwidthClass::Residential,
+            Region::EuropeWest,
+            BandwidthClass::Datacenter,
         );
         // 2.5 MB * 8 / 20 Mbit/s = 1.0 s plus ~7.5ms latency.
         assert!((t.as_secs_f64() - 1.0075).abs() < 0.01, "{t}");
@@ -310,10 +330,7 @@ mod tests {
         // eu_central_1 to all zones is lower than from af_south_1.
         let model = LatencyModel::default();
         let mean_rtt = |v: VantagePoint| -> f64 {
-            Region::ALL
-                .iter()
-                .map(|r| model.median_rtt(v.region(), *r).as_secs_f64())
-                .sum::<f64>()
+            Region::ALL.iter().map(|r| model.median_rtt(v.region(), *r).as_secs_f64()).sum::<f64>()
                 / Region::ALL.len() as f64
         };
         assert!(mean_rtt(VantagePoint::EuCentral1) < mean_rtt(VantagePoint::AfSouth1));

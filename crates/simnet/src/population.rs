@@ -113,16 +113,14 @@ impl Population {
 
         let mut peers = Vec::with_capacity(config.size);
         for index in 0..config.size {
-            let use_shared = rng.random_range(0.0..1.0) < config.shared_ip_fraction
-                && !super_hosts.is_empty();
+            let use_shared =
+                rng.random_range(0.0..1.0) < config.shared_ip_fraction && !super_hosts.is_empty();
             let host = if use_shared {
                 // Zipf-ish preference for the first super IPs.
                 let h = rng.random_range(0.0..1.0f64);
                 let idx = ((h * h) * super_hosts.len() as f64) as usize;
                 super_hosts[idx.min(super_hosts.len() - 1)]
-            } else if !peers.is_empty()
-                && rng.random_range(0.0..1.0) < config.ip_reuse_fraction
-            {
+            } else if !peers.is_empty() && rng.random_range(0.0..1.0) < config.ip_reuse_fraction {
                 // Another node on an already-seen host (same IP).
                 let donor: &SimPeer = &peers[rng.random_range(0..peers.len())];
                 donor.host
@@ -163,9 +161,7 @@ impl Population {
             };
             peers.push(SimPeer {
                 index,
-                key_seed: seed
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(index as u64),
+                key_seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(index as u64),
                 host,
                 secondary_host,
                 nat,
@@ -226,10 +222,7 @@ mod tests {
         let p = pop(20_000);
         let nat = p.peers.iter().filter(|x| x.nat).count() as f64 / p.peers.len() as f64;
         assert!((nat - 0.455).abs() < 0.02, "NAT share {nat}");
-        assert_eq!(
-            p.server_count(),
-            p.peers.iter().filter(|x| !x.nat).count()
-        );
+        assert_eq!(p.server_count(), p.peers.iter().filter(|x| !x.nat).count());
     }
 
     #[test]
@@ -273,11 +266,7 @@ mod tests {
     #[test]
     fn country_mix_roughly_figure5() {
         let p = pop(30_000);
-        let us = p
-            .peers
-            .iter()
-            .filter(|x| x.host.country == Country::US)
-            .count() as f64
+        let us = p.peers.iter().filter(|x| x.host.country == Country::US).count() as f64
             / p.peers.len() as f64;
         // Super-IPs perturb the mix slightly; allow a loose band.
         assert!((us - 0.285).abs() < 0.05, "US share {us}");

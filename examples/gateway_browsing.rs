@@ -27,12 +27,8 @@ fn main() {
         ..Default::default()
     });
     let mut gw = Gateway::new(gw_node, GatewayConfig::default());
-    let providers: Vec<_> = net
-        .server_ids()
-        .into_iter()
-        .filter(|&i| net.is_dialable(i))
-        .take(25)
-        .collect();
+    let providers: Vec<_> =
+        net.server_ids().into_iter().filter(|&i| net.is_dialable(i)).take(25).collect();
     gw.install_catalog(&mut net, &workload, &providers);
     println!(
         "catalog installed: {} objects ({} pinned by the storage initiatives)\n",
@@ -74,11 +70,8 @@ fn main() {
             lats[lats.len() / 2],
         );
     }
-    let under_250ms = log
-        .iter()
-        .filter(|e| e.latency.as_millis() < 250)
-        .count() as f64
-        / log.len() as f64;
+    let under_250ms =
+        log.iter().filter(|e| e.latency.as_millis() < 250).count() as f64 / log.len() as f64;
     println!(
         "\n{:.0} % of requests served in under 250 ms (paper: 76 %) — demand aggregation at work",
         100.0 * under_250ms

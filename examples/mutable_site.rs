@@ -74,13 +74,8 @@ fn main() {
     let now = net.now();
     let v3 = net.node_mut(reader).ipns.resolve(&name, now).unwrap().clone();
     cache.put(v3, now).unwrap();
-    let stale = IpnsRecord::sign(
-        &keypair,
-        multiformats::Cid::from_raw_data(b"old"),
-        1,
-        now,
-        IPNS_VALIDITY,
-    );
+    let stale =
+        IpnsRecord::sign(&keypair, multiformats::Cid::from_raw_data(b"old"), 1, now, IPNS_VALIDITY);
     let err = cache.put(stale, now).unwrap_err();
     println!("\nreplaying the v1 record is rejected: {err}");
 

@@ -9,7 +9,7 @@
 //! cargo run --release -p ipfs-examples --bin network_census
 //! ```
 
-use crawler::{ChurnMonitor, Crawler, CrawlConfig, MonitorConfig};
+use crawler::{ChurnMonitor, CrawlConfig, Crawler, MonitorConfig};
 use ipfs_core::{IpfsNetwork, NetworkConfig};
 use simnet::latency::VantagePoint;
 use simnet::{Population, PopulationConfig, SimDuration};
@@ -60,7 +60,12 @@ fn main() {
     countries.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
     println!("\ntop countries in the crawl (paper Fig. 5: US 28.5 %, CN 24.2 %, ...):");
     for (code, n) in countries.iter().take(6) {
-        println!("  {:<6} {:>5}  ({:>4.1} %)", code, n, 100.0 * *n as f64 / snap.peers.len() as f64);
+        println!(
+            "  {:<6} {:>5}  ({:>4.1} %)",
+            code,
+            n,
+            100.0 * *n as f64 / snap.peers.len() as f64
+        );
     }
     let cloud = snap.peers.iter().filter(|p| p.cloud.is_some()).count();
     println!(
@@ -87,17 +92,13 @@ fn main() {
         .collect();
     let under_8h = counted.iter().filter(|&&h| h < 8.0).count() as f64 / counted.len() as f64;
     let over_24h = counted.iter().filter(|&&h| h > 24.0).count() as f64 / counted.len() as f64;
-    let reliable =
-        summaries.iter().filter(|s| s.reachable_fraction > 0.9).count() as f64
-            / summaries.len() as f64;
+    let reliable = summaries.iter().filter(|s| s.reachable_fraction > 0.9).count() as f64
+        / summaries.len() as f64;
     println!(
         "  {} sessions observed; {:.1} % under 8 h (paper 87.6 %), {:.1} % over 24 h (paper 2.5 %)",
         counted.len(),
         100.0 * under_8h,
         100.0 * over_24h
     );
-    println!(
-        "  reliable peers (>90 % uptime): {:.1} % (paper: 1.4 %)",
-        100.0 * reliable
-    );
+    println!("  reliable peers (>90 % uptime): {:.1} % (paper: 1.4 %)", 100.0 * reliable);
 }

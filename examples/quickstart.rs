@@ -21,9 +21,7 @@ fn main() {
 
     // 1. Import: chunk + Merkle DAG, all local (Figure 3, step 1).
     let document = Bytes::from(
-        "Hello from the InterPlanetary File System reproduction!\n"
-            .repeat(20_000)
-            .into_bytes(),
+        "Hello from the InterPlanetary File System reproduction!\n".repeat(20_000).into_bytes(),
     );
     let report = net.node_mut(california).add_content(&document);
     println!(
@@ -61,10 +59,8 @@ fn main() {
     println!("  retrieval stretch vs plain HTTPS (paper eq. 1): {:.1}x", ret.stretch());
 
     // 4. Self-certification: the fetched bytes hash back to the CID.
-    let fetched = net
-        .node_mut(frankfurt)
-        .read_content(&cid)
-        .expect("content must verify block-by-block");
+    let fetched =
+        net.node_mut(frankfurt).read_content(&cid).expect("content must verify block-by-block");
     assert_eq!(fetched, document);
     println!("\ncontent verified: every block hashes to its CID ✓");
 }

@@ -21,7 +21,8 @@ fn main() {
     let [publisher, reader] = ids[..] else { unreachable!() };
 
     // --- build the site: /index.html, /blog/hello.html, /assets/logo.bin ---
-    let index = Bytes::from_static(b"<html><h1>my dweb site</h1><a href=blog/hello.html>blog</a></html>");
+    let index =
+        Bytes::from_static(b"<html><h1>my dweb site</h1><a href=blog/hello.html>blog</a></html>");
     let post = Bytes::from_static(b"<html><p>hello decentralized world</p></html>");
     let logo = Bytes::from(vec![0x89u8; 48 * 1024]);
 

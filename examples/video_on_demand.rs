@@ -16,8 +16,8 @@ use simnet::latency::VantagePoint;
 
 fn main() {
     let vantages = [
-        VantagePoint::SaEast1,       // the studio
-        VantagePoint::EuCentral1,    // viewers...
+        VantagePoint::SaEast1,    // the studio
+        VantagePoint::EuCentral1, // viewers...
         VantagePoint::UsWest1,
         VantagePoint::ApSoutheast2,
         VantagePoint::AfSouth1,
@@ -82,12 +82,7 @@ fn main() {
         net.retrieve(viewer, cid.clone());
         net.run_until_quiet();
         let r = net.retrieve_reports.last().unwrap();
-        println!(
-            "  {:<14} total {:>8}  via_bitswap={}",
-            vp.label(),
-            secs(r.total),
-            r.via_bitswap
-        );
+        println!("  {:<14} total {:>8}  via_bitswap={}", vp.label(), secs(r.total), r.via_bitswap);
         assert!(r.success);
         assert!(r.via_bitswap, "warm connection must satisfy via Bitswap");
     }

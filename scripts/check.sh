@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Repo health gate: formatting, lints (warnings are errors), full tests.
+# Run from anywhere; operates on the workspace root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "All checks passed."

@@ -45,12 +45,8 @@ fn low_replication_decays_under_churn() {
             node: NodeConfig { replication: k, ..Default::default() },
             ..Default::default()
         };
-        let (mut net, ids) = test_network_with(
-            700,
-            &[VantagePoint::EuCentral1, VantagePoint::UsWest1],
-            202,
-            cfg,
-        );
+        let (mut net, ids) =
+            test_network_with(700, &[VantagePoint::EuCentral1, VantagePoint::UsWest1], 202, cfg);
         let [eu, us] = ids[..] else { unreachable!() };
         let mut cids = Vec::new();
         for i in 0..12 {
@@ -86,12 +82,8 @@ fn republish_keeps_records_alive_past_expiry() {
     // Without republish, records expire after 24 h (§3.1); with the 12 h
     // republish cycle they stay resolvable.
     let cfg = NetworkConfig { auto_republish: true, ..Default::default() };
-    let (mut net, ids) = test_network_with(
-        500,
-        &[VantagePoint::EuCentral1, VantagePoint::UsWest1],
-        203,
-        cfg,
-    );
+    let (mut net, ids) =
+        test_network_with(500, &[VantagePoint::EuCentral1, VantagePoint::UsWest1], 203, cfg);
     let [eu, us] = ids[..] else { unreachable!() };
     let cid = net.import_content(us, &payload(64 * 1024, 2));
     net.publish(us, cid.clone());
@@ -116,11 +108,8 @@ fn dangling_record_to_offline_provider_fails_bounded() {
     let (mut net, ids) = test_network(500, &[VantagePoint::EuCentral1], 206);
     let requester = ids[0];
     // Publish from a churning population server that is online now.
-    let provider = net
-        .server_ids()
-        .into_iter()
-        .find(|&i| net.is_dialable(i) && i != requester)
-        .unwrap();
+    let provider =
+        net.server_ids().into_iter().find(|&i| net.is_dialable(i) && i != requester).unwrap();
     let cid = net.import_content(provider, &payload(32 * 1024, 5));
     net.publish(provider, cid.clone());
     net.run_until_quiet();
@@ -141,10 +130,7 @@ fn dangling_record_to_offline_provider_fails_bounded() {
     // Either another holder served it (possible if a record-holder cached
     // it — not in this setup) or it failed; in both cases bounded.
     assert!(!rr.success, "offline provider cannot serve: {rr:?}");
-    assert!(
-        elapsed < SimDuration::from_secs(200),
-        "failure must be bounded, took {elapsed}"
-    );
+    assert!(elapsed < SimDuration::from_secs(200), "failure must be bounded, took {elapsed}");
 }
 
 #[test]

@@ -91,7 +91,8 @@ fn multiple_providers_any_can_serve() {
 fn retrieval_includes_lookup_unlike_https() {
     // §6.2: IPFS retrieval time includes the lookup; stretch > 1 always on
     // the DHT path.
-    let (mut net, ids) = test_network(300, &[VantagePoint::EuCentral1, VantagePoint::MeSouth1], 104);
+    let (mut net, ids) =
+        test_network(300, &[VantagePoint::EuCentral1, VantagePoint::MeSouth1], 104);
     let [eu, me] = ids[..] else { unreachable!() };
     let cid = net.import_content(me, &payload(512 * 1024, 4));
     net.publish(me, cid.clone());
@@ -113,12 +114,8 @@ fn provider_record_addresses_skip_second_walk() {
     // With provider records carrying fresh addresses, the second DHT walk
     // disappears — the counterfactual to Figure 9e.
     let cfg = NetworkConfig { provider_records_carry_addrs: true, ..Default::default() };
-    let (mut net, ids) = test_network_with(
-        300,
-        &[VantagePoint::EuCentral1, VantagePoint::UsWest1],
-        105,
-        cfg,
-    );
+    let (mut net, ids) =
+        test_network_with(300, &[VantagePoint::EuCentral1, VantagePoint::UsWest1], 105, cfg);
     let [eu, us] = ids[..] else { unreachable!() };
     let cid = net.import_content(us, &payload(64 * 1024, 5));
     net.publish(us, cid.clone());

@@ -18,12 +18,8 @@ fn setup(seed: u64, requests: usize) -> (ipfs_core::IpfsNetwork, Gateway, Gatewa
         ..Default::default()
     });
     let mut gw = Gateway::new(gw_node, GatewayConfig::default());
-    let providers: Vec<_> = net
-        .server_ids()
-        .into_iter()
-        .filter(|&i| net.is_dialable(i))
-        .take(20)
-        .collect();
+    let providers: Vec<_> =
+        net.server_ids().into_iter().filter(|&i| net.is_dialable(i)).take(20).collect();
     gw.install_catalog(&mut net, &workload, &providers);
     (net, gw, workload)
 }
@@ -97,12 +93,8 @@ fn gateway_is_optional_direct_p2p_still_works() {
     // from a provider, bypassing the gateway entirely.
     let (mut net, ids) = test_network(300, &[VantagePoint::UsWest1, VantagePoint::EuCentral1], 304);
     let [_gw, direct_user] = ids[..] else { unreachable!() };
-    let providers: Vec<_> = net
-        .server_ids()
-        .into_iter()
-        .filter(|&i| net.is_dialable(i))
-        .take(1)
-        .collect();
+    let providers: Vec<_> =
+        net.server_ids().into_iter().filter(|&i| net.is_dialable(i)).take(1).collect();
     let data = integration_tests::payload(80_000, 1);
     let cid = net.import_content(providers[0], &data);
     net.publish(providers[0], cid.clone());
@@ -117,20 +109,13 @@ fn gateway_is_optional_direct_p2p_still_works() {
 fn pinned_content_survives_gateway_gc() {
     let (mut net, gw, workload) = setup(305, 1);
     // Run GC on the gateway node: pinned objects must survive.
-    let pinned_cids: Vec<_> = workload
-        .objects
-        .iter()
-        .filter(|o| o.pinned)
-        .map(|o| o.cid.clone())
-        .collect();
+    let pinned_cids: Vec<_> =
+        workload.objects.iter().filter(|o| o.pinned).map(|o| o.cid.clone()).collect();
     assert!(!pinned_cids.is_empty());
     let node = net.node_mut(gw.node);
     node.store.gc();
     for cid in &pinned_cids {
-        assert!(
-            merkledag::BlockStore::has(&node.store, cid),
-            "pinned object lost in GC"
-        );
+        assert!(merkledag::BlockStore::has(&node.store, cid), "pinned object lost in GC");
     }
 }
 

@@ -32,11 +32,7 @@ fn crawler_coverage_against_ground_truth() {
     // At t=0 routing tables hold the currently-online servers (a live
     // network's tables are traffic-fresh); the crawl must find nearly all
     // of them and nothing beyond the server set.
-    let online = net
-        .server_ids()
-        .into_iter()
-        .filter(|&id| net.is_dialable(id))
-        .count();
+    let online = net.server_ids().into_iter().filter(|&id| net.is_dialable(id)).count();
     assert!(
         snap.peers.len() >= online * 9 / 10,
         "found {} of {online} online servers",
@@ -67,10 +63,7 @@ fn crawl_dialable_fraction_drops_with_churn_then_recovers_shape() {
         settled > 0.25 && settled < 0.95,
         "dialable fraction out of band after churn: {settled}"
     );
-    assert!(
-        fractions.last().unwrap() < &fractions[0],
-        "staleness must accumulate: {fractions:?}"
-    );
+    assert!(fractions.last().unwrap() < &fractions[0], "staleness must accumulate: {fractions:?}");
 }
 
 #[test]
@@ -107,11 +100,7 @@ fn monitor_observations_anchored_in_true_online_time() {
     // sessions — the same blind spot the paper's crawler has, which its
     // 30 s minimum interval mitigates but cannot eliminate.)
     let pop = Population::generate(
-        PopulationConfig {
-            size: 300,
-            horizon: SimDuration::from_hours(24),
-            ..Default::default()
-        },
+        PopulationConfig { size: 300, horizon: SimDuration::from_hours(24), ..Default::default() },
         404,
     );
     let cfg = MonitorConfig { window: SimDuration::from_hours(24), ..Default::default() };
@@ -125,8 +114,7 @@ fn monitor_observations_anchored_in_true_online_time() {
         );
         let last_seen_up = o.observed_start + o.observed_uptime;
         assert!(
-            truth.online_at(last_seen_up)
-                || truth.sessions.iter().any(|(_, e)| *e == last_seen_up),
+            truth.online_at(last_seen_up) || truth.sessions.iter().any(|(_, e)| *e == last_seen_up),
             "observed session end must be a truly-online instant"
         );
         assert!(o.observed_uptime <= cfg.window);
@@ -139,11 +127,8 @@ fn crawl_census_matches_population_marginals() {
     let snap = Crawler::new(CrawlConfig::default()).crawl(&net, &pop);
     // Country shares in the crawl roughly track the population (the crawl
     // sees servers only, but country assignment is NAT-independent).
-    let us_crawl = snap
-        .peers
-        .iter()
-        .filter(|p| p.country == simnet::geodb::Country::US)
-        .count() as f64
+    let us_crawl = snap.peers.iter().filter(|p| p.country == simnet::geodb::Country::US).count()
+        as f64
         / snap.peers.len() as f64;
     assert!((us_crawl - 0.285).abs() < 0.08, "US share in crawl: {us_crawl}");
 }

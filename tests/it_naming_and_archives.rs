@@ -47,7 +47,8 @@ fn ipns_name_tracks_updates_across_the_network() {
 #[test]
 fn ipns_records_survive_while_content_stays_fetchable() {
     // Resolve-then-fetch composes: /ipns/<name> -> CID -> bytes.
-    let (mut net, ids) = test_network(350, &[VantagePoint::ApSoutheast2, VantagePoint::SaEast1], 502);
+    let (mut net, ids) =
+        test_network(350, &[VantagePoint::ApSoutheast2, VantagePoint::SaEast1], 502);
     let [reader, publisher] = ids[..] else { unreachable!() };
     let keypair = net.node(publisher).keypair().clone();
     let data = payload(64 * 1024, 9);
@@ -61,15 +62,7 @@ fn ipns_records_survive_while_content_stays_fetchable() {
 
     net.resolve_ipns(reader, &keypair.peer_id());
     net.run_until_quiet();
-    let resolved = net
-        .ipns_resolve_reports
-        .last()
-        .unwrap()
-        .record
-        .as_ref()
-        .unwrap()
-        .value
-        .clone();
+    let resolved = net.ipns_resolve_reports.last().unwrap().record.as_ref().unwrap().value.clone();
     net.retrieve(reader, resolved.clone());
     net.run_until_quiet();
     assert!(net.retrieve_reports.last().unwrap().success);
@@ -85,9 +78,8 @@ fn unixfs_site_travels_as_one_archive_through_a_pinning_service() {
     let [service_node, reader] = ids[..] else { unreachable!() };
     let service = PinningService::new(service_node);
 
-    let author = (0..net.len())
-        .find(|&i| !net.is_dialable(i) && net.is_online(i))
-        .expect("NAT'ed author");
+    let author =
+        (0..net.len()).find(|&i| !net.is_dialable(i) && net.is_online(i)).expect("NAT'ed author");
     let page = Bytes::from_static(b"<html>pinned dweb page</html>");
     let blob = payload(80_000, 3);
     let site_root = {
@@ -113,14 +105,8 @@ fn unixfs_site_travels_as_one_archive_through_a_pinning_service() {
     net.run_until_quiet();
     assert!(net.retrieve_reports.last().unwrap().success);
     let store = &mut net.node_mut(reader).store;
-    assert_eq!(
-        merkledag::unixfs::read_path(store, &site_root, "index.html").unwrap(),
-        page
-    );
-    assert_eq!(
-        merkledag::unixfs::read_path(store, &site_root, "data.bin").unwrap(),
-        blob
-    );
+    assert_eq!(merkledag::unixfs::read_path(store, &site_root, "index.html").unwrap(), page);
+    assert_eq!(merkledag::unixfs::read_path(store, &site_root, "data.bin").unwrap(), blob);
 }
 
 #[test]
@@ -150,8 +136,20 @@ fn stale_ipns_record_never_displaces_newer_one() {
     let (mut net, ids) = test_network(350, &[VantagePoint::EuCentral1, VantagePoint::UsWest1], 505);
     let [resolver, publisher] = ids[..] else { unreachable!() };
     let keypair = net.node(publisher).keypair().clone();
-    let v1 = IpnsRecord::sign(&keypair, multiformats::Cid::from_raw_data(b"v1"), 1, net.now(), IPNS_VALIDITY);
-    let v2 = IpnsRecord::sign(&keypair, multiformats::Cid::from_raw_data(b"v2"), 2, net.now(), IPNS_VALIDITY);
+    let v1 = IpnsRecord::sign(
+        &keypair,
+        multiformats::Cid::from_raw_data(b"v1"),
+        1,
+        net.now(),
+        IPNS_VALIDITY,
+    );
+    let v2 = IpnsRecord::sign(
+        &keypair,
+        multiformats::Cid::from_raw_data(b"v2"),
+        2,
+        net.now(),
+        IPNS_VALIDITY,
+    );
     net.publish_ipns(publisher, &v1);
     net.run_until_quiet();
     net.publish_ipns(publisher, &v2);

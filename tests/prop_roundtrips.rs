@@ -5,8 +5,8 @@
 use bitswap::{BitswapEngine, EngineOutput, Message};
 use bytes::Bytes;
 use merkledag::{
-    Chunker, ContentDefinedChunker, DagBuilder, DagLayout, FixedSizeChunker,
-    MemoryBlockStore, Resolver,
+    Chunker, ContentDefinedChunker, DagBuilder, DagLayout, FixedSizeChunker, MemoryBlockStore,
+    Resolver,
 };
 use multiformats::{Cid, Keypair, Multiaddr, Multibase, Multihash, PeerId};
 use proptest::prelude::*;

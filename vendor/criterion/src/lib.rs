@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate. It keeps the macro and
+//! builder surface (`criterion_group!`, `criterion_main!`, groups,
+//! throughput, `BenchmarkId`) but times each benchmark with a single
+//! adaptive measurement loop instead of criterion's statistical engine.
+//! Good enough to smoke-run benches and eyeball regressions offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing harness passed to bench closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration recorded by the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to fill a small budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up + calibration run.
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed();
+        // Aim for ~20ms of total measurement, capped at 64 iterations.
+        let budget = Duration::from_millis(20);
+        let iters = if first.is_zero() {
+            64
+        } else {
+            (budget.as_nanos() / first.as_nanos().max(1)).clamp(1, 64) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Throughput annotation for a benchmark (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { last_ns: 0.0 };
+        f(&mut b);
+        report(name, b.last_ns, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { last_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), b.last_ns, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { last_ns: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), b.last_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+            let gib_s = n as f64 / ns_per_iter; // bytes/ns == GB/s
+            format!("  {:>10.3} GB/s", gib_s)
+        }
+        Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+            format!("  {:>10.0} elem/s", n as f64 / ns_per_iter * 1e9)
+        }
+        _ => String::new(),
+    };
+    if ns_per_iter >= 1_000_000.0 {
+        println!("bench {name:<48} {:>12.3} ms/iter{rate}", ns_per_iter / 1e6);
+    } else if ns_per_iter >= 1_000.0 {
+        println!("bench {name:<48} {:>12.3} us/iter{rate}", ns_per_iter / 1e3);
+    } else {
+        println!("bench {name:<48} {ns_per_iter:>12.1} ns/iter{rate}");
+    }
+}
+
+/// Declares a benchmark group function, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group once.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness-less bench binaries with `--test`;
+            // keep that mode to a fast smoke pass (closures still run once
+            // inside `Bencher::iter`'s calibration call).
+            $($group();)+
+        }
+    };
+}
