@@ -12,9 +12,10 @@ use multiformats::{Cid, Keypair};
 use simnet::latency::VantagePoint;
 use simnet::{Population, PopulationConfig, SimDuration};
 use std::hint::black_box;
+use std::sync::Arc;
 
-fn infos(n: u64) -> Vec<PeerInfo> {
-    (1..=n).map(|s| PeerInfo { peer: Keypair::from_seed(s).peer_id(), addrs: vec![] }).collect()
+fn infos(n: u64) -> Vec<Arc<PeerInfo>> {
+    (1..=n).map(|s| Arc::new(PeerInfo::new(Keypair::from_seed(s).peer_id(), vec![]))).collect()
 }
 
 fn bench_routing_table(c: &mut Criterion) {
@@ -57,7 +58,7 @@ fn bench_iterative_walk(c: &mut Criterion) {
                             let mut ranked: Vec<(kademlia::Distance, usize)> =
                                 keys.iter().map(|(k, i)| (k.distance(&target), *i)).collect();
                             ranked.sort_by_key(|a| a.0);
-                            let closer: Vec<PeerInfo> =
+                            let closer: Vec<Arc<PeerInfo>> =
                                 ranked.iter().take(20).map(|(_, i)| peers[*i].clone()).collect();
                             q.on_response(&info.peer, &closer, &[]);
                         }

@@ -6,7 +6,7 @@
 //! heads to a churny network and measures what they buy: fewer stale
 //! dials during walks, faster publications and retrievals.
 
-use bench::runner::{banner, seed_from_env, ScaleConfig};
+use bench::runner::{banner, run_cells, seed_from_env, ScaleConfig};
 use bench::stats::Summary;
 use bytes::Bytes;
 use ipfs_core::{IpfsNetwork, NetworkConfig};
@@ -19,8 +19,11 @@ fn main() {
     let seed = seed_from_env();
     let iterations = 25usize;
 
-    println!("heads   pub p50   pub p95   ret p50   ret p95   ret success");
-    for heads in [0usize, 50, 200] {
+    // Independent cells (one per head count), parallel under
+    // IPFS_REPRO_JOBS; rows print in head order after all cells finish.
+    let head_counts = [0usize, 50, 200];
+    let rows: Vec<String> = run_cells(head_counts.len(), |cell| {
+        let heads = head_counts[cell];
         let pop = Population::generate(
             PopulationConfig {
                 size: cfg.population.min(1_500),
@@ -72,14 +75,18 @@ fn main() {
         }
         let p = Summary::of(&pub_totals);
         let r = Summary::of(&ret_totals);
-        println!(
+        format!(
             "{heads:>5}   {:>6.1} s  {:>6.1} s  {:>6.2} s  {:>6.2} s   {:>5.1} %",
             p.p50,
             p.p95,
             r.p50,
             r.p95,
             100.0 * ok as f64 / iterations as f64
-        );
+        )
+    });
+    println!("heads   pub p50   pub p95   ret p50   ret p95   ret success");
+    for row in rows {
+        println!("{row}");
     }
     println!(
         "\n(hydra heads never churn: walks hit fewer stale entries, so fewer 5 s dial \

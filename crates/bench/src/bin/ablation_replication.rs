@@ -7,7 +7,7 @@
 //! the network churn for several hours, and measures whether the records
 //! can still be found.
 
-use bench::runner::{banner, seed_from_env, ScaleConfig};
+use bench::runner::{banner, run_cells, seed_from_env, ScaleConfig};
 use bench::stats::markdown_table;
 use bytes::Bytes;
 use ipfs_core::{IpfsNetwork, NetworkConfig, NodeConfig};
@@ -21,8 +21,11 @@ fn main() {
     let objects = 30usize;
     let wait_hours = [4u64, 8, 16];
 
-    let mut rows = Vec::new();
-    for k in [2usize, 5, 10, 20, 30] {
+    // Each k is an independent simulation — run them as parallel cells
+    // (IPFS_REPRO_JOBS); results come back in k order regardless.
+    let ks = [2usize, 5, 10, 20, 30];
+    let rows: Vec<Vec<String>> = run_cells(ks.len(), |cell| {
+        let k = ks[cell];
         let pop = Population::generate(
             PopulationConfig {
                 size: cfg.population.min(2_500),
@@ -86,8 +89,8 @@ fn main() {
             }
             row.push(format!("{:.0} %", 100.0 * found as f64 / objects as f64));
         }
-        rows.push(row);
-    }
+        row
+    });
     println!(
         "{}",
         markdown_table(&["k", "records stored", "found @4h", "found @8h", "found @16h"], &rows)

@@ -1,0 +1,237 @@
+//! Throughput harness: simulator events/sec and DHT walks/sec.
+//!
+//! Not a paper artifact — this measures the *reproduction itself* so that
+//! performance PRs carry a recorded trajectory. Two sections per scale:
+//!
+//! 1. **routing** — a standing `RoutingTable` is hammered with `closest()`
+//!    calls on random targets (the FIND_NODE reply-set path, by far the
+//!    hottest routine in the simulator).
+//! 2. **sim** — a full `IpfsNetwork` runs publish/retrieve rounds; we
+//!    report discrete events processed per wall-clock second and completed
+//!    DHT walks per second, using the `obs` MetricsRegistry
+//!    (`dht_walk_rpcs` sample count) as the source of truth.
+//!
+//! Output goes to stdout and, when `IPFS_REPRO_CSV_DIR` is set, to
+//! `BENCH_throughput.json` via [`bench::export::write_json`].
+//!
+//! Flags:
+//! * `--smoke` — tiny fixed-size run for CI regression gating.
+//! * `--check-against <path>` — compare this run's sim events/sec against
+//!   a previously recorded JSON (same mode); exit non-zero on a >30%
+//!   regression.
+
+use bench::runner::{banner, seed_from_env, Scale, ScaleConfig};
+use bytes::Bytes;
+use ipfs_core::{IpfsNetwork, NetworkConfig};
+use kademlia::routing::{PeerInfo, RoutingTable, K};
+use kademlia::Key;
+use multiformats::Keypair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::latency::VantagePoint;
+use simnet::{Population, PopulationConfig, SimDuration};
+use std::time::Instant;
+
+/// One measured configuration.
+struct Cell {
+    label: &'static str,
+    population: usize,
+    closest_calls: usize,
+    rounds: usize,
+}
+
+/// Routing-table section: `calls` `closest()` lookups against a table
+/// seeded from `population` random peers (the table self-limits to
+/// ~K·log(population) entries, as in a real node).
+fn run_routing(cell: &Cell, seed: u64) -> (usize, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rt = RoutingTable::new(Key::from_peer(&Keypair::from_seed(seed).peer_id()));
+    for i in 0..cell.population {
+        let peer = Keypair::from_seed(seed.wrapping_add(1 + i as u64)).peer_id();
+        rt.insert(PeerInfo::new(peer, vec!["/ip4/127.0.0.1/tcp/4001".parse().unwrap()]));
+    }
+    let start = Instant::now();
+    let mut touched = 0usize;
+    for _ in 0..cell.closest_calls {
+        let mut raw = [0u8; 32];
+        for b in raw.iter_mut() {
+            *b = rng.random_range(0..=255u32) as u8;
+        }
+        touched += std::hint::black_box(rt.closest(&Key::from_bytes(raw), K)).len();
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(touched);
+    (rt.len(), elapsed, cell.closest_calls as f64 / elapsed)
+}
+
+/// Simulation section: publish/retrieve rounds on a live network.
+/// Returns (events, walks, elapsed, events/sec, walks/sec).
+fn run_sim(cell: &Cell, seed: u64) -> (u64, usize, f64, f64, f64) {
+    let pop = Population::generate(
+        PopulationConfig {
+            size: cell.population,
+            nat_fraction: 0.455,
+            horizon: SimDuration::from_hours(8),
+            ..Default::default()
+        },
+        seed,
+    );
+    let mut net = IpfsNetwork::from_population(
+        &pop,
+        &[VantagePoint::EuCentral1, VantagePoint::UsWest1],
+        NetworkConfig::default(),
+        seed,
+    );
+    let [provider, requester] = net.vantage_ids(2)[..] else { unreachable!() };
+
+    let events_before = net.events_processed;
+    let walks_before = net.metrics().samples("dht_walk_rpcs").len();
+    let start = Instant::now();
+    for i in 0..cell.rounds {
+        let mut data = vec![0u8; 1024];
+        data[..8].copy_from_slice(&(i as u64).to_be_bytes());
+        let cid = net.import_content(provider, &Bytes::from(data));
+        net.publish(provider, cid.clone());
+        net.run_until_quiet();
+        net.retrieve(requester, cid);
+        net.run_until_quiet();
+        // Reset the requester so every round walks the DHT honestly
+        // (§4.3-style: drop connections, addresses, and fetched blocks).
+        net.disconnect_all(requester);
+        let p = net.peer_id(provider).clone();
+        net.forget_address(requester, &p);
+        let node = net.node_mut(requester);
+        let cids: Vec<_> = node.store.cids().cloned().collect();
+        for c in cids {
+            merkledag::BlockStore::delete(&mut node.store, &c);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let events = net.events_processed - events_before;
+    let walks = net.metrics().samples("dht_walk_rpcs").len() - walks_before;
+    (events, walks, elapsed, events as f64 / elapsed, walks as f64 / elapsed)
+}
+
+fn measure(cell: &Cell, seed: u64) -> String {
+    println!("-- {} (population {}) --", cell.label, cell.population);
+    let (table_size, r_elapsed, calls_per_sec) = run_routing(cell, seed);
+    println!(
+        "routing: {} closest() calls over a {}-entry table in {:.3}s — {:.0} calls/s",
+        cell.closest_calls, table_size, r_elapsed, calls_per_sec
+    );
+    let (events, walks, s_elapsed, events_per_sec, walks_per_sec) = run_sim(cell, seed);
+    println!(
+        "sim: {} rounds, {} events, {} walks in {:.3}s — {:.0} events/s, {:.1} walks/s",
+        cell.rounds, events, walks, s_elapsed, events_per_sec, walks_per_sec
+    );
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"label\": \"{}\",\n",
+            "      \"population\": {},\n",
+            "      \"routing\": {{\n",
+            "        \"table_size\": {},\n",
+            "        \"closest_calls\": {},\n",
+            "        \"elapsed_sec\": {:.6},\n",
+            "        \"closest_calls_per_sec\": {:.1}\n",
+            "      }},\n",
+            "      \"sim\": {{\n",
+            "        \"rounds\": {},\n",
+            "        \"events\": {},\n",
+            "        \"walks\": {},\n",
+            "        \"elapsed_sec\": {:.6},\n",
+            "        \"events_per_sec\": {:.1},\n",
+            "        \"walks_per_sec\": {:.3}\n",
+            "      }}\n",
+            "    }}"
+        ),
+        cell.label,
+        cell.population,
+        table_size,
+        cell.closest_calls,
+        r_elapsed,
+        calls_per_sec,
+        cell.rounds,
+        events,
+        walks,
+        s_elapsed,
+        events_per_sec,
+        walks_per_sec
+    )
+}
+
+/// Pulls `"events_per_sec": <x>` for the entry `"label": "<label>"` out of
+/// a previously exported JSON (scanning, no parser dependency).
+fn baseline_events_per_sec(json: &str, label: &str) -> Option<f64> {
+    let entry = json.split("\"label\"").find(|chunk| {
+        chunk.trim_start().trim_start_matches(':').trim_start().starts_with(&format!("\"{label}\""))
+    })?;
+    let after = entry.split("\"events_per_sec\"").nth(1)?;
+    let num: String = after
+        .chars()
+        .skip_while(|c| *c == ':' || c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check_against = args
+        .iter()
+        .position(|a| a == "--check-against")
+        .and_then(|i| args.get(i + 1))
+        .map(String::from);
+
+    banner("Throughput", "simulator events/sec and DHT walks/sec (perf trajectory)");
+    let seed = seed_from_env();
+
+    let cells: Vec<Cell> = if smoke {
+        vec![Cell { label: "smoke", population: 500, closest_calls: 20_000, rounds: 40 }]
+    } else {
+        let cfg = ScaleConfig::from_env();
+        let mut cells =
+            vec![Cell { label: "small", population: 1_500, closest_calls: 200_000, rounds: 150 }];
+        if Scale::from_env() == Scale::Paper {
+            cells.push(Cell {
+                label: "paper",
+                population: cfg.population,
+                closest_calls: 200_000,
+                rounds: 40,
+            });
+        }
+        cells
+    };
+
+    let entries: Vec<String> = cells.iter().map(|c| measure(c, seed)).collect();
+    let json = format!(
+        "{{\n  \"harness\": \"throughput\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        seed,
+        entries.join(",\n")
+    );
+    if let Some(path) = bench::write_json("BENCH_throughput", &json) {
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(path) = check_against {
+        let label = cells[0].label;
+        let baseline = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| baseline_events_per_sec(&s, label))
+            .unwrap_or_else(|| {
+                eprintln!("throughput: cannot read baseline events/sec from {path}");
+                std::process::exit(2);
+            });
+        let current = baseline_events_per_sec(&json, label).expect("own JSON parses");
+        let ratio = current / baseline.max(1e-9);
+        println!(
+            "regression gate [{label}]: current {current:.0} events/s vs baseline \
+{baseline:.0} events/s (ratio {ratio:.2})"
+        );
+        if ratio < 0.7 {
+            eprintln!("throughput: events/sec regressed >30% against {path}");
+            std::process::exit(1);
+        }
+    }
+}

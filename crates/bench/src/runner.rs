@@ -85,6 +85,69 @@ pub fn seed_from_env() -> u64 {
     env::var("IPFS_REPRO_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2022)
 }
 
+/// Worker threads for independent experiment cells (override with
+/// `IPFS_REPRO_JOBS`; `1` forces the serial path; default: available
+/// cores).
+pub fn jobs_from_env() -> usize {
+    env::var("IPFS_REPRO_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Runs `cells` independent experiment cells through `f` on `jobs` worker
+/// threads, returning results in cell order.
+///
+/// Cells must be *independent*: each builds its own population, network
+/// and RNG from a per-cell seed, so the result of cell `i` is a pure
+/// function of `i`. Workers pull the next unclaimed index from a shared
+/// counter and stash `(index, result)` pairs; the merge reorders by index,
+/// making the output byte-identical to the serial path no matter how the
+/// scheduler interleaves the workers. `jobs <= 1` (or a single cell) runs
+/// inline with no threads at all — exactly the pre-parallel behaviour.
+pub fn run_cells_with_jobs<T, F>(jobs: usize, cells: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || cells <= 1 {
+        return (0..cells).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(cells);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..jobs.min(cells) {
+            handles.push(scope.spawn(|| {
+                let mut mine = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= cells {
+                        break;
+                    }
+                    mine.push((i, f(i)));
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            indexed.extend(h.join().expect("experiment cell panicked"));
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`run_cells_with_jobs`] with the job count from `IPFS_REPRO_JOBS`.
+pub fn run_cells<T, F>(cells: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_cells_with_jobs(jobs_from_env(), cells, f)
+}
+
 /// Prints the standard experiment banner.
 pub fn banner(artifact: &str, description: &str) {
     println!("==================================================================");

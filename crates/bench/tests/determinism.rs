@@ -1,0 +1,90 @@
+//! The parallel cell runner must not change results: the same cells with
+//! the same seeds render byte-identical output at any job count, because
+//! every cell owns its population, network and RNG, and the merge orders
+//! results by cell index.
+
+use bench::export::to_csv;
+use bench::runner::run_cells_with_jobs;
+use bench::stats::markdown_table;
+use bytes::Bytes;
+use ipfs_core::{IpfsNetwork, NetworkConfig, NodeConfig};
+use simnet::latency::VantagePoint;
+use simnet::{Population, PopulationConfig, SimDuration};
+
+/// A miniature replication-ablation cell (the shape of
+/// `ablation_replication`): one full simulated network per cell, a few
+/// publish/retrieve rounds, a rendered result row.
+fn replication_cell(cell: usize) -> Vec<String> {
+    let ks = [2usize, 20];
+    let k = ks[cell];
+    let seed = 2022;
+    let pop = Population::generate(
+        PopulationConfig {
+            size: 400,
+            nat_fraction: 0.455,
+            horizon: SimDuration::from_hours(6),
+            ..Default::default()
+        },
+        seed,
+    );
+    let mut net = IpfsNetwork::from_population(
+        &pop,
+        &[VantagePoint::EuCentral1, VantagePoint::UsWest1],
+        NetworkConfig {
+            node: NodeConfig { replication: k, ..Default::default() },
+            ..Default::default()
+        },
+        seed,
+    );
+    let [provider, requester] = net.vantage_ids(2)[..] else { unreachable!() };
+    let mut row = vec![k.to_string()];
+    for i in 0..3u64 {
+        let mut data = vec![0u8; 16 * 1024];
+        data[..8].copy_from_slice(&i.to_be_bytes());
+        let cid = net.import_content(provider, &Bytes::from(data));
+        net.publish(provider, cid.clone());
+        net.run_until_quiet();
+        let before = net.retrieve_reports.len();
+        net.retrieve(requester, cid);
+        net.run_until_quiet();
+        let ok = net.retrieve_reports[before..].iter().any(|r| r.success);
+        row.push(format!("{ok} @ {:.6}s", net.now().as_secs_f64()));
+        net.disconnect_all(requester);
+    }
+    row.push(net.events_processed.to_string());
+    row
+}
+
+#[test]
+fn parallel_runner_output_is_byte_identical_to_serial() {
+    let serial = run_cells_with_jobs(1, 2, replication_cell);
+    let parallel = run_cells_with_jobs(4, 2, replication_cell);
+    assert_eq!(serial, parallel, "cell results must match row for row");
+
+    let headers = ["k", "round 0", "round 1", "round 2", "events"];
+    assert_eq!(
+        markdown_table(&headers, &serial),
+        markdown_table(&headers, &parallel),
+        "rendered table must be byte-identical"
+    );
+    assert_eq!(
+        to_csv(&headers, &serial),
+        to_csv(&headers, &parallel),
+        "exported CSV must be byte-identical"
+    );
+}
+
+#[test]
+fn runner_merges_in_cell_order_regardless_of_jobs() {
+    for jobs in [1usize, 2, 3, 8, 64] {
+        let got = run_cells_with_jobs(jobs, 37, |i| i * i);
+        let want: Vec<usize> = (0..37).map(|i| i * i).collect();
+        assert_eq!(got, want, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn runner_handles_empty_and_single_cell() {
+    assert_eq!(run_cells_with_jobs(4, 0, |i| i), Vec::<usize>::new());
+    assert_eq!(run_cells_with_jobs(4, 1, |i| i + 10), vec![10]);
+}

@@ -32,7 +32,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::latency::{BandwidthClass, LatencyModel, Region, VantagePoint};
 use simnet::{EventQueue, Population, SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Dense node identifier within one simulation.
 pub type NodeId = usize;
@@ -148,9 +149,93 @@ struct SimNode {
     bandwidth: BandwidthClass,
     online: bool,
     is_server: bool,
-    /// Warm connections: logical LRU stamp (deterministic tie-break for
-    /// pruning) plus last-use time (idle expiry).
-    connections: HashMap<NodeId, (u64, SimTime)>,
+    /// Warm connections, indexed for O(log n) LRU pruning and O(expired)
+    /// idle expiry.
+    connections: ConnSet,
+}
+
+/// A node's warm-connection set with a recency index.
+///
+/// Stamps come from the simulation-wide `conn_clock`, which strictly
+/// increases and is only ever advanced at the current sim time — so within
+/// one node's set, stamp order equals last-use order. The minimum stamp is
+/// therefore both the LRU prune victim and the longest-idle connection,
+/// and idle expiry can walk the index from the front and stop at the first
+/// still-fresh entry instead of scanning all (up to `max_connections`,
+/// default 900) entries.
+#[derive(Default)]
+struct ConnSet {
+    by_peer: HashMap<NodeId, (u64, SimTime)>,
+    by_stamp: BTreeMap<u64, NodeId>,
+}
+
+impl ConnSet {
+    fn new() -> ConnSet {
+        ConnSet::default()
+    }
+
+    fn len(&self) -> usize {
+        self.by_peer.len()
+    }
+
+    fn contains(&self, peer: NodeId) -> bool {
+        self.by_peer.contains_key(&peer)
+    }
+
+    fn get(&self, peer: NodeId) -> Option<(u64, SimTime)> {
+        self.by_peer.get(&peer).copied()
+    }
+
+    /// Inserts or re-stamps a connection.
+    fn insert(&mut self, peer: NodeId, stamp: u64, now: SimTime) {
+        if let Some((old, _)) = self.by_peer.insert(peer, (stamp, now)) {
+            self.by_stamp.remove(&old);
+        }
+        self.by_stamp.insert(stamp, peer);
+    }
+
+    fn remove(&mut self, peer: NodeId) -> bool {
+        match self.by_peer.remove(&peer) {
+            Some((stamp, _)) => {
+                self.by_stamp.remove(&stamp);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The least-recently-used peer (smallest stamp).
+    fn lru(&self) -> Option<NodeId> {
+        self.by_stamp.values().next().copied()
+    }
+
+    /// Removes and returns the LRU connection if it has sat idle past
+    /// `timeout`. Callers loop until `None`: stamps order by last use, so
+    /// the first fresh entry proves the rest are fresh too.
+    fn pop_idle(&mut self, now: SimTime, timeout: SimDuration) -> Option<NodeId> {
+        let (&stamp, &peer) = self.by_stamp.iter().next()?;
+        let (_, last_used) = self.by_peer[&peer];
+        if now.since(last_used) > timeout {
+            self.by_stamp.remove(&stamp);
+            self.by_peer.remove(&peer);
+            Some(peer)
+        } else {
+            None
+        }
+    }
+
+    /// Removes every connection, returning the peers oldest-first.
+    fn drain(&mut self) -> Vec<NodeId> {
+        self.by_peer.clear();
+        let peers: Vec<NodeId> = self.by_stamp.values().copied().collect();
+        self.by_stamp.clear();
+        peers
+    }
+
+    /// Connected peers, oldest stamp first (deterministic order).
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_stamp.values().copied()
+    }
 }
 
 /// Events flowing through the simulation.
@@ -163,7 +248,7 @@ enum NetEvent {
     /// A query RPC failed (dial timeout / no response within deadline).
     RpcFail { node: NodeId, query: QueryId, peer: PeerId },
     /// A fire-and-forget ADD_PROVIDER arrives at its target (§3.1).
-    ProviderStoreArrive { from: NodeId, to: NodeId, key: Key, provider: PeerInfo },
+    ProviderStoreArrive { from: NodeId, to: NodeId, key: Key, provider: Arc<PeerInfo> },
     /// One item of a publish RPC batch settled at the publisher.
     ProviderStoreSettled { op: OpId, ok: bool },
     /// A Bitswap message arrives.
@@ -231,13 +316,13 @@ enum OpState {
 
 /// Deferred action extracted from a borrow of the op table.
 enum Action {
-    PublishBatch { node: NodeId, cid: Cid, peers: Vec<PeerInfo> },
-    IpnsBatch { node: NodeId, key: Key, value: Vec<u8>, peers: Vec<PeerInfo> },
+    PublishBatch { node: NodeId, cid: Cid, peers: Vec<Arc<PeerInfo>> },
+    IpnsBatch { node: NodeId, key: Key, value: Vec<u8>, peers: Vec<Arc<PeerInfo>> },
     IpnsFail,
     IpnsResolved { value: Vec<u8> },
     PublishFail,
     PeerWalk { node: NodeId, provider: PeerId },
-    Fetch { node: NodeId, provider: PeerInfo },
+    Fetch { node: NodeId, provider: Arc<PeerInfo> },
     RetrieveFail,
     CancelProbe { node: NodeId, session: SessionHandle },
     Nothing,
@@ -363,7 +448,7 @@ impl IpfsNetwork {
                 bandwidth: p.bandwidth,
                 online: p.schedule.online_at(SimTime::ZERO),
                 is_server: !p.nat,
-                connections: HashMap::new(),
+                connections: ConnSet::new(),
             });
         }
 
@@ -381,7 +466,7 @@ impl IpfsNetwork {
                 bandwidth: BandwidthClass::Datacenter,
                 online: true,
                 is_server: true,
-                connections: HashMap::new(),
+                connections: ConnSet::new(),
             });
         }
 
@@ -396,7 +481,7 @@ impl IpfsNetwork {
                 bandwidth: BandwidthClass::Datacenter,
                 online: true,
                 is_server: true,
-                connections: HashMap::new(),
+                connections: ConnSet::new(),
             });
         }
 
@@ -462,7 +547,10 @@ impl IpfsNetwork {
         if servers.is_empty() {
             return;
         }
-        let infos: Vec<PeerInfo> = self.nodes.iter().map(|n| n.node.info().clone()).collect();
+        // Shared handles only — bumping a refcount per node instead of
+        // deep-copying every identity and address list up front.
+        let infos: Vec<Arc<PeerInfo>> =
+            self.nodes.iter().map(|n| Arc::clone(n.node.info())).collect();
 
         for id in 0..self.nodes.len() {
             let own_key = Key::from_peer(self.nodes[id].node.peer_id());
@@ -565,7 +653,7 @@ impl IpfsNetwork {
     }
 
     /// All k-bucket entries of a node (crawler support, §4.1).
-    pub fn k_bucket_entries(&self, id: NodeId) -> Vec<PeerInfo> {
+    pub fn k_bucket_entries(&self, id: NodeId) -> Vec<Arc<PeerInfo>> {
         self.nodes[id].node.dht.routing().all_peers()
     }
 
@@ -601,7 +689,7 @@ impl IpfsNetwork {
 
     /// Whether two nodes currently share a warm connection.
     pub fn is_connected(&self, a: NodeId, b: NodeId) -> bool {
-        self.nodes[a].connections.contains_key(&b)
+        self.nodes[a].connections.contains(b)
     }
 
     /// Read access to the run's accumulated metrics.
@@ -652,8 +740,8 @@ impl IpfsNetwork {
         self.conn_clock += 1;
         let stamp = self.conn_clock;
         let now = self.now();
-        self.nodes[a].connections.insert(b, (stamp, now));
-        self.nodes[b].connections.insert(a, (stamp, now));
+        self.nodes[a].connections.insert(b, stamp, now);
+        self.nodes[b].connections.insert(a, stamp, now);
         self.prune_connections(a);
         self.prune_connections(b);
     }
@@ -662,15 +750,10 @@ impl IpfsNetwork {
     /// beyond the cap.
     fn prune_connections(&mut self, id: NodeId) {
         while self.nodes[id].connections.len() > self.cfg.max_connections {
-            let victim = self.nodes[id]
-                .connections
-                .iter()
-                .min_by_key(|(_, (stamp, _))| *stamp)
-                .map(|(peer, _)| *peer);
-            match victim {
+            match self.nodes[id].connections.lru() {
                 Some(v) => {
-                    self.nodes[id].connections.remove(&v);
-                    self.nodes[v].connections.remove(&id);
+                    self.nodes[id].connections.remove(v);
+                    self.nodes[v].connections.remove(id);
                     self.metrics.incr("conn_prunes");
                 }
                 None => break,
@@ -680,17 +763,12 @@ impl IpfsNetwork {
 
     /// Tears down warm connections of `id` that have sat unused past the
     /// idle timeout (lazy sweep, run before the connection set is used).
+    /// Walks the recency index oldest-first, so the cost is proportional
+    /// to the number of expired connections, not the set size.
     fn expire_idle_connections(&mut self, id: NodeId, now: SimTime) {
         let timeout = self.cfg.conn_idle_timeout;
-        let expired: Vec<NodeId> = self.nodes[id]
-            .connections
-            .iter()
-            .filter(|(_, (_, last_used))| now.since(*last_used) > timeout)
-            .map(|(peer, _)| *peer)
-            .collect();
-        for peer in expired {
-            self.nodes[id].connections.remove(&peer);
-            self.nodes[peer].connections.remove(&id);
+        while let Some(peer) = self.nodes[id].connections.pop_idle(now, timeout) {
+            self.nodes[peer].connections.remove(id);
             self.metrics.incr("conn_idle_expired");
         }
     }
@@ -699,9 +777,8 @@ impl IpfsNetwork {
     /// ("they disconnect to prevent the next retrieval operation being
     /// resolved through Bitswap").
     pub fn disconnect_all(&mut self, id: NodeId) {
-        let peers: Vec<NodeId> = self.nodes[id].connections.drain().map(|(p, _)| p).collect();
-        for p in peers {
-            self.nodes[p].connections.remove(&id);
+        for p in self.nodes[id].connections.drain() {
+            self.nodes[p].connections.remove(id);
         }
     }
 
@@ -957,8 +1034,8 @@ impl IpfsNetwork {
         self.expire_idle_connections(id, t0);
         let connected: Vec<PeerId> = self.nodes[id]
             .connections
-            .keys()
-            .map(|&c| self.nodes[c].node.peer_id().clone())
+            .peers()
+            .map(|c| self.nodes[c].node.peer_id().clone())
             .collect();
         let sim_node = &mut self.nodes[id];
         let (session, outputs) =
@@ -1192,9 +1269,8 @@ impl IpfsNetwork {
             self.announce_join(id);
         }
         if !online {
-            let peers: Vec<NodeId> = self.nodes[id].connections.drain().map(|(p, _)| p).collect();
-            for p in peers {
-                self.nodes[p].connections.remove(&id);
+            for p in self.nodes[id].connections.drain() {
+                self.nodes[p].connections.remove(id);
             }
         }
     }
@@ -1320,7 +1396,13 @@ impl IpfsNetwork {
         }
     }
 
-    fn send_query_rpc(&mut self, from: NodeId, query: QueryId, to: PeerInfo, request: Request) {
+    fn send_query_rpc(
+        &mut self,
+        from: NodeId,
+        query: QueryId,
+        to: Arc<PeerInfo>,
+        request: Request,
+    ) {
         self.pending_rpcs.insert((from, query, to.peer.clone()));
         self.metrics.incr(request_sent_metric(&request));
         if self.tracer.is_enabled() {
@@ -1339,7 +1421,7 @@ impl IpfsNetwork {
                 // Guard in case the target churns offline before arrival.
                 self.queue.schedule(
                     self.cfg.node.rpc_timeout,
-                    NetEvent::RpcFail { node: from, query, peer: to.peer },
+                    NetEvent::RpcFail { node: from, query, peer: to.peer.clone() },
                 );
             }
             None => {
@@ -1352,7 +1434,10 @@ impl IpfsNetwork {
                             .record_with(op, now, || TraceEventKind::DialFailed { peer, class });
                     }
                 }
-                self.queue.schedule(delay, NetEvent::RpcFail { node: from, query, peer: to.peer });
+                self.queue.schedule(
+                    delay,
+                    NetEvent::RpcFail { node: from, query, peer: to.peer.clone() },
+                );
             }
         }
     }
@@ -1443,10 +1528,10 @@ impl IpfsNetwork {
                             *phase = RetrievePhase::Fetch;
                             Action::Fetch {
                                 node: *node,
-                                provider: PeerInfo {
-                                    peer: record.provider.clone(),
-                                    addrs: carried_addrs,
-                                },
+                                provider: Arc::new(PeerInfo::new(
+                                    record.provider.clone(),
+                                    carried_addrs,
+                                )),
                             }
                         } else {
                             // Defer the address-book lookup to phase 2 (it
@@ -1474,10 +1559,10 @@ impl IpfsNetwork {
             Action::PublishBatch { node, cid, peers } => {
                 self.tracer
                     .record_with(op, now, || TraceEventKind::PhaseEntered { phase: "rpc_batch" });
-                let provider = self.nodes[node].node.info().clone();
+                let provider = Arc::clone(self.nodes[node].node.info());
                 let key = Key::from_cid(&cid);
                 for target in peers {
-                    self.send_provider_store(op, node, target, key, provider.clone());
+                    self.send_provider_store(op, node, target, key, Arc::clone(&provider));
                 }
             }
             Action::PublishFail => self.finish_publish(now, op, false),
@@ -1506,7 +1591,7 @@ impl IpfsNetwork {
                     }
                     self.metrics.incr("addr_book_hits");
                     self.tracer.record_with(op, now, || TraceEventKind::AddrBookHit);
-                    self.start_fetch(op, node, PeerInfo { peer: provider, addrs });
+                    self.start_fetch(op, node, Arc::new(PeerInfo::new(provider, addrs)));
                 } else {
                     if let Some(OpState::Retrieve { phase, .. }) = self.ops.get_mut(&op) {
                         *phase = RetrievePhase::PeerWalk;
@@ -1537,9 +1622,9 @@ impl IpfsNetwork {
         &mut self,
         op: OpId,
         from: NodeId,
-        to: PeerInfo,
+        to: Arc<PeerInfo>,
         key: Key,
-        provider: PeerInfo,
+        provider: Arc<PeerInfo>,
     ) {
         // The connection from the walk may already be gone (conn-manager
         // pruning / churn between response and store): the re-dial then
@@ -1563,7 +1648,14 @@ impl IpfsNetwork {
         }
     }
 
-    fn send_value_store(&mut self, op: OpId, from: NodeId, to: PeerInfo, key: Key, value: Vec<u8>) {
+    fn send_value_store(
+        &mut self,
+        op: OpId,
+        from: NodeId,
+        to: Arc<PeerInfo>,
+        key: Key,
+        value: Vec<u8>,
+    ) {
         let stale = self.rng.random_range(0.0..1.0) < self.cfg.stale_dial_prob;
         match (stale, self.dial(from, &to.peer)) {
             (false, Some((target, connect_delay))) => {
@@ -1583,7 +1675,7 @@ impl IpfsNetwork {
     // Bitswap plumbing
     // ------------------------------------------------------------------
 
-    fn start_fetch(&mut self, op: OpId, node: NodeId, provider: PeerInfo) {
+    fn start_fetch(&mut self, op: OpId, node: NodeId, provider: Arc<PeerInfo>) {
         let now = self.now();
         if let Some(OpState::Retrieve { t_fetch_start, .. }) = self.ops.get_mut(&op) {
             *t_fetch_start = Some(now);
@@ -1597,7 +1689,7 @@ impl IpfsNetwork {
                 self.tracer.record_with(op, now, || TraceEventKind::DialOk { peer, warm });
                 self.queue.schedule(
                     connect_delay,
-                    NetEvent::FetchConnected { op, provider: provider.peer },
+                    NetEvent::FetchConnected { op, provider: provider.peer.clone() },
                 );
                 self.queue.schedule(self.cfg.fetch_timeout, NetEvent::FetchTimeout { op });
                 self.tracer
@@ -1821,18 +1913,18 @@ impl IpfsNetwork {
         if !self.nodes[target].online {
             return None;
         }
-        if let Some(&(_, last_used)) = self.nodes[from].connections.get(&target) {
+        if let Some((_, last_used)) = self.nodes[from].connections.get(target) {
             let now = self.now();
             if now.since(last_used) > self.cfg.conn_idle_timeout {
                 // The connection manager closed this idle connection long
                 // ago; fall through to a fresh dial.
-                self.nodes[from].connections.remove(&target);
-                self.nodes[target].connections.remove(&from);
+                self.nodes[from].connections.remove(target);
+                self.nodes[target].connections.remove(from);
                 self.metrics.incr("conn_idle_expired");
             } else {
                 self.conn_clock += 1;
                 let stamp = self.conn_clock;
-                self.nodes[from].connections.insert(target, (stamp, now));
+                self.nodes[from].connections.insert(target, stamp, now);
                 self.metrics.incr("dials_warm");
                 return Some((target, SimDuration::ZERO));
             }
@@ -1856,8 +1948,8 @@ impl IpfsNetwork {
         self.conn_clock += 1;
         let stamp = self.conn_clock;
         let now = self.now();
-        self.nodes[from].connections.insert(target, (stamp, now));
-        self.nodes[target].connections.insert(from, (stamp, now));
+        self.nodes[from].connections.insert(target, stamp, now);
+        self.nodes[target].connections.insert(from, stamp, now);
         self.prune_connections(from);
         self.prune_connections(target);
         self.metrics.incr("dials_ok");

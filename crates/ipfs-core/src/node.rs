@@ -17,11 +17,14 @@ use kademlia::routing::PeerInfo;
 use kademlia::{DhtBehaviour, DhtConfig};
 use merkledag::{BuildReport, DagBuilder, MemoryBlockStore, Resolver};
 use multiformats::{Cid, Keypair, Multiaddr, PeerId};
+use std::sync::Arc;
 
 /// A complete IPFS node.
 pub struct IpfsNode {
     keypair: Keypair,
-    info: PeerInfo,
+    /// Shared identity: RPC handlers and publish batches clone the `Arc`,
+    /// not the address list.
+    info: Arc<PeerInfo>,
     /// The Kademlia behaviour (routing table, record store, queries).
     pub dht: DhtBehaviour,
     /// The Bitswap engine (sessions, ledgers).
@@ -44,9 +47,9 @@ impl IpfsNode {
         mode: DhtMode,
         config: NodeConfig,
     ) -> IpfsNode {
-        let info = PeerInfo { peer: keypair.peer_id(), addrs };
+        let info = Arc::new(PeerInfo::new(keypair.peer_id(), addrs));
         let dht = DhtBehaviour::new(
-            info.clone(),
+            Arc::clone(&info),
             DhtConfig {
                 mode,
                 alpha: config.alpha,
@@ -74,7 +77,7 @@ impl IpfsNode {
     }
 
     /// The node's identity + addresses.
-    pub fn info(&self) -> &PeerInfo {
+    pub fn info(&self) -> &Arc<PeerInfo> {
         &self.info
     }
 

@@ -19,6 +19,7 @@ use crate::rpc::{Request, Response};
 use multiformats::PeerId;
 use simnet::SimTime;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Handle for an in-flight query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,7 +66,7 @@ pub enum DhtInput {
     /// An inbound RPC arrived.
     Rpc {
         /// Sender identity and addresses.
-        from: PeerInfo,
+        from: Arc<PeerInfo>,
         /// Whether the sender is a DHT server (insertable into the table).
         from_is_server: bool,
         /// The request.
@@ -97,7 +98,7 @@ pub enum DhtOutput {
         /// Originating query.
         query: QueryId,
         /// Destination peer (with addresses if known).
-        to: PeerInfo,
+        to: Arc<PeerInfo>,
         /// The request to send.
         request: Request,
     },
@@ -138,7 +139,7 @@ pub enum DhtEvent {
 /// The DHT behaviour of one node.
 #[derive(Debug, Clone)]
 pub struct DhtBehaviour {
-    local: PeerInfo,
+    local: Arc<PeerInfo>,
     config: DhtConfig,
     routing: RoutingTable,
     store: RecordStore,
@@ -148,8 +149,9 @@ pub struct DhtBehaviour {
 
 impl DhtBehaviour {
     /// Creates the behaviour for a node identified by `local`.
-    pub fn new(local: PeerInfo, config: DhtConfig) -> DhtBehaviour {
-        let key = Key::from_peer(&local.peer);
+    pub fn new(local: impl Into<Arc<PeerInfo>>, config: DhtConfig) -> DhtBehaviour {
+        let local = local.into();
+        let key = local.key();
         DhtBehaviour {
             local,
             config,
@@ -161,7 +163,7 @@ impl DhtBehaviour {
     }
 
     /// The local peer info.
-    pub fn local(&self) -> &PeerInfo {
+    pub fn local(&self) -> &Arc<PeerInfo> {
         &self.local
     }
 
@@ -198,8 +200,10 @@ impl DhtBehaviour {
     }
 
     /// Learns about a peer (bootstrap, identify, inbound traffic). Only
-    /// servers enter the routing table.
-    pub fn add_peer(&mut self, info: PeerInfo, is_server: bool) -> bool {
+    /// servers enter the routing table. Accepts owned or shared infos;
+    /// hot paths pass `Arc`s so no address list is copied.
+    pub fn add_peer(&mut self, info: impl Into<Arc<PeerInfo>>, is_server: bool) -> bool {
+        let info = info.into();
         if !is_server || info.peer == self.local.peer {
             return false;
         }
@@ -216,7 +220,7 @@ impl DhtBehaviour {
     /// not serve the DHT).
     pub fn handle_request(
         &mut self,
-        from: &PeerInfo,
+        from: &Arc<PeerInfo>,
         from_is_server: bool,
         request: Request,
         now: SimTime,
@@ -225,7 +229,7 @@ impl DhtBehaviour {
             return None;
         }
         // Learn the requester if it is itself a server.
-        self.add_peer(from.clone(), from_is_server);
+        self.add_peer(Arc::clone(from), from_is_server);
         match request {
             Request::FindNode { target } => {
                 Some(Response::Nodes { closer: self.routing.closest(&target, self.config.k) })
@@ -238,7 +242,7 @@ impl DhtBehaviour {
                 self.store.add_provider(ProviderRecord {
                     key,
                     provider: provider.peer.clone(),
-                    addrs: provider.addrs,
+                    addrs: provider.addrs.clone(),
                     received_at: now,
                 });
                 None // fire and forget (§3.1)
@@ -297,9 +301,10 @@ impl DhtBehaviour {
             }
             Response::Ack => query.on_response(from, &[], &[]),
         }
-        // Every responder is a live server: remember it.
-        for info in response.closer().to_vec() {
-            self.add_peer(info, true);
+        // Every responder is a live server: remember it (an `Arc` bump per
+        // entry — the old path deep-copied the whole closer set).
+        for info in response.closer() {
+            self.add_peer(Arc::clone(info), true);
         }
         self.pump(id)
     }
@@ -362,8 +367,8 @@ mod tests {
     use super::*;
     use multiformats::{Cid, Keypair};
 
-    fn info(seed: u64) -> PeerInfo {
-        PeerInfo { peer: Keypair::from_seed(seed).peer_id(), addrs: vec![] }
+    fn info(seed: u64) -> Arc<PeerInfo> {
+        Arc::new(PeerInfo::new(Keypair::from_seed(seed).peer_id(), vec![]))
     }
 
     fn server(seed: u64) -> DhtBehaviour {

@@ -30,6 +30,7 @@ use crate::routing::{PeerInfo, K};
 use crate::ALPHA;
 use multiformats::PeerId;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// What the walk is looking for.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,7 +50,7 @@ pub enum QueryTarget {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryOutcome {
     /// The `k` closest responsive peers, nearest first.
-    Closest(Vec<PeerInfo>),
+    Closest(Vec<Arc<PeerInfo>>),
     /// Provider records found (non-empty), plus the peer that served them.
     Providers {
         /// The discovered records.
@@ -58,7 +59,7 @@ pub enum QueryOutcome {
         served_by: PeerId,
     },
     /// The target peer's info, if found.
-    Peer(Option<PeerInfo>),
+    Peer(Option<Arc<PeerInfo>>),
     /// A stored value, plus the peer that served it.
     Value {
         /// The opaque payload.
@@ -87,7 +88,7 @@ enum CandidateState {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryStep {
     /// Send the walk's RPC to this peer.
-    Query(PeerInfo),
+    Query(Arc<PeerInfo>),
     /// Nothing to do until an in-flight RPC resolves.
     Wait,
     /// The walk is finished; collect [`IterativeQuery::outcome`].
@@ -101,15 +102,16 @@ pub struct IterativeQuery {
     target: QueryTarget,
     alpha: usize,
     k: usize,
-    /// All known candidates ordered by distance to the target.
-    candidates: BTreeMap<Distance, PeerInfo>,
+    /// All known candidates ordered by distance to the target. Infos are
+    /// shared with the routing tables / responses that produced them.
+    candidates: BTreeMap<Distance, Arc<PeerInfo>>,
     state: HashMap<PeerId, CandidateState>,
     in_flight: usize,
     /// Providers accumulated (Providers target).
     found_providers: Vec<ProviderRecord>,
     provider_server: Option<PeerId>,
     /// Peer info found (Peer target).
-    found_peer: Option<PeerInfo>,
+    found_peer: Option<Arc<PeerInfo>>,
     /// Value found (Value target).
     found_value: Option<(Vec<u8>, PeerId)>,
     /// Statistics: RPCs issued and responses processed.
@@ -127,7 +129,7 @@ pub struct IterativeQuery {
 impl IterativeQuery {
     /// Starts a walk toward `target_key` seeded with the local routing
     /// table's closest peers.
-    pub fn new(target_key: Key, target: QueryTarget, seeds: Vec<PeerInfo>) -> IterativeQuery {
+    pub fn new(target_key: Key, target: QueryTarget, seeds: Vec<Arc<PeerInfo>>) -> IterativeQuery {
         let mut q = IterativeQuery {
             target_key,
             target,
@@ -176,14 +178,14 @@ impl IterativeQuery {
         &self.target
     }
 
-    fn add_candidate(&mut self, info: PeerInfo, hop: u32) {
-        let key = Key::from_peer(&info.peer);
+    fn add_candidate(&mut self, info: Arc<PeerInfo>, hop: u32) {
+        let key = info.key();
         let dist = key.distance(&self.target_key);
         if self.state.contains_key(&info.peer) {
             // Keep the better (larger address set) info; never regress hop.
             if let Some(existing) = self.candidates.get_mut(&dist) {
                 if existing.addrs.len() < info.addrs.len() {
-                    existing.addrs = info.addrs;
+                    *existing = info;
                 }
             }
             return;
@@ -272,7 +274,7 @@ impl IterativeQuery {
     pub fn on_response(
         &mut self,
         from: &PeerId,
-        closer: &[PeerInfo],
+        closer: &[Arc<PeerInfo>],
         providers: &[ProviderRecord],
     ) {
         self.on_response_with_value(from, closer, providers, None)
@@ -283,7 +285,7 @@ impl IterativeQuery {
     pub fn on_response_with_value(
         &mut self,
         from: &PeerId,
-        closer: &[PeerInfo],
+        closer: &[Arc<PeerInfo>],
         providers: &[ProviderRecord],
         value: Option<&[u8]>,
     ) {
@@ -382,8 +384,8 @@ mod tests {
     use multiformats::{Cid, Keypair};
     use simnet::SimTime;
 
-    fn peer(seed: u64) -> PeerInfo {
-        PeerInfo { peer: Keypair::from_seed(seed).peer_id(), addrs: vec![] }
+    fn peer(seed: u64) -> Arc<PeerInfo> {
+        Arc::new(PeerInfo::new(Keypair::from_seed(seed).peer_id(), vec![]))
     }
 
     fn target() -> Key {
@@ -393,7 +395,7 @@ mod tests {
     /// A tiny in-test "network": peers 1..n, each knowing the true closest
     /// peers to any target (ideal routing tables).
     struct MiniNet {
-        peers: Vec<PeerInfo>,
+        peers: Vec<Arc<PeerInfo>>,
     }
 
     impl MiniNet {
@@ -401,8 +403,8 @@ mod tests {
             MiniNet { peers: (1..=n).map(peer).collect() }
         }
 
-        fn closest(&self, t: &Key, count: usize, exclude: &PeerId) -> Vec<PeerInfo> {
-            let mut v: Vec<(Distance, PeerInfo)> = self
+        fn closest(&self, t: &Key, count: usize, exclude: &PeerId) -> Vec<Arc<PeerInfo>> {
+            let mut v: Vec<(Distance, Arc<PeerInfo>)> = self
                 .peers
                 .iter()
                 .filter(|p| &p.peer != exclude)
@@ -540,7 +542,7 @@ mod tests {
                     let mut closer = net.closest(q.target_key(), K, &info.peer);
                     // Peers close to the target know its addresses.
                     if Key::from_peer(&info.peer).distance(&t).leading_zeros() >= 2 {
-                        closer.push(PeerInfo { peer: wanted.clone(), addrs: vec![addr.clone()] });
+                        closer.push(Arc::new(PeerInfo::new(wanted.clone(), vec![addr.clone()])));
                     }
                     q.on_response(&info.peer, &closer, &[]);
                 }
@@ -598,7 +600,7 @@ mod tests {
     #[test]
     fn alpha_limits_inflight() {
         let t = target();
-        let seeds: Vec<PeerInfo> = (1..=10).map(peer).collect();
+        let seeds: Vec<Arc<PeerInfo>> = (1..=10).map(peer).collect();
         let mut q = IterativeQuery::new(t, QueryTarget::Closest, seeds);
         let mut issued = 0;
         loop {

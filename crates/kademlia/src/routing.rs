@@ -5,8 +5,9 @@
 //! client/server distinction prevents unreachable peers from becoming part
 //! of other peers' routing tables".
 
-use crate::key::Key;
+use crate::key::{Distance, Key};
 use multiformats::{Multiaddr, PeerId};
+use std::sync::Arc;
 
 /// Bucket capacity, k = 20 (paper §2.3).
 pub const K: usize = 20;
@@ -15,18 +16,54 @@ pub const K: usize = 20;
 pub const NUM_BUCKETS: usize = 256;
 
 /// A peer plus its advertised addresses, as exchanged in FIND_NODE replies.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct PeerInfo {
     /// The peer's identifier.
     pub peer: PeerId,
     /// Addresses the peer advertises.
     pub addrs: Vec<Multiaddr>,
+    /// The peer's DHT key (SHA-256 of the PeerID), computed on first use.
+    /// `PeerInfo` is shared via `Arc` across routing tables, reply sets and
+    /// query candidates, so each identity is hashed once network-wide
+    /// instead of once per table touch.
+    key: std::sync::OnceLock<Key>,
 }
 
-/// One bucket entry.
+impl PeerInfo {
+    /// Creates a peer info; the DHT key is derived lazily.
+    pub fn new(peer: PeerId, addrs: Vec<Multiaddr>) -> PeerInfo {
+        PeerInfo { peer, addrs, key: std::sync::OnceLock::new() }
+    }
+
+    /// The peer's DHT key, cached after the first call.
+    pub fn key(&self) -> Key {
+        *self.key.get_or_init(|| Key::from_peer(&self.peer))
+    }
+}
+
+impl Clone for PeerInfo {
+    fn clone(&self) -> PeerInfo {
+        let key = std::sync::OnceLock::new();
+        if let Some(k) = self.key.get() {
+            let _ = key.set(*k);
+        }
+        PeerInfo { peer: self.peer.clone(), addrs: self.addrs.clone(), key }
+    }
+}
+
+impl PartialEq for PeerInfo {
+    fn eq(&self, other: &PeerInfo) -> bool {
+        self.peer == other.peer && self.addrs == other.addrs
+    }
+}
+
+impl Eq for PeerInfo {}
+
+/// One bucket entry. The info is shared (`Arc`) so reply sets and query
+/// candidates are reference bumps, not deep copies of address lists.
 #[derive(Debug, Clone)]
 struct Entry {
-    info: PeerInfo,
+    info: Arc<PeerInfo>,
     key: Key,
 }
 
@@ -67,8 +104,9 @@ impl RoutingTable {
     /// oldest-peer-wins policy, which favours stable peers); an existing
     /// entry is moved to the most-recently-seen tail and its addresses
     /// refreshed.
-    pub fn insert(&mut self, info: PeerInfo) -> bool {
-        let key = Key::from_peer(&info.peer);
+    pub fn insert(&mut self, info: impl Into<Arc<PeerInfo>>) -> bool {
+        let info = info.into();
+        let key = info.key();
         let Some(idx) = self.local.bucket_index(&key) else {
             return false; // never insert self
         };
@@ -113,20 +151,69 @@ impl RoutingTable {
             .unwrap_or(false)
     }
 
+    /// The smallest distance-to-`target` any member of bucket `idx` can
+    /// have, given the local key's distance `dt` to the target.
+    ///
+    /// Every entry `x` in bucket `idx` satisfies `msb(d(local, x)) == idx`,
+    /// and `d(x, target) = d(local, x) XOR dt`, so `d(x, target)` agrees
+    /// with `dt` on all bits above `idx`, has bit `idx` flipped, and is
+    /// arbitrary below. The possible distances of a bucket therefore form
+    /// the contiguous, *disjoint* range starting at this prefix — sorting
+    /// buckets by it yields an exact nearest-first visit order.
+    fn bucket_min_distance(dt: &Distance, idx: usize) -> Distance {
+        let mut p = [0u8; 32];
+        let byte = 31 - idx / 8;
+        let bit = idx % 8; // bit position within the byte, LSB = 0
+        p[..byte].copy_from_slice(&dt.0[..byte]);
+        let above = if bit == 7 { 0 } else { 0xffu8 << (bit + 1) };
+        p[byte] = (dt.0[byte] & above) | ((!dt.0[byte]) & (1u8 << bit));
+        Distance(p)
+    }
+
     /// The `count` peers closest to `target` by XOR distance, nearest
     /// first. This is the reply set for FIND_NODE (§3.2) and the candidate
     /// seed for local queries.
-    pub fn closest(&self, target: &Key, count: usize) -> Vec<PeerInfo> {
-        let mut all: Vec<(&Entry, crate::key::Distance)> =
-            self.buckets.iter().flatten().map(|e| (e, e.key.distance(target))).collect();
-        all.sort_by_key(|a| a.1);
-        all.into_iter().take(count).map(|(e, _)| e.info.clone()).collect()
+    ///
+    /// Walks buckets in provably nearest-first order (see
+    /// [`RoutingTable::bucket_min_distance`]) and stops as soon as `count`
+    /// entries are collected, instead of cloning and sorting the whole
+    /// table: O(B log B + count log K) against O(n log n).
+    pub fn closest(&self, target: &Key, count: usize) -> Vec<Arc<PeerInfo>> {
+        let mut out = Vec::with_capacity(count.min(self.size));
+        if count == 0 || self.size == 0 {
+            return out;
+        }
+        let dt = self.local.distance(target);
+        let mut order: Vec<(Distance, usize)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, _)| (Self::bucket_min_distance(&dt, i), i))
+            .collect();
+        order.sort_unstable();
+        let mut scratch: Vec<(Distance, &Arc<PeerInfo>)> = Vec::with_capacity(K);
+        for (_, idx) in order {
+            if out.len() >= count {
+                break;
+            }
+            scratch.clear();
+            scratch.extend(self.buckets[idx].iter().map(|e| (e.key.distance(target), &e.info)));
+            scratch.sort_unstable_by_key(|e| e.0);
+            for (_, info) in &scratch {
+                out.push(Arc::clone(info));
+                if out.len() >= count {
+                    break;
+                }
+            }
+        }
+        out
     }
 
     /// All peers in the table (bucket order) — used by the network crawler
     /// (§4.1), which asks peers "for all entries in their k-buckets".
-    pub fn all_peers(&self) -> Vec<PeerInfo> {
-        self.buckets.iter().flatten().map(|e| e.info.clone()).collect()
+    pub fn all_peers(&self) -> Vec<Arc<PeerInfo>> {
+        self.buckets.iter().flatten().map(|e| Arc::clone(&e.info)).collect()
     }
 
     /// Occupancy of each non-empty bucket (for diagnostics/benchmarks).
@@ -146,7 +233,7 @@ mod tests {
     use multiformats::Keypair;
 
     fn info(seed: u64) -> PeerInfo {
-        PeerInfo { peer: Keypair::from_seed(seed).peer_id(), addrs: vec![] }
+        PeerInfo::new(Keypair::from_seed(seed).peer_id(), vec![])
     }
 
     fn table(seed: u64) -> RoutingTable {
@@ -164,7 +251,7 @@ mod tests {
     #[test]
     fn self_insertion_rejected() {
         let mut rt = table(0);
-        let me = PeerInfo { peer: Keypair::from_seed(0).peer_id(), addrs: vec![] };
+        let me = PeerInfo::new(Keypair::from_seed(0).peer_id(), vec![]);
         assert!(!rt.insert(me.clone()));
         assert!(!rt.contains(&me.peer));
     }
@@ -174,7 +261,7 @@ mod tests {
         let mut rt = table(0);
         rt.insert(info(1));
         let addr: Multiaddr = "/ip4/9.9.9.9/tcp/4001".parse().unwrap();
-        let refreshed = PeerInfo { peer: info(1).peer, addrs: vec![addr.clone()] };
+        let refreshed = PeerInfo::new(info(1).peer, vec![addr.clone()]);
         assert!(rt.insert(refreshed));
         assert_eq!(rt.len(), 1, "reinsert must not duplicate");
         let got = rt.closest(&Key::from_peer(&info(1).peer), 1);
@@ -287,6 +374,67 @@ mod tests {
                 prop_assert!(rt.contains(&info(*seed).peer));
             }
         });
+    }
+
+    /// Reference implementation: clone everything and fully sort (the
+    /// pre-optimisation behaviour). The bucket walk must match it exactly,
+    /// including order.
+    fn closest_reference(rt: &RoutingTable, target: &Key, count: usize) -> Vec<Arc<PeerInfo>> {
+        let mut all: Vec<(Distance, Arc<PeerInfo>)> = rt
+            .all_peers()
+            .into_iter()
+            .map(|p| (Key::from_peer(&p.peer).distance(target), p))
+            .collect();
+        all.sort_by_key(|e| e.0);
+        all.into_iter().take(count).map(|(_, p)| p).collect()
+    }
+
+    #[test]
+    fn proptest_bucket_walk_matches_full_sort() {
+        use proptest::prelude::*;
+        proptest!(ProptestConfig::with_cases(64), |(
+            seeds in proptest::collection::vec(1u64..5_000, 1..400),
+            target_seed in 0u64..10_000,
+            count in 1usize..40,
+        )| {
+            let mut rt = table(0);
+            for s in seeds {
+                rt.insert(info(s));
+            }
+            let target = Key::from_peer(&Keypair::from_seed(target_seed).peer_id());
+            let walk = rt.closest(&target, count);
+            let reference = closest_reference(&rt, &target, count);
+            prop_assert_eq!(walk.len(), reference.len());
+            for (w, r) in walk.iter().zip(&reference) {
+                prop_assert_eq!(&w.peer, &r.peer);
+            }
+        });
+    }
+
+    #[test]
+    fn bucket_walk_matches_full_sort_on_raw_targets() {
+        // Keypair-derived targets are hash-uniform; also probe structured
+        // targets (all-zero, single-bit, local key itself).
+        let mut rt = table(0);
+        for seed in 1..600u64 {
+            rt.insert(info(seed));
+        }
+        let mut targets = vec![Key::ZERO, *rt.local_key()];
+        for bit in 0..256 {
+            if bit % 17 == 0 {
+                let mut b = [0u8; 32];
+                b[31 - bit / 8] = 1 << (bit % 8);
+                targets.push(Key::from_bytes(b));
+            }
+        }
+        for t in targets {
+            let walk = rt.closest(&t, K);
+            let reference = closest_reference(&rt, &t, K);
+            assert_eq!(
+                walk.iter().map(|p| &p.peer).collect::<Vec<_>>(),
+                reference.iter().map(|p| &p.peer).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

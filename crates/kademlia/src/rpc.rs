@@ -10,6 +10,7 @@ use crate::key::Key;
 use crate::records::ProviderRecord;
 use crate::routing::PeerInfo;
 use multiformats::Multiaddr;
+use std::sync::Arc;
 
 /// A request sent to a DHT server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,8 +30,9 @@ pub enum Request {
     AddProvider {
         /// DHT key of the provided CID.
         key: Key,
-        /// The provider and its addresses.
-        provider: PeerInfo,
+        /// The provider and its addresses (shared: republish loops send the
+        /// same info to k servers).
+        provider: Arc<PeerInfo>,
     },
     /// "Store my peer record" (PeerID → Multiaddresses, §3.1).
     PutPeerRecord {
@@ -78,22 +80,23 @@ impl Request {
 pub enum Response {
     /// Closer peers toward the requested target.
     Nodes {
-        /// Up to `k` peers closer to the target, with addresses.
-        closer: Vec<PeerInfo>,
+        /// Up to `k` peers closer to the target, with addresses. Entries
+        /// are shared with the responder's routing table (no deep copy).
+        closer: Vec<Arc<PeerInfo>>,
     },
     /// Provider records (possibly empty) plus closer peers.
     Providers {
         /// Known unexpired provider records for the key.
         providers: Vec<ProviderRecord>,
         /// Up to `k` closer peers to continue the walk.
-        closer: Vec<PeerInfo>,
+        closer: Vec<Arc<PeerInfo>>,
     },
     /// The stored value for a GET_VALUE (if any) plus closer peers.
     Value {
         /// The opaque payload, if this server holds one.
         value: Option<Vec<u8>>,
         /// Up to `k` closer peers to continue the walk.
-        closer: Vec<PeerInfo>,
+        closer: Vec<Arc<PeerInfo>>,
     },
     /// Acknowledgement for store operations that do get responses.
     Ack,
@@ -101,7 +104,7 @@ pub enum Response {
 
 impl Response {
     /// The closer-peers set carried by this response (empty for `Ack`).
-    pub fn closer(&self) -> &[PeerInfo] {
+    pub fn closer(&self) -> &[Arc<PeerInfo>] {
         match self {
             Response::Nodes { closer } => closer,
             Response::Providers { closer, .. } => closer,
@@ -120,7 +123,7 @@ mod tests {
     fn add_provider_is_fire_and_forget() {
         let key = Key::from_cid(&Cid::from_raw_data(b"x"));
         let provider =
-            PeerInfo { peer: multiformats::Keypair::from_seed(1).peer_id(), addrs: vec![] };
+            Arc::new(PeerInfo::new(multiformats::Keypair::from_seed(1).peer_id(), vec![]));
         assert!(!Request::AddProvider { key, provider }.expects_response());
         assert!(Request::FindNode { target: key }.expects_response());
         assert!(Request::GetProviders { key }.expects_response());
@@ -135,7 +138,7 @@ mod tests {
 
     #[test]
     fn response_closer_accessor() {
-        let p = PeerInfo { peer: multiformats::Keypair::from_seed(2).peer_id(), addrs: vec![] };
+        let p = Arc::new(PeerInfo::new(multiformats::Keypair::from_seed(2).peer_id(), vec![]));
         assert_eq!(Response::Nodes { closer: vec![p.clone()] }.closer().len(), 1);
         assert_eq!(Response::Providers { providers: vec![], closer: vec![p] }.closer().len(), 1);
         assert!(Response::Ack.closer().is_empty());

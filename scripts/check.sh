@@ -14,4 +14,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== throughput smoke (events/sec regression gate) =="
+cargo build --release -q -p bench --bin throughput
+SMOKE_DIR="$(mktemp -d)"
+IPFS_REPRO_CSV_DIR="$SMOKE_DIR" ./target/release/throughput --smoke \
+    --check-against results/BENCH_throughput_smoke_baseline.json
+rm -rf "$SMOKE_DIR"
+
 echo "All checks passed."

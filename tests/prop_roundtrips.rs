@@ -197,7 +197,7 @@ proptest! {
         let mut rt = RoutingTable::new(Key::from_peer(&Keypair::from_seed(0).peer_id()));
         let mut inserted: Vec<PeerId> = Vec::new();
         for s in 1..=n {
-            let info = PeerInfo { peer: Keypair::from_seed(s).peer_id(), addrs: vec![] };
+            let info = PeerInfo::new(Keypair::from_seed(s).peer_id(), vec![]);
             if rt.insert(info.clone()) {
                 inserted.push(info.peer);
             }
@@ -211,7 +211,7 @@ proptest! {
             .collect();
         truth.sort_by_key(|a| a.0);
         let want: Vec<PeerId> = truth.into_iter().take(got.len()).map(|(_, p)| p).collect();
-        let got_ids: Vec<PeerId> = got.into_iter().map(|i| i.peer).collect();
+        let got_ids: Vec<PeerId> = got.into_iter().map(|i| i.peer.clone()).collect();
         prop_assert_eq!(got_ids, want);
     }
 }
