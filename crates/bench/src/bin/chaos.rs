@@ -1,0 +1,44 @@
+//! Chaos harness: fault injection and recovery measurement.
+//!
+//! Not a paper artifact — the paper (§6.1) measures steady-state dial
+//! failures and churn; this binary measures how the same stack *recovers*
+//! from scripted correlated failures (see `crates/faultsim`). Five
+//! scenarios, each an independent deterministic cell:
+//!
+//! 1. **regional_partition** — a vantage region is cut off; reports
+//!    retrieval failure during the window, time-to-first-successful
+//!    retrieval after heal, and routing-table staleness decay.
+//! 2. **crash_wave** — half the online peers crash and restart; reports
+//!    provider-record reachability during and after.
+//! 3. **dial_fail_spike** — +60 % dial failures network-wide; reports
+//!    publish success and walk failures during vs after.
+//! 4. **degraded_links** — 4× latency and 5 % loss everywhere; retrieval
+//!    slows but completes, then returns to baseline.
+//! 5. **gateway_dip** — the gateway's region is partitioned for two hours
+//!    of the day; reports the hit-rate dip and recovery per time bin.
+//!
+//! Output is byte-identical for any `IPFS_REPRO_JOBS` value (cells are
+//! pure functions of the master seed; see `bench::runner`). When
+//! `IPFS_REPRO_CSV_DIR` is set, results land in `BENCH_chaos.json`.
+//!
+//! Flags:
+//! * `--smoke` — tiny fixed-size run for the CI determinism gate.
+
+use bench::chaos::{render_json, render_report, run_all, ChaosConfig};
+use bench::runner::{banner, jobs_from_env, seed_from_env, Scale};
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    banner("Chaos", "fault injection & recovery measurement (faultsim)");
+    let seed = seed_from_env();
+    let jobs = jobs_from_env();
+    let cfg = if smoke { ChaosConfig::smoke() } else { ChaosConfig::at_scale(Scale::from_env()) };
+
+    let outputs = run_all(&cfg, seed, jobs);
+    print!("{}", render_report(&outputs));
+
+    let json = render_json(&outputs, seed);
+    if let Some(path) = bench::write_json("BENCH_chaos", &json) {
+        println!("wrote {}", path.display());
+    }
+}

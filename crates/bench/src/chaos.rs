@@ -1,0 +1,499 @@
+//! Recovery-measurement harness over scripted fault plans.
+//!
+//! The paper evaluates IPFS in steady state; this harness measures the
+//! dimension it left open — how fast the stack *recovers*. Each scenario
+//! installs a [`faultsim::FaultPlan`] on a fresh network, drives a
+//! publish/retrieve (or gateway) workload across the fault window, and
+//! reports:
+//!
+//! * **time-to-first-successful-retrieval after heal** — retries on a
+//!   fixed cadence from the heal instant; the `fault_recovery_secs`
+//!   histogram feeds the standard metrics report,
+//! * **routing-table staleness** — the reachable fraction of the
+//!   requester's k-bucket entries sampled before/during/after,
+//! * **provider-record reachability** — the share of a published CID set
+//!   retrievable while a crash wave holds providers down,
+//! * **gateway hit-rate dip/recovery** — request success per hourly bin
+//!   across a partition of the gateway's region.
+//!
+//! Every scenario is an independent cell (own population, network and
+//! RNG derived from the master seed), so [`run_all`] parallelises over
+//! `IPFS_REPRO_JOBS` workers with byte-identical output at any job count.
+
+use crate::runner::{run_cells_with_jobs, Scale};
+use bytes::Bytes;
+use faultsim::{FaultPlan, LinkScope};
+use ipfs_core::{IpfsNetwork, NetworkConfig, NodeId};
+use multiformats::{Cid, PeerId};
+use simnet::latency::{Region, VantagePoint};
+use simnet::{Population, PopulationConfig, SimDuration, SimTime};
+
+/// How many retrieval retries the recovery loop attempts after heal.
+const RECOVERY_MAX_TRIES: usize = 60;
+/// Cadence of post-heal retrieval retries.
+const RECOVERY_RETRY_STEP: SimDuration = SimDuration::from_secs(5);
+
+/// Scenario sizes, derived from `--smoke` / `IPFS_REPRO_SCALE`.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Peer population per scenario cell.
+    pub population: usize,
+    /// Gateway requests across the simulated day.
+    pub gateway_requests: usize,
+    /// CIDs in the provider-reachability set.
+    pub catalog: usize,
+}
+
+impl ChaosConfig {
+    /// Tiny fixed sizes for the CI determinism gate.
+    pub fn smoke() -> ChaosConfig {
+        ChaosConfig { population: 250, gateway_requests: 250, catalog: 6 }
+    }
+
+    /// Sizes for a real run at the given scale.
+    pub fn at_scale(scale: Scale) -> ChaosConfig {
+        match scale {
+            Scale::Small => ChaosConfig { population: 800, gateway_requests: 800, catalog: 12 },
+            Scale::Paper => ChaosConfig { population: 3_000, gateway_requests: 4_000, catalog: 24 },
+        }
+    }
+}
+
+/// One scenario's rendered result.
+pub struct CellOutput {
+    /// Scenario name (stable, used in JSON and CSV).
+    pub label: &'static str,
+    /// Human-readable section for stdout.
+    pub report: String,
+    /// JSON object fragment for the exported `BENCH_chaos.json`.
+    pub json: String,
+}
+
+fn network(cfg: &ChaosConfig, seed: u64, vantages: &[VantagePoint]) -> IpfsNetwork {
+    let pop = Population::generate(
+        PopulationConfig {
+            size: cfg.population,
+            nat_fraction: 0.455,
+            horizon: SimDuration::from_hours(12),
+            ..Default::default()
+        },
+        seed,
+    );
+    // Table refresh on: post-heal recovery depends on routing tables
+    // re-learning peers the partition made the failure-eviction path drop.
+    let net_cfg = NetworkConfig {
+        table_refresh_interval: Some(SimDuration::from_secs(120)),
+        ..NetworkConfig::default()
+    };
+    IpfsNetwork::from_population(&pop, vantages, net_cfg, seed)
+}
+
+/// Clears a requester back to a cold state so every retrieval walks the
+/// DHT honestly (§4.3-style reset).
+fn reset_requester(net: &mut IpfsNetwork, requester: NodeId, provider_peer: &PeerId) {
+    net.disconnect_all(requester);
+    net.forget_address(requester, provider_peer);
+    let node = net.node_mut(requester);
+    let cids: Vec<Cid> = node.store.cids().cloned().collect();
+    for c in cids {
+        merkledag::BlockStore::delete(&mut node.store, &c);
+    }
+}
+
+/// One cold retrieval; returns success.
+fn try_retrieve(
+    net: &mut IpfsNetwork,
+    requester: NodeId,
+    cid: &Cid,
+    provider_peer: &PeerId,
+) -> bool {
+    net.retrieve(requester, cid.clone());
+    net.run_until_quiet();
+    let ok = net.retrieve_reports.last().map(|r| r.success).unwrap_or(false);
+    reset_requester(net, requester, provider_peer);
+    ok
+}
+
+/// Fraction of a node's k-bucket entries that are currently reachable
+/// from it (online, dialable, not behind an active partition).
+fn table_reachable_fraction(net: &IpfsNetwork, id: NodeId) -> f64 {
+    let entries = net.k_bucket_entries(id);
+    if entries.is_empty() {
+        return 1.0;
+    }
+    let my_region = net.region(id);
+    let ok = entries
+        .iter()
+        .filter(|e| {
+            net.resolve(&e.peer)
+                .map(|nid| {
+                    net.is_dialable(nid) && !net.fault_oracle().blocked(my_region, net.region(nid))
+                })
+                .unwrap_or(false)
+        })
+        .count();
+    ok as f64 / entries.len() as f64
+}
+
+/// Post-heal recovery loop: retries a cold retrieval every
+/// [`RECOVERY_RETRY_STEP`] from `heal` until one succeeds. Returns the
+/// virtual seconds from heal to first success (`None` if it never
+/// recovers), and feeds the `fault_recovery_secs` histogram.
+fn measure_recovery(
+    net: &mut IpfsNetwork,
+    requester: NodeId,
+    cid: &Cid,
+    provider_peer: &PeerId,
+    heal: SimTime,
+) -> Option<f64> {
+    for attempt in 0..RECOVERY_MAX_TRIES {
+        net.run_until(heal + RECOVERY_RETRY_STEP * attempt as u64);
+        if try_retrieve(net, requester, cid, provider_peer) {
+            let secs = net.now().since(heal).as_secs_f64();
+            net.metrics_mut().observe("fault_recovery_secs", secs);
+            return Some(secs);
+        }
+    }
+    None
+}
+
+fn fmt_recovery(r: Option<f64>) -> String {
+    match r {
+        Some(secs) => format!("{secs:.3}s"),
+        None => "never".to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+/// Regional partition: cut the requester's region, measure retrieval
+/// failure during the window and time-to-recovery plus routing-table
+/// staleness decay after heal.
+fn scenario_partition(cfg: &ChaosConfig, seed: u64) -> CellOutput {
+    let mut net = network(cfg, seed, &[VantagePoint::UsWest1, VantagePoint::EuCentral1]);
+    let [provider, requester] = net.vantage_ids(2)[..] else { unreachable!() };
+    let provider_peer = net.peer_id(provider).clone();
+    let cid = net.import_content(provider, &Bytes::from(vec![0x51; 256 * 1024]));
+    net.publish(provider, cid.clone());
+    net.run_until_quiet();
+
+    let before_ok = try_retrieve(&mut net, requester, &cid, &provider_peer);
+    let staleness_before = 1.0 - table_reachable_fraction(&net, requester);
+
+    let t0 = net.now();
+    let start = t0 + SimDuration::from_secs(60);
+    let window = SimDuration::from_secs(600);
+    let heal = start + window;
+    let mut plan = FaultPlan::new();
+    plan.region_outage(start, window, Region::EuropeCentral);
+    net.install_fault_plan(plan);
+
+    net.run_until(start + SimDuration::from_secs(30));
+    let during_ok = try_retrieve(&mut net, requester, &cid, &provider_peer);
+    let staleness_during = 1.0 - table_reachable_fraction(&net, requester);
+
+    let recovery = measure_recovery(&mut net, requester, &cid, &provider_peer, heal);
+    // Staleness decay: sample the table as refresh ticks repair it. Targets
+    // are offsets from heal; `run_until` never rewinds, so each sample
+    // records the actual elapsed time since heal.
+    let mut decay = Vec::new();
+    for offset in [0u64, 120, 240, 360, 600] {
+        net.run_until(heal + SimDuration::from_secs(offset));
+        let elapsed = net.now().since(heal).as_secs_f64();
+        decay.push((elapsed, 1.0 - table_reachable_fraction(&net, requester)));
+    }
+
+    let dials_blocked = net.metrics().get("fault_dials_blocked");
+    let conns_severed = net.metrics().get("fault_conns_severed");
+    let decay_str =
+        decay.iter().map(|(t, s)| format!("t+{t:.0}s={s:.3}")).collect::<Vec<_>>().join(" ");
+    let report = format!(
+        "retrieval before partition: {}\n\
+         retrieval during partition: {} (must fail)\n\
+         dials blocked by oracle: {dials_blocked}, warm conns severed: {conns_severed}\n\
+         time to first successful retrieval after heal: {}\n\
+         routing-table staleness before={staleness_before:.3} during={staleness_during:.3}\n\
+         staleness decay after heal: {decay_str}\n{}",
+        if before_ok { "ok" } else { "FAILED" },
+        if during_ok { "SUCCEEDED (oracle bypass!)" } else { "failed as expected" },
+        fmt_recovery(recovery),
+        crate::export::fault_report(net.metrics()),
+    );
+    let json = format!(
+        "{{\"before_ok\": {before_ok}, \"during_ok\": {during_ok}, \
+          \"recovery_secs\": {}, \"dials_blocked\": {dials_blocked}, \
+          \"staleness_during\": {staleness_during:.4}}}",
+        recovery.map(|r| format!("{r:.3}")).unwrap_or_else(|| "null".into()),
+    );
+    CellOutput { label: "regional_partition", report, json }
+}
+
+/// Crash-restart wave: take half the online peers down, measure
+/// provider-record reachability during the outage and after restarts.
+fn scenario_crash_wave(cfg: &ChaosConfig, seed: u64) -> CellOutput {
+    let mut net = network(cfg, seed, &[VantagePoint::UsWest1]);
+    let [requester] = net.vantage_ids(1)[..] else { unreachable!() };
+    // Publish a CID set from dialable population servers.
+    let providers: Vec<NodeId> =
+        net.server_ids().into_iter().filter(|&i| net.is_dialable(i)).take(cfg.catalog).collect();
+    let mut cids = Vec::new();
+    for (i, &p) in providers.iter().enumerate() {
+        let mut payload = vec![0x77u8; 64 * 1024];
+        payload[..8].copy_from_slice(&(i as u64).to_be_bytes());
+        let cid = net.import_content(p, &Bytes::from(payload));
+        net.publish(p, cid.clone());
+        net.run_until_quiet();
+        cids.push((p, cid));
+    }
+
+    let t0 = net.now();
+    let wave_at = t0 + SimDuration::from_secs(30);
+    // Generous restart delay: the during-outage reachability sweep below
+    // advances virtual time (failed walks ride their timeouts), and it must
+    // finish before any victim comes back.
+    let restart_after = SimDuration::from_secs(1800);
+    let mut plan = FaultPlan::new();
+    plan.crash_wave(wave_at, 0.5, restart_after);
+    net.install_fault_plan(plan);
+    net.run_until(wave_at + SimDuration::from_secs(1));
+    let crashed = net.metrics().get("fault_nodes_crashed");
+
+    let reach = |net: &mut IpfsNetwork| {
+        let mut ok = 0usize;
+        for (p, cid) in &cids {
+            let peer = net.peer_id(*p).clone();
+            if try_retrieve(net, requester, cid, &peer) {
+                ok += 1;
+            }
+        }
+        ok as f64 / cids.len().max(1) as f64
+    };
+    let reach_during = reach(&mut net);
+    // Give every victim time to restart and re-announce, then re-measure.
+    net.run_until(wave_at + restart_after + SimDuration::from_secs(120));
+    let reach_after = reach(&mut net);
+
+    let report = format!(
+        "crash wave: {crashed} peers down (50% of online), restart after {restart_after}\n\
+         provider-record reachability during outage: {reach_during:.3}\n\
+         provider-record reachability after restarts: {reach_after:.3}\n{}",
+        crate::export::fault_report(net.metrics()),
+    );
+    let json = format!(
+        "{{\"crashed\": {crashed}, \"reach_during\": {reach_during:.4}, \
+          \"reach_after\": {reach_after:.4}}}"
+    );
+    CellOutput { label: "crash_wave", report, json }
+}
+
+/// Network-wide dial-failure spike: publish success and walk failures
+/// during the spike window vs after it.
+fn scenario_dial_spike(cfg: &ChaosConfig, seed: u64) -> CellOutput {
+    let mut net = network(cfg, seed, &[VantagePoint::UsWest1]);
+    let [publisher] = net.vantage_ids(1)[..] else { unreachable!() };
+    let t0 = net.now();
+    let start = t0 + SimDuration::from_secs(10);
+    let window = SimDuration::from_secs(3600);
+    let mut plan = FaultPlan::new();
+    plan.dial_fail_spike(start, window, 0.6);
+    net.install_fault_plan(plan);
+
+    let publish_round = |net: &mut IpfsNetwork, tag: u8| {
+        let mut ok = 0usize;
+        let mut failures = 0u64;
+        for i in 0..6u64 {
+            let mut payload = vec![tag; 4 * 1024];
+            payload[..8].copy_from_slice(&i.to_be_bytes());
+            let cid = net.import_content(publisher, &Bytes::from(payload));
+            net.publish(publisher, cid);
+            net.run_until_quiet();
+            let pr = net.publish_reports.last().unwrap();
+            ok += pr.success as usize;
+            failures += pr.walk_failures;
+        }
+        (ok, failures as f64 / 6.0)
+    };
+
+    net.run_until(start + SimDuration::from_secs(1));
+    let (ok_during, fail_during) = publish_round(&mut net, 0xA1);
+    net.run_until(start + window + SimDuration::from_secs(1));
+    let (ok_after, fail_after) = publish_round(&mut net, 0xA2);
+    let spiked = net.metrics().get("fault_dials_spiked");
+
+    let report = format!(
+        "dial-fail spike (+60% failure for {window}): {spiked} dials spiked\n\
+         publishes during spike: {ok_during}/6 ok, {fail_during:.1} walk failures/op\n\
+         publishes after spike:  {ok_after}/6 ok, {fail_after:.1} walk failures/op\n{}",
+        crate::export::fault_report(net.metrics()),
+    );
+    let json = format!(
+        "{{\"dials_spiked\": {spiked}, \"ok_during\": {ok_during}, \"ok_after\": {ok_after}, \
+          \"walk_failures_during\": {fail_during:.2}, \"walk_failures_after\": {fail_after:.2}}}"
+    );
+    CellOutput { label: "dial_fail_spike", report, json }
+}
+
+/// Degraded links: 4x latency and 5% loss on every path; retrieval slows
+/// but still completes, and returns to baseline after the window.
+fn scenario_degraded_links(cfg: &ChaosConfig, seed: u64) -> CellOutput {
+    let mut net = network(cfg, seed, &[VantagePoint::UsWest1, VantagePoint::EuCentral1]);
+    let [provider, requester] = net.vantage_ids(2)[..] else { unreachable!() };
+    let provider_peer = net.peer_id(provider).clone();
+    let cid = net.import_content(provider, &Bytes::from(vec![0x2F; 256 * 1024]));
+    net.publish(provider, cid.clone());
+    net.run_until_quiet();
+
+    let timed_retrieve = |net: &mut IpfsNetwork| {
+        net.retrieve(requester, cid.clone());
+        net.run_until_quiet();
+        let rr = net.retrieve_reports.last().unwrap().clone();
+        reset_requester(net, requester, &provider_peer);
+        (rr.success, rr.total.as_secs_f64())
+    };
+    let (base_ok, base_secs) = timed_retrieve(&mut net);
+
+    let start = net.now() + SimDuration::from_secs(10);
+    let window = SimDuration::from_secs(900);
+    let mut plan = FaultPlan::new();
+    plan.degrade(start, window, LinkScope::All, 4.0, 0.05);
+    net.install_fault_plan(plan);
+    net.run_until(start + SimDuration::from_secs(1));
+    let (deg_ok, deg_secs) = timed_retrieve(&mut net);
+    net.run_until(start + window + SimDuration::from_secs(1));
+    let (post_ok, post_secs) = timed_retrieve(&mut net);
+    let lost = net.metrics().get("fault_messages_lost");
+
+    let report = format!(
+        "degraded links (4x latency, 5% loss, {window}): {lost} messages lost\n\
+         retrieval baseline: ok={base_ok} {base_secs:.3}s\n\
+         retrieval degraded: ok={deg_ok} {deg_secs:.3}s\n\
+         retrieval after:    ok={post_ok} {post_secs:.3}s\n{}",
+        crate::export::fault_report(net.metrics()),
+    );
+    let json = format!(
+        "{{\"base_secs\": {base_secs:.3}, \"degraded_secs\": {deg_secs:.3}, \
+          \"post_secs\": {post_secs:.3}, \"messages_lost\": {lost}}}"
+    );
+    CellOutput { label: "degraded_links", report, json }
+}
+
+/// Gateway across a partition: hourly success-rate bins dip while the
+/// gateway's region is cut and recover after heal.
+fn scenario_gateway_dip(cfg: &ChaosConfig, seed: u64) -> CellOutput {
+    use gateway::workload::{GatewayWorkload, WorkloadConfig};
+    use gateway::{Gateway, GatewayConfig};
+    let mut net = network(cfg, seed, &[VantagePoint::UsWest1]);
+    let [gw_node] = net.vantage_ids(1)[..] else { unreachable!() };
+    let workload = GatewayWorkload::generate(WorkloadConfig {
+        catalog_size: (cfg.catalog * 20).max(60),
+        users: (cfg.gateway_requests / 8).max(40),
+        requests: cfg.gateway_requests,
+        seed,
+        ..Default::default()
+    });
+    let mut gw = Gateway::new(gw_node, GatewayConfig::default());
+    let providers: Vec<NodeId> =
+        net.server_ids().into_iter().filter(|&i| net.is_dialable(i)).take(20).collect();
+    gw.install_catalog(&mut net, &workload, &providers);
+
+    // Cut the gateway's region (NA-West) for hours 8–10 of the day; the
+    // gateway keeps serving cache hits but network fetches die.
+    let start = SimTime::ZERO + SimDuration::from_hours(8);
+    let mut plan = FaultPlan::new();
+    plan.region_outage(start, SimDuration::from_hours(2), Region::NorthAmericaWest);
+    net.install_fault_plan(plan);
+
+    let log = gw.serve_all(&mut net, &workload);
+    // Success share per 2-hour bin.
+    let bin_width = SimDuration::from_hours(2);
+    let bin_of = |at: SimTime| (at.as_nanos() / bin_width.as_nanos()) as usize;
+    let mut bins: Vec<(usize, usize)> = vec![(0, 0); 12];
+    for e in &log {
+        let b = bin_of(e.at).min(11);
+        bins[b].1 += 1;
+        bins[b].0 += e.success as usize;
+    }
+    let rate = |b: &(usize, usize)| if b.1 == 0 { 1.0 } else { b.0 as f64 / b.1 as f64 };
+    let bins_str = bins
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.1 > 0)
+        .map(|(i, b)| format!("h{:02}-{:02}={:.3}", i * 2, i * 2 + 2, rate(b)))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let during = rate(&bins[4]); // hours 8–10
+    let before = rate(&bins[3]);
+    let after = rate(&bins[5]);
+
+    let report = format!(
+        "gateway hit rate across a 2 h regional outage (hours 8-10):\n\
+         success per 2h bin: {bins_str}\n\
+         dip: before={before:.3} during={during:.3} after={after:.3}\n{}",
+        crate::export::fault_report(net.metrics()),
+    );
+    let json =
+        format!("{{\"before\": {before:.4}, \"during\": {during:.4}, \"after\": {after:.4}}}");
+    CellOutput { label: "gateway_dip", report, json }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Runs every scenario as an independent cell on `jobs` workers and
+/// returns the rendered outputs in scenario order (byte-identical at any
+/// job count — see [`run_cells_with_jobs`]).
+pub fn run_all(cfg: &ChaosConfig, master_seed: u64, jobs: usize) -> Vec<CellOutput> {
+    type Scenario = fn(&ChaosConfig, u64) -> CellOutput;
+    let scenarios: Vec<Scenario> = vec![
+        scenario_partition,
+        scenario_crash_wave,
+        scenario_dial_spike,
+        scenario_degraded_links,
+        scenario_gateway_dip,
+    ];
+    run_cells_with_jobs(jobs, scenarios.len(), |i| {
+        // Distinct per-cell seed, stable across job counts.
+        scenarios[i](cfg, master_seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    })
+}
+
+/// Renders the full stdout report for a set of cell outputs.
+pub fn render_report(outputs: &[CellOutput]) -> String {
+    let mut out = String::new();
+    for cell in outputs {
+        out.push_str(&format!("-- {} --\n{}\n", cell.label, cell.report.trim_end()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Assembles the exported JSON document.
+pub fn render_json(outputs: &[CellOutput], seed: u64) -> String {
+    let entries: Vec<String> = outputs
+        .iter()
+        .map(|c| format!("    {{\"label\": \"{}\", \"result\": {}}}", c.label, c.json))
+        .collect();
+    format!(
+        "{{\n  \"harness\": \"chaos\",\n  \"seed\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        seed,
+        entries.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_cells_are_deterministic_across_job_counts() {
+        let cfg = ChaosConfig::smoke();
+        let render = |jobs: usize| {
+            let outputs = run_all(&cfg, 99, jobs);
+            (render_report(&outputs), render_json(&outputs, 99))
+        };
+        assert_eq!(render(1), render(4), "jobs=1 vs jobs=4 must be byte-identical");
+    }
+}

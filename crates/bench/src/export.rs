@@ -104,6 +104,30 @@ pub fn metrics_report(metrics: &ipfs_core::MetricsRegistry) -> String {
     out
 }
 
+/// Renders the fault-injection section of a report: every `fault_*`
+/// counter plus a summary of the `fault_recovery_secs` histogram
+/// (time-to-first-successful-retrieval after heal). Empty string when the
+/// run injected no faults, so plain runs stay byte-identical.
+pub fn fault_report(metrics: &ipfs_core::MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in metrics.counters_with_prefix("fault_") {
+        out.push_str(&format!("{name:<40} {value}\n"));
+    }
+    let recovery = metrics.samples("fault_recovery_secs");
+    if !recovery.is_empty() {
+        let s = crate::stats::Summary::of(recovery);
+        out.push_str(&format!(
+            "{:<40} n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3}\n",
+            "fault_recovery_secs", s.n, s.mean, s.p50, s.p90, s.p99
+        ));
+    }
+    if out.is_empty() {
+        out
+    } else {
+        format!("== faults ==\n{out}")
+    }
+}
+
 /// Exports a metrics registry as both `<name>.json` and `<name>.csv`
 /// (counter rows), if exporting is configured.
 pub fn write_metrics(name: &str, metrics: &ipfs_core::MetricsRegistry) -> Option<PathBuf> {
@@ -144,6 +168,22 @@ mod tests {
         assert!(report.contains('7'));
         assert!(report.contains("dht_walk_rpcs"));
         assert!(report.contains("n=4"));
+    }
+
+    #[test]
+    fn fault_report_is_empty_without_faults_and_lists_fault_counters() {
+        let mut m = ipfs_core::MetricsRegistry::new();
+        m.add("dials_ok", 3);
+        assert_eq!(fault_report(&m), "", "no fault counters, no section");
+        m.incr("fault_partition_starts");
+        m.add("fault_dials_blocked", 12);
+        m.observe("fault_recovery_secs", 4.5);
+        let report = fault_report(&m);
+        assert!(report.starts_with("== faults =="));
+        assert!(report.contains("fault_partition_starts"));
+        assert!(report.contains("fault_dials_blocked"));
+        assert!(report.contains("fault_recovery_secs"));
+        assert!(!report.contains("dials_ok"));
     }
 
     #[test]

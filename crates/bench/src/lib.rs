@@ -31,10 +31,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod export;
 pub mod runner;
 pub mod stats;
 
-pub use export::{metrics_report, to_csv, write_csv, write_json, write_metrics};
+pub use export::{fault_report, metrics_report, to_csv, write_csv, write_json, write_metrics};
 pub use runner::{Scale, ScaleConfig};
 pub use stats::{cdf_points, pearson, percentile, Summary};

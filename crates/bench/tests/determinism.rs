@@ -74,6 +74,22 @@ fn parallel_runner_output_is_byte_identical_to_serial() {
     );
 }
 
+/// The chaos harness composes every fault path (partitions, crash waves,
+/// spikes, loss, latency inflation, gateway traffic); its rendered smoke
+/// report must be byte-identical at any job count and across reruns.
+#[test]
+fn chaos_smoke_report_is_byte_identical_across_job_counts() {
+    use bench::chaos::{render_json, render_report, run_all, ChaosConfig};
+    let cfg = ChaosConfig::smoke();
+    let render = |jobs: usize| {
+        let outputs = run_all(&cfg, 2022, jobs);
+        (render_report(&outputs), render_json(&outputs, 2022))
+    };
+    let serial = render(1);
+    assert_eq!(serial, render(4), "jobs=1 vs jobs=4 must be byte-identical");
+    assert_eq!(serial, render(1), "same seed must replay byte-identically");
+}
+
 #[test]
 fn runner_merges_in_cell_order_regardless_of_jobs() {
     for jobs in [1usize, 2, 3, 8, 64] {

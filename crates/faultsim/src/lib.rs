@@ -1,0 +1,37 @@
+//! Deterministic fault injection for the simulated IPFS network.
+//!
+//! The paper evaluates IPFS in steady state: §6.1's dial-failure mix and
+//! §5.3's background churn are the only adversity its pipelines face. This
+//! crate adds the missing dimension — *scripted* correlated failures — so
+//! experiments can measure how fast routing tables, provider records and
+//! gateway retrieval recover from the kinds of events the live network
+//! actually sees (regional outages, AS-level incidents, crash-restart
+//! waves, congested or lossy paths).
+//!
+//! Two pieces:
+//!
+//! * [`FaultPlan`] — the scenario DSL: a timed list of [`FaultEvent`]s
+//!   (partition start/heal, link degradation windows, dial-failure-rate
+//!   spikes, crash waves). Plans are plain data built up front; the same
+//!   seed plus the same plan replays byte-identically.
+//! * [`FaultOracle`] — the runtime the simulation driver consults on every
+//!   dial, RPC delivery and Bitswap transfer. It folds due plan events
+//!   into active topology state and answers [`FaultOracle::blocked`],
+//!   [`FaultOracle::latency_factor`], [`FaultOracle::loss_prob`] and
+//!   [`FaultOracle::extra_dial_fail_prob`] — symmetrically, so a cut or
+//!   degraded path fails or slows in both directions.
+//!
+//! The oracle owns no randomness: probabilistic faults (loss, dial
+//! spikes) return probabilities and the *driver* draws from its seeded
+//! RNG, keeping all nondeterminism in one place. Node-scoped events
+//! ([`FaultEvent::CrashWave`]) are likewise returned to the driver, which
+//! knows which peers exist and how to take them down.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod oracle;
+pub mod plan;
+
+pub use oracle::FaultOracle;
+pub use plan::{FaultEvent, FaultId, FaultPlan, LinkScope};

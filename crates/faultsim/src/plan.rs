@@ -1,0 +1,298 @@
+//! The fault-scenario DSL: timed, declarative fault events.
+
+use simnet::latency::Region;
+use simnet::{SimDuration, SimTime};
+
+/// Identifier pairing a fault's start event with its end event.
+pub type FaultId = u32;
+
+/// Which links a degradation applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkScope {
+    /// Every link in the network.
+    All,
+    /// Links with at least one endpoint in the region (ingress + egress).
+    Region(Region),
+    /// Links between the two regions, either direction.
+    Between(Region, Region),
+}
+
+impl LinkScope {
+    /// Whether a link between zones `a` and `b` falls under this scope.
+    /// Symmetric by construction: `covers(a, b) == covers(b, a)`.
+    pub fn covers(self, a: Region, b: Region) -> bool {
+        match self {
+            LinkScope::All => true,
+            LinkScope::Region(r) => a == r || b == r,
+            LinkScope::Between(x, y) => (a == x && b == y) || (a == y && b == x),
+        }
+    }
+}
+
+/// One scripted fault. Window-shaped faults come as start/end pairs tied
+/// by a [`FaultId`]; instantaneous faults ([`FaultEvent::CrashWave`])
+/// stand alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Cut every link between `regions` and the rest of the world (links
+    /// *inside* the group keep working). Models a regional or AS-level
+    /// outage where the area stays internally connected but loses transit.
+    PartitionStart {
+        /// Pairing id, healed by the matching [`FaultEvent::PartitionEnd`].
+        id: FaultId,
+        /// The zone group severed from everything else.
+        regions: Vec<Region>,
+    },
+    /// Heal the partition started under the same id.
+    PartitionEnd {
+        /// Pairing id.
+        id: FaultId,
+    },
+    /// Degrade the covered links: one-way latency multiplied by
+    /// `latency_factor`, each message independently lost with probability
+    /// `loss_prob`.
+    DegradeStart {
+        /// Pairing id, lifted by the matching [`FaultEvent::DegradeEnd`].
+        id: FaultId,
+        /// Which links are affected.
+        scope: LinkScope,
+        /// Latency multiplier (`>= 1.0` slows, `1.0` is a no-op).
+        latency_factor: f64,
+        /// Per-message loss probability in `[0, 1]`.
+        loss_prob: f64,
+    },
+    /// Restore the links degraded under the same id.
+    DegradeEnd {
+        /// Pairing id.
+        id: FaultId,
+    },
+    /// Every fresh dial additionally fails with probability
+    /// `extra_fail_prob` — the §6.1 dial-failure mix spiking network-wide
+    /// (e.g. a transport bug or resource-exhaustion incident).
+    DialFailSpikeStart {
+        /// Pairing id, ended by the matching
+        /// [`FaultEvent::DialFailSpikeEnd`].
+        id: FaultId,
+        /// Extra failure probability layered on top of normal dialing.
+        extra_fail_prob: f64,
+    },
+    /// End the dial-failure spike started under the same id.
+    DialFailSpikeEnd {
+        /// Pairing id.
+        id: FaultId,
+    },
+    /// Crash a fraction of the currently-online background peers; each
+    /// crashed peer restarts (rejoining through the normal churn path)
+    /// after `restart_after`. The driver selects victims from its seeded
+    /// RNG, so the wave is reproducible.
+    CrashWave {
+        /// Fraction of online background peers to take down, in `[0, 1]`.
+        fraction: f64,
+        /// Downtime before each victim restarts.
+        restart_after: SimDuration,
+    },
+}
+
+impl FaultEvent {
+    /// Short label for metrics and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEvent::PartitionStart { .. } => "partition_start",
+            FaultEvent::PartitionEnd { .. } => "partition_end",
+            FaultEvent::DegradeStart { .. } => "degrade_start",
+            FaultEvent::DegradeEnd { .. } => "degrade_end",
+            FaultEvent::DialFailSpikeStart { .. } => "dial_fail_spike_start",
+            FaultEvent::DialFailSpikeEnd { .. } => "dial_fail_spike_end",
+            FaultEvent::CrashWave { .. } => "crash_wave",
+        }
+    }
+}
+
+/// A timed fault scenario: the experiment input an engine replays.
+///
+/// Build with the window helpers ([`FaultPlan::partition`],
+/// [`FaultPlan::degrade`], [`FaultPlan::dial_fail_spike`],
+/// [`FaultPlan::crash_wave`]) or push raw events with [`FaultPlan::at`].
+/// Events may be added in any order; [`FaultOracle`](crate::FaultOracle)
+/// stable-sorts by time at install, so same-instant events apply in
+/// insertion order — deterministically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+    next_id: FaultId,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The scripted events in insertion order.
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// Consumes the plan, yielding events stable-sorted by time (ties keep
+    /// insertion order).
+    pub fn into_timeline(mut self) -> Vec<(SimTime, FaultEvent)> {
+        self.events.sort_by_key(|(at, _)| *at);
+        self.events
+    }
+
+    /// Schedules a raw event at an absolute instant.
+    pub fn at(&mut self, at: SimTime, event: FaultEvent) -> &mut Self {
+        self.events.push((at, event));
+        self
+    }
+
+    fn fresh_id(&mut self) -> FaultId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Scripts a partition of `regions` from the rest of the world over
+    /// `[start, start + duration)`. Returns the pairing id.
+    pub fn partition(
+        &mut self,
+        start: SimTime,
+        duration: SimDuration,
+        regions: Vec<Region>,
+    ) -> FaultId {
+        let id = self.fresh_id();
+        self.at(start, FaultEvent::PartitionStart { id, regions });
+        self.at(start + duration, FaultEvent::PartitionEnd { id });
+        id
+    }
+
+    /// Scripts a full outage of one region: shorthand for
+    /// [`FaultPlan::partition`] with a single-region group.
+    pub fn region_outage(
+        &mut self,
+        start: SimTime,
+        duration: SimDuration,
+        region: Region,
+    ) -> FaultId {
+        self.partition(start, duration, vec![region])
+    }
+
+    /// Scripts a link-degradation window. Returns the pairing id.
+    pub fn degrade(
+        &mut self,
+        start: SimTime,
+        duration: SimDuration,
+        scope: LinkScope,
+        latency_factor: f64,
+        loss_prob: f64,
+    ) -> FaultId {
+        assert!(latency_factor >= 1.0, "latency_factor slows links, must be >= 1");
+        assert!((0.0..=1.0).contains(&loss_prob), "loss_prob is a probability");
+        let id = self.fresh_id();
+        self.at(start, FaultEvent::DegradeStart { id, scope, latency_factor, loss_prob });
+        self.at(start + duration, FaultEvent::DegradeEnd { id });
+        id
+    }
+
+    /// Scripts a dial-failure-rate spike window. Returns the pairing id.
+    pub fn dial_fail_spike(
+        &mut self,
+        start: SimTime,
+        duration: SimDuration,
+        extra_fail_prob: f64,
+    ) -> FaultId {
+        assert!((0.0..=1.0).contains(&extra_fail_prob), "extra_fail_prob is a probability");
+        let id = self.fresh_id();
+        self.at(start, FaultEvent::DialFailSpikeStart { id, extra_fail_prob });
+        self.at(start + duration, FaultEvent::DialFailSpikeEnd { id });
+        id
+    }
+
+    /// Scripts a crash-restart wave over a fraction of the online peers.
+    pub fn crash_wave(&mut self, at: SimTime, fraction: f64, restart_after: SimDuration) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction is a probability");
+        self.at(at, FaultEvent::CrashWave { fraction, restart_after });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn window_helpers_emit_paired_events() {
+        let mut plan = FaultPlan::new();
+        let pid = plan.partition(t(60), SimDuration::from_secs(120), vec![Region::EuropeCentral]);
+        let did = plan.degrade(t(10), SimDuration::from_secs(30), LinkScope::All, 4.0, 0.1);
+        let sid = plan.dial_fail_spike(t(5), SimDuration::from_secs(50), 0.35);
+        plan.crash_wave(t(90), 0.3, SimDuration::from_secs(120));
+        assert_eq!(plan.len(), 7);
+        assert_ne!(pid, did);
+        assert_ne!(did, sid);
+        let starts = plan
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::PartitionStart { id, .. } if *id == pid))
+            .count();
+        let ends = plan
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::PartitionEnd { id } if *id == pid))
+            .count();
+        assert_eq!((starts, ends), (1, 1));
+    }
+
+    #[test]
+    fn timeline_is_time_sorted_and_stable() {
+        let mut plan = FaultPlan::new();
+        plan.at(t(30), FaultEvent::PartitionEnd { id: 7 });
+        plan.at(t(10), FaultEvent::PartitionStart { id: 7, regions: vec![Region::Africa] });
+        plan.at(t(30), FaultEvent::DialFailSpikeEnd { id: 9 });
+        let timeline = plan.into_timeline();
+        assert_eq!(timeline[0].0, t(10));
+        // Equal instants keep insertion order (heal before spike end).
+        assert_eq!(timeline[1].1.label(), "partition_end");
+        assert_eq!(timeline[2].1.label(), "dial_fail_spike_end");
+    }
+
+    #[test]
+    fn link_scope_is_symmetric() {
+        let scopes = [
+            LinkScope::All,
+            LinkScope::Region(Region::EuropeCentral),
+            LinkScope::Between(Region::Africa, Region::EastAsia),
+        ];
+        for scope in scopes {
+            for a in Region::ALL {
+                for b in Region::ALL {
+                    assert_eq!(scope.covers(a, b), scope.covers(b, a), "{scope:?} {a:?} {b:?}");
+                }
+            }
+        }
+        assert!(LinkScope::Region(Region::Africa).covers(Region::Africa, Region::Oceania));
+        assert!(!LinkScope::Region(Region::Africa).covers(Region::EastAsia, Region::Oceania));
+        let between = LinkScope::Between(Region::Africa, Region::EastAsia);
+        assert!(between.covers(Region::EastAsia, Region::Africa));
+        assert!(!between.covers(Region::Africa, Region::Africa));
+    }
+
+    #[test]
+    #[should_panic(expected = "latency_factor")]
+    fn degrade_rejects_speedup_factors() {
+        FaultPlan::new().degrade(t(0), SimDuration::from_secs(1), LinkScope::All, 0.5, 0.0);
+    }
+}

@@ -9,6 +9,11 @@
 //!   split by transport timeout class (§6.1), Bitswap message counts by
 //!   type (§3.2), provider-record lifecycle (§3.1), connection-manager
 //!   prunes, gateway cache tiers (§6.3) and churn transitions (§4.1).
+//!   Scripted fault injection (the `faultsim` crate) adds the `fault_*`
+//!   family — partitions started/healed, dials blocked or spiked by the
+//!   oracle, warm connections severed, messages cut or lost, crash-wave
+//!   victims — plus the `fault_recovery_secs` histogram of
+//!   time-to-first-successful-retrieval after heal.
 //! * **Traces** — a per-[`OpId`] sequence of timestamped [`TraceEvent`]s
 //!   recording the §3.2 content-retrieval pipeline (Bitswap probe →
 //!   provider walk → peer walk → dial → fetch) and the publish/IPNS
@@ -77,6 +82,18 @@ impl MetricsRegistry {
     /// Iterates counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates counters whose name starts with `prefix`, in name order.
+    /// Used by report renderers to pull out a subsystem's counter family
+    /// (e.g. the `fault_*` counters the fault-injection layer emits:
+    /// partitions started/healed, dials blocked or spiked by the oracle,
+    /// connections severed, messages cut or lost, nodes crashed).
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'static str, u64)> + 'a {
+        self.counters().filter(move |(k, _)| k.starts_with(prefix))
     }
 
     /// Iterates histograms in name order.

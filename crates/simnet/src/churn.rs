@@ -367,6 +367,57 @@ mod tests {
     }
 
     #[test]
+    fn proptest_schedule_invariants_hold_for_any_seed_country_horizon() {
+        // The invariants every consumer of a SessionSchedule relies on —
+        // the event queue (Churn events must be schedulable in order), the
+        // crawler (binary-searchable intervals) and the fault harness
+        // (crash waves interleave with natural churn):
+        //
+        //  1. sessions are time-ordered and non-overlapping,
+        //  2. every session is non-empty and starts within the horizon,
+        //  3. online time clipped to the horizon never exceeds it (uptime
+        //     fraction stays in [0, 1]),
+        //  4. reliable peers are pinned online, never-reachable pinned off.
+        use proptest::prelude::*;
+        let model = ChurnModel;
+        proptest!(ProptestConfig::with_cases(128), |(
+            seed in 0u64..1_000_000,
+            country_idx in 0usize..32,
+            horizon_hours in 1u64..200,
+            class_sel in 0u8..3,
+        )| {
+            let country = Country::ALL[country_idx % Country::ALL.len()];
+            let class = match class_sel {
+                0 => StabilityClass::Reliable,
+                1 => StabilityClass::NeverReachable,
+                _ => StabilityClass::Churning,
+            };
+            let horizon = SimDuration::from_hours(horizon_hours);
+            let end_time = SimTime::ZERO + horizon;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sched = model.sample_schedule(&mut rng, country, class, horizon);
+
+            for w in sched.sessions.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "sessions must be ordered, non-overlapping");
+            }
+            for (s, e) in &sched.sessions {
+                prop_assert!(s < e, "sessions are non-empty");
+                prop_assert!(*s < end_time, "sessions start within the horizon");
+            }
+            let clipped = sched.sessions.iter().fold(SimDuration::ZERO, |acc, (s, e)| {
+                acc + (*e).min(end_time).since(*s)
+            });
+            let frac = clipped.as_secs_f64() / horizon.as_secs_f64();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&frac), "clipped uptime {frac}");
+            match class {
+                StabilityClass::Reliable => prop_assert!(frac > 0.999),
+                StabilityClass::NeverReachable => prop_assert!(sched.sessions.is_empty()),
+                StabilityClass::Churning => {}
+            }
+        });
+    }
+
+    #[test]
     fn uptime_fraction_reasonable_for_churners() {
         let model = ChurnModel;
         let mut rng = StdRng::seed_from_u64(26);

@@ -102,6 +102,20 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
+
+    /// Advances the clock to `at` without dispatching anything — the hook
+    /// external controllers (fault plans, scripted scenarios) use to act at
+    /// exact virtual instants between events. Clamped so time never runs
+    /// backwards and never jumps past a pending event (which would trip the
+    /// causality check in [`EventQueue::pop`]). Returns the new "now".
+    pub fn advance_to(&mut self, at: SimTime) -> SimTime {
+        let mut target = at.max(self.now);
+        if let Some(next) = self.peek_time() {
+            target = target.min(next);
+        }
+        self.now = target;
+        self.now
+    }
 }
 
 /// The simulation engine: an [`EventQueue`] plus the root RNG.
@@ -230,6 +244,35 @@ mod tests {
             }
         });
         assert_eq!(seen, vec![(10_000, 1), (10_000, 2)]);
+    }
+
+    #[test]
+    fn advance_to_clamps_to_pending_events_and_now() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule(SimDuration::from_secs(10), 1);
+        // Free advance below the next event.
+        assert_eq!(
+            q.advance_to(SimTime::ZERO + SimDuration::from_secs(4)),
+            SimTime::ZERO + SimDuration::from_secs(4)
+        );
+        // Cannot move backwards.
+        assert_eq!(
+            q.advance_to(SimTime::ZERO + SimDuration::from_secs(1)),
+            SimTime::ZERO + SimDuration::from_secs(4)
+        );
+        // Cannot jump past the pending event.
+        assert_eq!(
+            q.advance_to(SimTime::ZERO + SimDuration::from_secs(60)),
+            SimTime::ZERO + SimDuration::from_secs(10)
+        );
+        let ev = q.pop().expect("event still pending");
+        assert_eq!(ev.at, SimTime::ZERO + SimDuration::from_secs(10));
+        // With an empty queue the clock advances freely.
+        assert_eq!(
+            q.advance_to(SimTime::ZERO + SimDuration::from_secs(60)),
+            SimTime::ZERO + SimDuration::from_secs(60)
+        );
+        assert_eq!(q.now(), SimTime::ZERO + SimDuration::from_secs(60));
     }
 
     #[test]

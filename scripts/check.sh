@@ -21,4 +21,19 @@ IPFS_REPRO_CSV_DIR="$SMOKE_DIR" ./target/release/throughput --smoke \
     --check-against results/BENCH_throughput_smoke_baseline.json
 rm -rf "$SMOKE_DIR"
 
+echo "== chaos smoke (fault-injection determinism gate) =="
+# The chaos harness must exit 0 and print byte-identical output whether
+# its scenario cells run serially or on 4 worker threads.
+cargo build --release -q -p bench --bin chaos
+CHAOS_DIR="$(mktemp -d)"
+IPFS_REPRO_JOBS=1 ./target/release/chaos --smoke > "$CHAOS_DIR/j1.txt"
+IPFS_REPRO_JOBS=4 ./target/release/chaos --smoke > "$CHAOS_DIR/j4.txt"
+if ! cmp -s "$CHAOS_DIR/j1.txt" "$CHAOS_DIR/j4.txt"; then
+    echo "chaos --smoke output differs between IPFS_REPRO_JOBS=1 and =4" >&2
+    diff "$CHAOS_DIR/j1.txt" "$CHAOS_DIR/j4.txt" >&2 || true
+    rm -rf "$CHAOS_DIR"
+    exit 1
+fi
+rm -rf "$CHAOS_DIR"
+
 echo "All checks passed."

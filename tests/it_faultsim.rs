@@ -1,0 +1,199 @@
+//! Fault-injection integration: scripted partitions against the full
+//! stack (faultsim plan → ipfs-core enforcement → bench recovery report).
+//!
+//! The unit tests in `ipfs_core::netsim` cover each enforcement point in
+//! isolation; these tests exercise the seams — warm Bitswap connections
+//! across a new partition, the gateway serving traffic across a fault
+//! window, and byte-identical replay of a full faulted run.
+
+use bytes::Bytes;
+use faultsim::{FaultPlan, LinkScope};
+use integration_tests::{payload, test_network};
+use ipfs_core::IpfsNetwork;
+use simnet::latency::{Region, VantagePoint};
+use simnet::SimDuration;
+
+/// Regression for the warm-connection hole: a requester holding an open
+/// connection to a provider that a partition just made unreachable must
+/// NOT have its 1 s opportunistic Bitswap probe served over the stale
+/// connection — the partition severs it first.
+#[test]
+fn warm_connection_does_not_leak_through_a_partition() {
+    let (mut net, ids) = test_network(400, &[VantagePoint::UsWest1, VantagePoint::EuCentral1], 907);
+    let [provider, requester] = ids[..] else { unreachable!() };
+
+    let cid = net.import_content(provider, &payload(128 * 1024, 907));
+    net.publish(provider, cid.clone());
+    net.run_until_quiet();
+
+    // First retrieval succeeds and leaves a warm connection to the
+    // provider (the Bitswap transfer dialed it).
+    net.retrieve(requester, cid.clone());
+    net.run_until_quiet();
+    assert!(net.retrieve_reports.last().unwrap().success);
+    assert!(net.is_connected(requester, provider), "transfer leaves a warm connection");
+
+    // Drop the fetched blocks but keep the connection warm: the next
+    // retrieval's 1 s probe would be served straight over it.
+    let node = net.node_mut(requester);
+    let cids: Vec<_> = node.store.cids().cloned().collect();
+    for c in cids {
+        merkledag::BlockStore::delete(&mut node.store, &c);
+    }
+
+    // Partition the requester's region. The boundary must sever the warm
+    // connection eagerly, before any probe can ride it.
+    let start = net.now() + SimDuration::from_secs(5);
+    let mut plan = FaultPlan::new();
+    plan.region_outage(start, SimDuration::from_secs(600), Region::EuropeCentral);
+    net.install_fault_plan(plan);
+    net.run_until(start + SimDuration::from_secs(1));
+
+    assert!(!net.is_connected(requester, provider), "partition severs warm connections");
+    assert!(net.metrics().get("fault_conns_severed") > 0);
+
+    net.retrieve(requester, cid.clone());
+    net.run_until_quiet();
+    let r = net.retrieve_reports.last().unwrap();
+    assert!(!r.success, "no retrieval may cross an active partition");
+    assert!(!r.via_bitswap, "the probe must not be served over a severed connection");
+}
+
+/// Full recovery arc: fail during the window, succeed after heal, with
+/// the fault metrics wired through to the bench report.
+#[test]
+fn retrieval_recovers_after_heal_and_metrics_reach_the_report() {
+    let (mut net, ids) = test_network(400, &[VantagePoint::UsWest1, VantagePoint::EuCentral1], 908);
+    let [provider, requester] = ids[..] else { unreachable!() };
+    let provider_peer = net.peer_id(provider).clone();
+
+    let cid = net.import_content(provider, &payload(64 * 1024, 908));
+    net.publish(provider, cid.clone());
+    net.run_until_quiet();
+
+    let start = net.now() + SimDuration::from_secs(10);
+    let window = SimDuration::from_secs(300);
+    let mut plan = FaultPlan::new();
+    plan.region_outage(start, window, Region::EuropeCentral);
+    net.install_fault_plan(plan);
+
+    net.run_until(start + SimDuration::from_secs(1));
+    net.retrieve(requester, cid.clone());
+    net.run_until_quiet();
+    assert!(!net.retrieve_reports.last().unwrap().success, "partition blocks retrieval");
+
+    // Reset cold, run past heal, retry.
+    net.disconnect_all(requester);
+    net.forget_address(requester, &provider_peer);
+    let node = net.node_mut(requester);
+    let cids: Vec<_> = node.store.cids().cloned().collect();
+    for c in cids {
+        merkledag::BlockStore::delete(&mut node.store, &c);
+    }
+    net.run_until(start + window + SimDuration::from_secs(30));
+    net.retrieve(requester, cid.clone());
+    net.run_until_quiet();
+    assert!(net.retrieve_reports.last().unwrap().success, "retrieval recovers after heal");
+
+    assert_eq!(net.metrics().get("fault_partition_starts"), 1);
+    assert_eq!(net.metrics().get("fault_partition_heals"), 1);
+    let report = bench::export::fault_report(net.metrics());
+    assert!(report.starts_with("== faults =="));
+    assert!(report.contains("fault_partition_heals"));
+}
+
+/// A scripted fault episode replays byte-identically: same seed, same
+/// plan, same metrics JSON — the determinism contract the chaos harness
+/// builds on.
+#[test]
+fn faulted_runs_replay_byte_identically() {
+    let run = || {
+        let (mut net, ids) =
+            test_network(300, &[VantagePoint::UsWest1, VantagePoint::EuCentral1], 909);
+        let [provider, requester] = ids[..] else { unreachable!() };
+        let cid = net.import_content(provider, &payload(32 * 1024, 909));
+        net.publish(provider, cid.clone());
+        net.run_until_quiet();
+
+        let t0 = net.now();
+        let mut plan = FaultPlan::new();
+        plan.region_outage(
+            t0 + SimDuration::from_secs(20),
+            SimDuration::from_secs(120),
+            Region::EuropeCentral,
+        );
+        plan.degrade(
+            t0 + SimDuration::from_secs(200),
+            SimDuration::from_secs(120),
+            LinkScope::All,
+            3.0,
+            0.02,
+        );
+        plan.dial_fail_spike(t0 + SimDuration::from_secs(400), SimDuration::from_secs(120), 0.5);
+        net.install_fault_plan(plan);
+
+        let mut outcomes = Vec::new();
+        for step in 0..6u64 {
+            net.run_until(t0 + SimDuration::from_secs(20 + step * 100));
+            net.retrieve(requester, cid.clone());
+            net.run_until_quiet();
+            let r = net.retrieve_reports.last().unwrap();
+            outcomes.push(format!("{}:{}:{}", r.started_at, r.success, r.total));
+            net.disconnect_all(requester);
+            let node = net.node_mut(requester);
+            let cids: Vec<_> = node.store.cids().cloned().collect();
+            for c in cids {
+                merkledag::BlockStore::delete(&mut node.store, &c);
+            }
+        }
+        (outcomes, net.events_processed, net.metrics().to_json())
+    };
+    assert_eq!(run(), run(), "same seed + same plan must replay byte-identically");
+}
+
+/// Degraded links slow the whole pipeline but nothing breaks, and the
+/// inflation disappears once the window closes.
+#[test]
+fn degraded_window_inflates_latency_then_clears() {
+    let (mut net, ids) = test_network(300, &[VantagePoint::UsWest1, VantagePoint::EuCentral1], 910);
+    let [provider, requester] = ids[..] else { unreachable!() };
+    let provider_peer = net.peer_id(provider).clone();
+    let cid = net.import_content(provider, &Bytes::from(vec![0x3C; 128 * 1024]));
+    net.publish(provider, cid.clone());
+    net.run_until_quiet();
+
+    let timed = |net: &mut IpfsNetwork| {
+        net.retrieve(requester, cid.clone());
+        net.run_until_quiet();
+        let r = net.retrieve_reports.last().unwrap().clone();
+        net.disconnect_all(requester);
+        net.forget_address(requester, &provider_peer);
+        let node = net.node_mut(requester);
+        let cids: Vec<_> = node.store.cids().cloned().collect();
+        for c in cids {
+            merkledag::BlockStore::delete(&mut node.store, &c);
+        }
+        assert!(r.success, "degradation slows, it must not break");
+        r.total.as_secs_f64()
+    };
+    let baseline = timed(&mut net);
+
+    let start = net.now() + SimDuration::from_secs(5);
+    let window = SimDuration::from_secs(1200);
+    let mut plan = FaultPlan::new();
+    plan.degrade(start, window, LinkScope::All, 5.0, 0.0);
+    net.install_fault_plan(plan);
+    net.run_until(start + SimDuration::from_secs(1));
+    let degraded = timed(&mut net);
+    assert!(
+        degraded > baseline * 2.0,
+        "5x link inflation must slow retrieval: {baseline:.3}s -> {degraded:.3}s"
+    );
+
+    net.run_until(start + window + SimDuration::from_secs(1));
+    let after = timed(&mut net);
+    assert!(
+        after < degraded / 2.0,
+        "latency must return toward baseline after the window: {degraded:.3}s -> {after:.3}s"
+    );
+}
