@@ -1,0 +1,60 @@
+//! Latency-attribution harness: the §6.2 / Fig. 9b–10 decomposition.
+//!
+//! Folds every traced retrieval into a span tree and a
+//! [`ipfs_core::LatencyBreakdown`] whose components partition the op
+//! interval exactly, then reports p50/p90/p99 per pipeline phase for
+//! each (publisher region × clean/faulted) cell. On the default
+//! workload the DHT walk dominates, as the paper measures.
+//!
+//! Writes `tab_latency_attribution.txt` and `BENCH_latency.json` into
+//! `--out <dir>` (default `results/`); with `IPFS_REPRO_CSV_DIR` set the
+//! JSON is additionally exported there. Output is byte-identical for any
+//! `IPFS_REPRO_JOBS` value (cells are pure functions of the master seed;
+//! see `bench::runner`).
+//!
+//! Flags:
+//! * `--smoke` — tiny fixed-size run for the CI determinism gate.
+//! * `--out <dir>` — where the table and JSON land (default `results`).
+
+use bench::latency::{render_json, render_table, run_all, LatencyConfig};
+use bench::runner::{banner, jobs_from_env, seed_from_env, Scale};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+
+    banner("Latency", "per-phase retrieval latency attribution (span trees)");
+    let seed = seed_from_env();
+    let jobs = jobs_from_env();
+    let cfg =
+        if smoke { LatencyConfig::smoke() } else { LatencyConfig::at_scale(Scale::from_env()) };
+
+    let results = run_all(&cfg, seed, jobs);
+    let table = render_table(&results);
+    print!("{table}");
+    let json = render_json(&results, seed);
+
+    let dir = Path::new(&out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("latency: cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    for (name, body) in [("tab_latency_attribution.txt", &table), ("BENCH_latency.json", &json)] {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("latency: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = bench::write_json("BENCH_latency", &json) {
+        println!("wrote {}", path.display());
+    }
+}

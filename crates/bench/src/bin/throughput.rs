@@ -85,7 +85,7 @@ fn run_sim(cell: &Cell, seed: u64) -> (u64, usize, f64, f64, f64) {
     let [provider, requester] = net.vantage_ids(2)[..] else { unreachable!() };
 
     let events_before = net.events_processed;
-    let walks_before = net.metrics().samples("dht_walk_rpcs").len();
+    let walks_before = net.metrics().samples(ipfs_core::obs::names::DHT_WALK_RPCS).len();
     let start = Instant::now();
     for i in 0..cell.rounds {
         let mut data = vec![0u8; 1024];
@@ -108,7 +108,7 @@ fn run_sim(cell: &Cell, seed: u64) -> (u64, usize, f64, f64, f64) {
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     let events = net.events_processed - events_before;
-    let walks = net.metrics().samples("dht_walk_rpcs").len() - walks_before;
+    let walks = net.metrics().samples(ipfs_core::obs::names::DHT_WALK_RPCS).len() - walks_before;
     (events, walks, elapsed, events as f64 / elapsed, walks as f64 / elapsed)
 }
 

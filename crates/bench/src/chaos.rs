@@ -23,7 +23,8 @@
 use crate::runner::{run_cells_with_jobs, Scale};
 use bytes::Bytes;
 use faultsim::{FaultPlan, LinkScope};
-use ipfs_core::{IpfsNetwork, NetworkConfig, NodeId};
+use ipfs_core::obs::names;
+use ipfs_core::{IpfsNetwork, NetworkConfig, NodeId, TimeSeries};
 use multiformats::{Cid, PeerId};
 use simnet::latency::{Region, VantagePoint};
 use simnet::{Population, PopulationConfig, SimDuration, SimTime};
@@ -150,7 +151,7 @@ fn measure_recovery(
         net.run_until(heal + RECOVERY_RETRY_STEP * attempt as u64);
         if try_retrieve(net, requester, cid, provider_peer) {
             let secs = net.now().since(heal).as_secs_f64();
-            net.metrics_mut().observe("fault_recovery_secs", secs);
+            net.metrics_mut().observe(names::FAULT_RECOVERY_SECS, secs);
             return Some(secs);
         }
     }
@@ -205,8 +206,8 @@ fn scenario_partition(cfg: &ChaosConfig, seed: u64) -> CellOutput {
         decay.push((elapsed, 1.0 - table_reachable_fraction(&net, requester)));
     }
 
-    let dials_blocked = net.metrics().get("fault_dials_blocked");
-    let conns_severed = net.metrics().get("fault_conns_severed");
+    let dials_blocked = net.metrics().get(names::FAULT_DIALS_BLOCKED);
+    let conns_severed = net.metrics().get(names::FAULT_CONNS_SEVERED);
     let decay_str =
         decay.iter().map(|(t, s)| format!("t+{t:.0}s={s:.3}")).collect::<Vec<_>>().join(" ");
     let report = format!(
@@ -258,7 +259,7 @@ fn scenario_crash_wave(cfg: &ChaosConfig, seed: u64) -> CellOutput {
     plan.crash_wave(wave_at, 0.5, restart_after);
     net.install_fault_plan(plan);
     net.run_until(wave_at + SimDuration::from_secs(1));
-    let crashed = net.metrics().get("fault_nodes_crashed");
+    let crashed = net.metrics().get(names::FAULT_NODES_CRASHED);
 
     let reach = |net: &mut IpfsNetwork| {
         let mut ok = 0usize;
@@ -320,7 +321,7 @@ fn scenario_dial_spike(cfg: &ChaosConfig, seed: u64) -> CellOutput {
     let (ok_during, fail_during) = publish_round(&mut net, 0xA1);
     net.run_until(start + window + SimDuration::from_secs(1));
     let (ok_after, fail_after) = publish_round(&mut net, 0xA2);
-    let spiked = net.metrics().get("fault_dials_spiked");
+    let spiked = net.metrics().get(names::FAULT_DIALS_SPIKED);
 
     let report = format!(
         "dial-fail spike (+60% failure for {window}): {spiked} dials spiked\n\
@@ -363,7 +364,7 @@ fn scenario_degraded_links(cfg: &ChaosConfig, seed: u64) -> CellOutput {
     let (deg_ok, deg_secs) = timed_retrieve(&mut net);
     net.run_until(start + window + SimDuration::from_secs(1));
     let (post_ok, post_secs) = timed_retrieve(&mut net);
-    let lost = net.metrics().get("fault_messages_lost");
+    let lost = net.metrics().get(names::FAULT_MESSAGES_LOST);
 
     let report = format!(
         "degraded links (4x latency, 5% loss, {window}): {lost} messages lost\n\
@@ -379,11 +380,14 @@ fn scenario_degraded_links(cfg: &ChaosConfig, seed: u64) -> CellOutput {
     CellOutput { label: "degraded_links", report, json }
 }
 
-/// Gateway across a partition: hourly success-rate bins dip while the
-/// gateway's region is cut and recover after heal.
+/// Gateway across a partition: a windowed [`TimeSeries`] of request
+/// success dips while the gateway's region is cut and recovers after
+/// heal. The series is exported as `chaos_gateway_timeseries.csv` when
+/// `IPFS_REPRO_CSV_DIR` is set.
 fn scenario_gateway_dip(cfg: &ChaosConfig, seed: u64) -> CellOutput {
     use gateway::workload::{GatewayWorkload, WorkloadConfig};
     use gateway::{Gateway, GatewayConfig};
+    use ipfs_core::obs::names;
     let mut net = network(cfg, seed, &[VantagePoint::UsWest1]);
     let [gw_node] = net.vantage_ids(1)[..] else { unreachable!() };
     let workload = GatewayWorkload::generate(WorkloadConfig {
@@ -401,40 +405,54 @@ fn scenario_gateway_dip(cfg: &ChaosConfig, seed: u64) -> CellOutput {
     // Cut the gateway's region (NA-West) for hours 8–10 of the day; the
     // gateway keeps serving cache hits but network fetches die.
     let start = SimTime::ZERO + SimDuration::from_hours(8);
+    let outage = SimDuration::from_hours(2);
     let mut plan = FaultPlan::new();
-    plan.region_outage(start, SimDuration::from_hours(2), Region::NorthAmericaWest);
+    plan.region_outage(start, outage, Region::NorthAmericaWest);
     net.install_fault_plan(plan);
 
-    let log = gw.serve_all(&mut net, &workload);
-    // Success share per 2-hour bin.
-    let bin_width = SimDuration::from_hours(2);
-    let bin_of = |at: SimTime| (at.as_nanos() / bin_width.as_nanos()) as usize;
-    let mut bins: Vec<(usize, usize)> = vec![(0, 0); 12];
-    for e in &log {
-        let b = bin_of(e.at).min(11);
-        bins[b].1 += 1;
-        bins[b].0 += e.success as usize;
+    // Bucket every request into 2-hour windows of a TimeSeries: the dip
+    // and the recovery fall out of the per-window hit-rate ratio.
+    let mut ts = TimeSeries::new(SimDuration::from_hours(2));
+    for e in gw.serve_all(&mut net, &workload) {
+        ts.incr(e.at, names::GATEWAY_REQUESTS);
+        if e.success {
+            ts.incr(e.at, names::GATEWAY_OK);
+        }
+        ts.observe(e.at, names::GATEWAY_LATENCY_MS, e.latency.as_secs_f64() * 1e3);
     }
-    let rate = |b: &(usize, usize)| if b.1 == 0 { 1.0 } else { b.0 as f64 / b.1 as f64 };
-    let bins_str = bins
+    let series = ts.ratio_series(names::GATEWAY_OK, names::GATEWAY_REQUESTS);
+    let rate_at = |idx: u64| {
+        let start_secs = ts.window_start_secs(idx);
+        series.iter().find(|(s, _)| *s == start_secs).map(|(_, r)| *r).unwrap_or(1.0)
+    };
+    let bins_str = series
         .iter()
-        .enumerate()
-        .filter(|(_, b)| b.1 > 0)
-        .map(|(i, b)| format!("h{:02}-{:02}={:.3}", i * 2, i * 2 + 2, rate(b)))
+        .map(|(s, r)| {
+            let h = (s / 3600.0) as u64;
+            format!("h{:02}-{:02}={:.3}", h, h + 2, r)
+        })
         .collect::<Vec<_>>()
         .join(" ");
-    let during = rate(&bins[4]); // hours 8–10
-    let before = rate(&bins[3]);
-    let after = rate(&bins[5]);
+    let outage_idx = ts.index_of(start);
+    let before = rate_at(outage_idx - 1);
+    let during = rate_at(outage_idx);
+    let after = rate_at(outage_idx + 1);
+    if let Some(path) = crate::export::write_timeseries_csv("chaos_gateway_timeseries", &ts) {
+        eprintln!("wrote {}", path.display());
+    }
 
+    let series_json =
+        series.iter().map(|(s, r)| format!("[{s}, {r:.4}]")).collect::<Vec<_>>().join(", ");
     let report = format!(
         "gateway hit rate across a 2 h regional outage (hours 8-10):\n\
-         success per 2h bin: {bins_str}\n\
+         success per 2h window: {bins_str}\n\
          dip: before={before:.3} during={during:.3} after={after:.3}\n{}",
         crate::export::fault_report(net.metrics()),
     );
-    let json =
-        format!("{{\"before\": {before:.4}, \"during\": {during:.4}, \"after\": {after:.4}}}");
+    let json = format!(
+        "{{\"before\": {before:.4}, \"during\": {during:.4}, \"after\": {after:.4}, \
+          \"hit_rate_series\": [{series_json}]}}"
+    );
     CellOutput { label: "gateway_dip", report, json }
 }
 

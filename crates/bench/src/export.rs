@@ -87,21 +87,66 @@ pub fn write_json(name: &str, json: &str) -> Option<PathBuf> {
 }
 
 /// Renders a human-readable report of a metrics registry: every counter,
-/// then a [`crate::stats::Summary`] row per histogram.
+/// then an n/mean/p50/p90/p99 row per histogram. Uses
+/// [`ipfs_core::MetricsRegistry::histogram_stats`], so both exact and
+/// log-bucketed streaming histograms are covered (exact-mode values match
+/// the old raw-sample summaries bit for bit — same nearest-rank formula).
 pub fn metrics_report(metrics: &ipfs_core::MetricsRegistry) -> String {
     let mut out = String::from("== counters ==\n");
     for (name, value) in metrics.counters() {
         out.push_str(&format!("{name:<40} {value}\n"));
     }
     out.push_str("== histograms ==\n");
-    for (name, samples) in metrics.histograms() {
-        let s = crate::stats::Summary::of(samples);
+    for (name, s) in metrics.histogram_stats() {
         out.push_str(&format!(
             "{name:<40} n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3}\n",
             s.n, s.mean, s.p50, s.p90, s.p99
         ));
     }
     out
+}
+
+/// Exports a [`ipfs_core::TimeSeries`] as `<name>.csv`, one row per
+/// (window, metric): counters carry `value`, histogram families carry
+/// `n/mean/p50/p90/p99`. Rows are ordered by window then kind then name,
+/// so the file is deterministic for a deterministically built series.
+pub fn write_timeseries_csv(name: &str, ts: &ipfs_core::TimeSeries) -> Option<PathBuf> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for idx in ts.window_indices() {
+        let start = ts.window_start_secs(idx);
+        for (metric, value) in ts.counters_in(idx) {
+            rows.push(vec![
+                format!("{start}"),
+                "counter".into(),
+                metric.to_string(),
+                value.to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        for (metric, samples) in ts.samples_in(idx) {
+            let s = crate::stats::Summary::of(samples);
+            rows.push(vec![
+                format!("{start}"),
+                "histogram".into(),
+                metric.to_string(),
+                String::new(),
+                s.n.to_string(),
+                format!("{:.6}", s.mean),
+                format!("{:.6}", s.p50),
+                format!("{:.6}", s.p90),
+                format!("{:.6}", s.p99),
+            ]);
+        }
+    }
+    write_csv(
+        name,
+        &["window_start_secs", "kind", "name", "value", "n", "mean", "p50", "p90", "p99"],
+        &rows,
+    )
 }
 
 /// Renders the fault-injection section of a report: every `fault_*`
@@ -113,7 +158,7 @@ pub fn fault_report(metrics: &ipfs_core::MetricsRegistry) -> String {
     for (name, value) in metrics.counters_with_prefix("fault_") {
         out.push_str(&format!("{name:<40} {value}\n"));
     }
-    let recovery = metrics.samples("fault_recovery_secs");
+    let recovery = metrics.samples(ipfs_core::obs::names::FAULT_RECOVERY_SECS);
     if !recovery.is_empty() {
         let s = crate::stats::Summary::of(recovery);
         out.push_str(&format!(

@@ -33,9 +33,13 @@
 
 pub mod chaos;
 pub mod export;
+pub mod latency;
 pub mod runner;
 pub mod stats;
 
-pub use export::{fault_report, metrics_report, to_csv, write_csv, write_json, write_metrics};
+pub use export::{
+    fault_report, metrics_report, to_csv, write_csv, write_json, write_metrics,
+    write_timeseries_csv,
+};
 pub use runner::{Scale, ScaleConfig};
 pub use stats::{cdf_points, pearson, percentile, Summary};

@@ -90,6 +90,50 @@ fn chaos_smoke_report_is_byte_identical_across_job_counts() {
     assert_eq!(serial, render(1), "same seed must replay byte-identically");
 }
 
+/// Per-cell time series merged in cell-index order must render
+/// byte-identical JSON and CSV at any job count: window bucketing,
+/// counter addition, and sample concatenation are all order-sensitive
+/// only across cells, which the runner's index-ordered merge fixes.
+#[test]
+fn timeseries_merge_is_byte_identical_across_job_counts() {
+    use ipfs_core::obs::names;
+    use ipfs_core::TimeSeries;
+    use simnet::SimTime;
+
+    // Each cell produces a deterministic series from its own seeded
+    // "workload": counters and samples spread over 2-hour windows.
+    let cell_series = |cell: usize| {
+        let mut ts = TimeSeries::new(SimDuration::from_hours(2));
+        let mut x = (cell as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for _ in 0..200 {
+            // xorshift64*: cheap deterministic stream per cell.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let at = SimTime(x % SimDuration::from_hours(12).as_nanos());
+            ts.incr(at, names::GATEWAY_REQUESTS);
+            if x % 3 != 0 {
+                ts.incr(at, names::GATEWAY_OK);
+            }
+            ts.observe(at, names::GATEWAY_LATENCY_MS, (x % 1000) as f64 / 7.0);
+        }
+        ts
+    };
+    let render = |jobs: usize| {
+        let series = run_cells_with_jobs(jobs, 5, cell_series);
+        let mut merged = TimeSeries::new(SimDuration::from_hours(2));
+        for ts in &series {
+            merged.merge(ts);
+        }
+        merged.to_json()
+    };
+    let serial = render(1);
+    assert_eq!(serial, render(4), "jobs=1 vs jobs=4 must merge byte-identically");
+    assert_eq!(serial, render(3), "jobs=3 must merge byte-identically too");
+    assert!(serial.contains("gateway_requests"));
+    assert!(serial.contains("gateway_latency_ms"));
+}
+
 #[test]
 fn runner_merges_in_cell_order_regardless_of_jobs() {
     for jobs in [1usize, 2, 3, 8, 64] {

@@ -16,6 +16,7 @@
 //! measurement window are counted, so long sessions are not truncated
 //! away disproportionately.
 
+use ipfs_core::obs::names;
 use ipfs_core::MetricsRegistry;
 use simnet::geodb::Country;
 use simnet::{Population, SimDuration, SimTime};
@@ -157,8 +158,8 @@ impl ChurnMonitor {
             }
             // A session still open at window end is censored: following the
             // paper's method we do not emit it as a (truncated) observation.
-            metrics.add("monitor_probes", probes);
-            metrics.add("monitor_probes_up", up_probes);
+            metrics.add(names::MONITOR_PROBES, probes);
+            metrics.add(names::MONITOR_PROBES_UP, up_probes);
 
             summaries.push(UptimeSummary {
                 peer: peer.index,
@@ -171,9 +172,9 @@ impl ChurnMonitor {
                 never_reachable: up_probes == 0,
             });
         }
-        metrics.add("monitor_sessions_observed", observations.len() as u64);
+        metrics.add(names::MONITOR_SESSIONS_OBSERVED, observations.len() as u64);
         for o in observations.iter().filter(|o| o.in_first_half) {
-            metrics.observe("monitor_observed_uptime_secs", o.observed_uptime.as_secs_f64());
+            metrics.observe(names::MONITOR_OBSERVED_UPTIME_SECS, o.observed_uptime.as_secs_f64());
         }
         (observations, summaries)
     }
@@ -201,11 +202,11 @@ mod tests {
         let mut metrics = ipfs_core::MetricsRegistry::new();
         let (obs, _) =
             ChurnMonitor::new(MonitorConfig::default()).run_with_metrics(&pop, &mut metrics);
-        assert!(metrics.get("monitor_probes") > 0);
-        assert!(metrics.get("monitor_probes_up") <= metrics.get("monitor_probes"));
-        assert_eq!(metrics.get("monitor_sessions_observed"), obs.len() as u64);
+        assert!(metrics.get(names::MONITOR_PROBES) > 0);
+        assert!(metrics.get(names::MONITOR_PROBES_UP) <= metrics.get(names::MONITOR_PROBES));
+        assert_eq!(metrics.get(names::MONITOR_SESSIONS_OBSERVED), obs.len() as u64);
         let first_half = obs.iter().filter(|o| o.in_first_half).count();
-        assert_eq!(metrics.samples("monitor_observed_uptime_secs").len(), first_half);
+        assert_eq!(metrics.samples(names::MONITOR_OBSERVED_UPTIME_SECS).len(), first_half);
     }
 
     #[test]

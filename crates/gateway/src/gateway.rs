@@ -9,6 +9,7 @@ use crate::cache::LruWebCache;
 use crate::log::AccessLogEntry;
 use crate::workload::{CatalogObject, GatewayRequest, GatewayWorkload};
 use bytes::Bytes;
+use ipfs_core::obs::names;
 use ipfs_core::{IpfsNetwork, MetricsRegistry, NodeId};
 use merkledag::BlockStore;
 use multiformats::Cid;
@@ -135,22 +136,22 @@ impl Gateway {
             net.run_until(request.at);
         }
         let (latency, served_by, success) = if self.nginx.get(&obj.cid).is_some() {
-            self.metrics.incr("gateway_nginx_hits");
+            self.metrics.incr(names::GATEWAY_NGINX_HITS);
             (SimDuration::ZERO, ServedBy::NginxCache, true)
         } else if self.pinned.contains(&obj.cid) {
-            self.metrics.incr("gateway_nginx_misses");
-            self.metrics.incr("gateway_node_store_hits");
+            self.metrics.incr(names::GATEWAY_NGINX_MISSES);
+            self.metrics.incr(names::GATEWAY_NODE_STORE_HITS);
             self.nginx.put(obj.cid.clone(), obj.size);
             (self.cfg.node_store_latency, ServedBy::NodeStore, true)
         } else if net.node_mut(self.node).store.has(&obj.cid) {
             // Previously fetched and still in the bridge node's store.
-            self.metrics.incr("gateway_nginx_misses");
-            self.metrics.incr("gateway_node_store_hits");
+            self.metrics.incr(names::GATEWAY_NGINX_MISSES);
+            self.metrics.incr(names::GATEWAY_NODE_STORE_HITS);
             self.nginx.put(obj.cid.clone(), obj.size);
             (self.cfg.node_store_latency, ServedBy::NodeStore, true)
         } else {
-            self.metrics.incr("gateway_nginx_misses");
-            self.metrics.incr("gateway_network_fetches");
+            self.metrics.incr(names::GATEWAY_NGINX_MISSES);
+            self.metrics.incr(names::GATEWAY_NETWORK_FETCHES);
             // Full P2P retrieval through the bridge node (§3.2 pipeline).
             let before = net.retrieve_reports.len();
             net.retrieve(self.node, obj.cid.clone());
@@ -168,11 +169,11 @@ impl Gateway {
             if report.success {
                 self.nginx.put(obj.cid.clone(), obj.size);
             } else {
-                self.metrics.incr("gateway_network_failures");
+                self.metrics.incr(names::GATEWAY_NETWORK_FAILURES);
             }
             (latency, ServedBy::Network, report.success)
         };
-        self.metrics.set("gateway_nginx_evictions", self.nginx.evictions);
+        self.metrics.set(names::GATEWAY_NGINX_EVICTIONS, self.nginx.evictions);
         AccessLogEntry {
             at: request.at.max(net.now().min(request.at + SimDuration::from_secs(600))),
             user: request.user,
@@ -205,27 +206,27 @@ impl Gateway {
         // Serve the CID through the tiers (sizes are unknown for direct
         // IPNS fetches; use the store's view after retrieval).
         let (latency, tier) = if self.nginx.get(&cid).is_some() {
-            self.metrics.incr("gateway_nginx_hits");
+            self.metrics.incr(names::GATEWAY_NGINX_HITS);
             (simnet::SimDuration::ZERO, ServedBy::NginxCache)
         } else if self.pinned.contains(&cid) || net.node_mut(self.node).store.has(&cid) {
-            self.metrics.incr("gateway_nginx_misses");
-            self.metrics.incr("gateway_node_store_hits");
+            self.metrics.incr(names::GATEWAY_NGINX_MISSES);
+            self.metrics.incr(names::GATEWAY_NODE_STORE_HITS);
             (self.cfg.node_store_latency, ServedBy::NodeStore)
         } else {
-            self.metrics.incr("gateway_nginx_misses");
-            self.metrics.incr("gateway_network_fetches");
+            self.metrics.incr(names::GATEWAY_NGINX_MISSES);
+            self.metrics.incr(names::GATEWAY_NETWORK_FETCHES);
             let before = net.retrieve_reports.len();
             net.retrieve(self.node, cid.clone());
             net.run_until_quiet();
             let report = net.retrieve_reports[before..].last()?.clone();
             net.retrieve_reports.truncate(before);
             if !report.success {
-                self.metrics.incr("gateway_network_failures");
+                self.metrics.incr(names::GATEWAY_NETWORK_FAILURES);
                 return None;
             }
             (report.total, ServedBy::Network)
         };
-        self.metrics.set("gateway_nginx_evictions", self.nginx.evictions);
+        self.metrics.set(names::GATEWAY_NGINX_EVICTIONS, self.nginx.evictions);
         Some((cid, resolution.total + latency, tier))
     }
 
@@ -291,11 +292,11 @@ mod tests {
         assert!(network > 0, "unpinned cold objects must hit the network");
         assert_eq!(nginx + node + network, 300);
         // The metrics registry must agree with the access log exactly.
-        assert_eq!(gw.metrics.get("gateway_nginx_hits"), nginx as u64);
-        assert_eq!(gw.metrics.get("gateway_node_store_hits"), node as u64);
-        assert_eq!(gw.metrics.get("gateway_network_fetches"), network as u64);
-        assert_eq!(gw.metrics.get("gateway_nginx_misses"), (node + network) as u64);
-        assert_eq!(gw.metrics.get("gateway_nginx_evictions"), gw.nginx.evictions);
+        assert_eq!(gw.metrics.get(names::GATEWAY_NGINX_HITS), nginx as u64);
+        assert_eq!(gw.metrics.get(names::GATEWAY_NODE_STORE_HITS), node as u64);
+        assert_eq!(gw.metrics.get(names::GATEWAY_NETWORK_FETCHES), network as u64);
+        assert_eq!(gw.metrics.get(names::GATEWAY_NGINX_MISSES), (node + network) as u64);
+        assert_eq!(gw.metrics.get(names::GATEWAY_NGINX_EVICTIONS), gw.nginx.evictions);
     }
 
     #[test]

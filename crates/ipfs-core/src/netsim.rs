@@ -14,7 +14,7 @@
 use crate::config::{NodeConfig, TimeoutModel};
 use crate::ipns::IpnsRecord;
 use crate::node::IpfsNode;
-use crate::obs::{DialClass, MetricsRegistry, OpTrace, TraceConfig, TraceEventKind, Tracer};
+use crate::obs::{names, DialClass, MetricsRegistry, OpTrace, TraceConfig, TraceEventKind, Tracer};
 use crate::ops::{
     IpnsPublishReport, IpnsResolveReport, OpId, PublishPhase, PublishReport, RetrievePhase,
     RetrieveReport,
@@ -332,48 +332,48 @@ enum Action {
 /// Counter name for an outbound DHT RPC of the given type.
 fn request_sent_metric(request: &Request) -> &'static str {
     match request {
-        Request::FindNode { .. } => "dht_rpc_sent_find_node",
-        Request::GetProviders { .. } => "dht_rpc_sent_get_providers",
-        Request::AddProvider { .. } => "dht_rpc_sent_add_provider",
-        Request::PutPeerRecord { .. } => "dht_rpc_sent_put_peer_record",
-        Request::PutValue { .. } => "dht_rpc_sent_put_value",
-        Request::GetValue { .. } => "dht_rpc_sent_get_value",
+        Request::FindNode { .. } => names::DHT_RPC_SENT_FIND_NODE,
+        Request::GetProviders { .. } => names::DHT_RPC_SENT_GET_PROVIDERS,
+        Request::AddProvider { .. } => names::DHT_RPC_SENT_ADD_PROVIDER,
+        Request::PutPeerRecord { .. } => names::DHT_RPC_SENT_PUT_PEER_RECORD,
+        Request::PutValue { .. } => names::DHT_RPC_SENT_PUT_VALUE,
+        Request::GetValue { .. } => names::DHT_RPC_SENT_GET_VALUE,
     }
 }
 
 /// Counter name for an inbound DHT RPC of the given type.
 fn request_recv_metric(request: &Request) -> &'static str {
     match request {
-        Request::FindNode { .. } => "dht_rpc_recv_find_node",
-        Request::GetProviders { .. } => "dht_rpc_recv_get_providers",
-        Request::AddProvider { .. } => "dht_rpc_recv_add_provider",
-        Request::PutPeerRecord { .. } => "dht_rpc_recv_put_peer_record",
-        Request::PutValue { .. } => "dht_rpc_recv_put_value",
-        Request::GetValue { .. } => "dht_rpc_recv_get_value",
+        Request::FindNode { .. } => names::DHT_RPC_RECV_FIND_NODE,
+        Request::GetProviders { .. } => names::DHT_RPC_RECV_GET_PROVIDERS,
+        Request::AddProvider { .. } => names::DHT_RPC_RECV_ADD_PROVIDER,
+        Request::PutPeerRecord { .. } => names::DHT_RPC_RECV_PUT_PEER_RECORD,
+        Request::PutValue { .. } => names::DHT_RPC_RECV_PUT_VALUE,
+        Request::GetValue { .. } => names::DHT_RPC_RECV_GET_VALUE,
     }
 }
 
 /// Counter name for an outbound Bitswap message of the given type.
 fn bitswap_sent_metric(message: &Message) -> &'static str {
     match message {
-        Message::WantHave(_) => "bitswap_sent_want_have",
-        Message::Have(_) => "bitswap_sent_have",
-        Message::DontHave(_) => "bitswap_sent_dont_have",
-        Message::WantBlock(_) => "bitswap_sent_want_block",
-        Message::Block { .. } => "bitswap_sent_block",
-        Message::Cancel(_) => "bitswap_sent_cancel",
+        Message::WantHave(_) => names::BITSWAP_SENT_WANT_HAVE,
+        Message::Have(_) => names::BITSWAP_SENT_HAVE,
+        Message::DontHave(_) => names::BITSWAP_SENT_DONT_HAVE,
+        Message::WantBlock(_) => names::BITSWAP_SENT_WANT_BLOCK,
+        Message::Block { .. } => names::BITSWAP_SENT_BLOCK,
+        Message::Cancel(_) => names::BITSWAP_SENT_CANCEL,
     }
 }
 
 /// Counter name for a delivered Bitswap message of the given type.
 fn bitswap_recv_metric(message: &Message) -> &'static str {
     match message {
-        Message::WantHave(_) => "bitswap_recv_want_have",
-        Message::Have(_) => "bitswap_recv_have",
-        Message::DontHave(_) => "bitswap_recv_dont_have",
-        Message::WantBlock(_) => "bitswap_recv_want_block",
-        Message::Block { .. } => "bitswap_recv_block",
-        Message::Cancel(_) => "bitswap_recv_cancel",
+        Message::WantHave(_) => names::BITSWAP_RECV_WANT_HAVE,
+        Message::Have(_) => names::BITSWAP_RECV_HAVE,
+        Message::DontHave(_) => names::BITSWAP_RECV_DONT_HAVE,
+        Message::WantBlock(_) => names::BITSWAP_RECV_WANT_BLOCK,
+        Message::Block { .. } => names::BITSWAP_RECV_BLOCK,
+        Message::Cancel(_) => names::BITSWAP_RECV_CANCEL,
     }
 }
 
@@ -729,6 +729,12 @@ impl IpfsNetwork {
         self.tracer.take(op)
     }
 
+    /// Removes and returns every collected trace, sorted by [`OpId`] —
+    /// the deterministic order bulk exports must use.
+    pub fn drain_traces(&mut self) -> Vec<(OpId, OpTrace)> {
+        self.tracer.drain_sorted()
+    }
+
     /// Sweeps every node's provider store, dropping records past the 24 h
     /// expiry (§3.1) and metering them; returns how many were removed.
     /// The periodic table-refresh tick does this automatically when
@@ -739,7 +745,7 @@ impl IpfsNetwork {
         for n in &mut self.nodes {
             removed += n.node.dht.expire_records(now);
         }
-        self.metrics.add("provider_records_expired", removed as u64);
+        self.metrics.add(names::PROVIDER_RECORDS_EXPIRED, removed as u64);
         removed
     }
 
@@ -763,7 +769,7 @@ impl IpfsNetwork {
                 Some(v) => {
                     self.nodes[id].connections.remove(v);
                     self.nodes[v].connections.remove(id);
-                    self.metrics.incr("conn_prunes");
+                    self.metrics.incr(names::CONN_PRUNES);
                 }
                 None => break,
             }
@@ -778,7 +784,7 @@ impl IpfsNetwork {
         let timeout = self.cfg.conn_idle_timeout;
         while let Some(peer) = self.nodes[id].connections.pop_idle(now, timeout) {
             self.nodes[peer].connections.remove(id);
-            self.metrics.incr("conn_idle_expired");
+            self.metrics.incr(names::CONN_IDLE_EXPIRED);
         }
     }
 
@@ -953,7 +959,7 @@ impl IpfsNetwork {
                 stored: 0,
             },
         );
-        self.metrics.incr("ipns_publish_ops");
+        self.metrics.incr(names::IPNS_PUBLISH_OPS);
         let t0 = self.now();
         self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "ipns_publish" });
         self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "walk" });
@@ -971,7 +977,7 @@ impl IpfsNetwork {
         let op = OpId(self.next_op);
         self.next_op += 1;
         self.ops.insert(op, OpState::ResolveIpns { node: id, name: name.clone(), t0: self.now() });
-        self.metrics.incr("ipns_resolve_ops");
+        self.metrics.incr(names::IPNS_RESOLVE_OPS);
         let t0 = self.now();
         self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "ipns_resolve" });
         self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "walk" });
@@ -1000,7 +1006,7 @@ impl IpfsNetwork {
             },
         );
         if !silent {
-            self.metrics.incr("publish_ops");
+            self.metrics.incr(names::PUBLISH_OPS);
         }
         self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "publish" });
         self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "walk" });
@@ -1039,7 +1045,7 @@ impl IpfsNetwork {
                 addrbook_hit: false,
             },
         );
-        self.metrics.incr("retrieve_ops");
+        self.metrics.incr(names::RETRIEVE_OPS);
         self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "retrieve" });
         self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "bitswap_probe" });
         // Opportunistic Bitswap: broadcast WANT-HAVE to connected peers
@@ -1147,13 +1153,13 @@ impl IpfsNetwork {
         let due = self.faults.take_due(now);
         for event in due {
             self.metrics.incr(match event.label() {
-                "partition_start" => "fault_partition_starts",
-                "partition_end" => "fault_partition_heals",
-                "degrade_start" => "fault_degrade_starts",
-                "degrade_end" => "fault_degrade_ends",
-                "dial_fail_spike_start" => "fault_dial_spike_starts",
-                "dial_fail_spike_end" => "fault_dial_spike_ends",
-                _ => "fault_crash_waves",
+                "partition_start" => names::FAULT_PARTITION_STARTS,
+                "partition_end" => names::FAULT_PARTITION_HEALS,
+                "degrade_start" => names::FAULT_DEGRADE_STARTS,
+                "degrade_end" => names::FAULT_DEGRADE_ENDS,
+                "dial_fail_spike_start" => names::FAULT_DIAL_SPIKE_STARTS,
+                "dial_fail_spike_end" => names::FAULT_DIAL_SPIKE_ENDS,
+                _ => names::FAULT_CRASH_WAVES,
             });
             let new_partition = matches!(event, FaultEvent::PartitionStart { .. });
             if !self.faults.apply(&event) {
@@ -1169,7 +1175,7 @@ impl IpfsNetwork {
                 self.sever_partitioned_connections();
             }
         }
-        self.metrics.set("fault_partitions_active", self.faults.partitions_active() as u64);
+        self.metrics.set(names::FAULT_PARTITIONS_ACTIVE, self.faults.partitions_active() as u64);
     }
 
     /// Drops every warm connection whose endpoints an active partition now
@@ -1187,7 +1193,7 @@ impl IpfsNetwork {
         for (a, b) in cut {
             self.nodes[a].connections.remove(b);
             self.nodes[b].connections.remove(a);
-            self.metrics.incr("fault_conns_severed");
+            self.metrics.incr(names::FAULT_CONNS_SEVERED);
         }
     }
 
@@ -1206,7 +1212,7 @@ impl IpfsNetwork {
         }
         for &id in &online[..count] {
             self.on_churn(id, false);
-            self.metrics.incr("fault_nodes_crashed");
+            self.metrics.incr(names::FAULT_NODES_CRASHED);
             self.queue.schedule_at(now + restart_after, NetEvent::Churn { node: id, online: true });
         }
     }
@@ -1220,7 +1226,7 @@ impl IpfsNetwork {
         }
         let blocked = self.faults.blocked(self.nodes[a].region, self.nodes[b].region);
         if blocked {
-            self.metrics.incr("fault_messages_cut");
+            self.metrics.incr(names::FAULT_MESSAGES_CUT);
         }
         blocked
     }
@@ -1234,7 +1240,7 @@ impl IpfsNetwork {
         }
         let p = self.faults.loss_prob(self.nodes[a].region, self.nodes[b].region);
         if p > 0.0 && self.rng.random_range(0.0..1.0) < p {
-            self.metrics.incr("fault_messages_lost");
+            self.metrics.incr(names::FAULT_MESSAGES_LOST);
             return true;
         }
         false
@@ -1260,7 +1266,7 @@ impl IpfsNetwork {
                     }
                 }
                 self.pending_rpcs.remove(&(to, query, from_peer.clone()));
-                self.metrics.incr("dht_rpc_ok");
+                self.metrics.incr(names::DHT_RPC_OK);
                 if self.tracer.is_enabled() {
                     if let Some(&op) = self.query_owner.get(&(to, query)) {
                         let peer = self.resolve(&from_peer).unwrap_or(usize::MAX);
@@ -1278,7 +1284,7 @@ impl IpfsNetwork {
             }
             NetEvent::RpcFail { node, query, peer } => {
                 if self.pending_rpcs.remove(&(node, query, peer.clone())) {
-                    self.metrics.incr("dht_rpc_failed");
+                    self.metrics.incr(names::DHT_RPC_FAILED);
                     if self.tracer.is_enabled() {
                         if let Some(&op) = self.query_owner.get(&(node, query)) {
                             let p = self.resolve(&peer).unwrap_or(usize::MAX);
@@ -1299,7 +1305,7 @@ impl IpfsNetwork {
                     let from_is_server = self.nodes[from].is_server;
                     let request = Request::AddProvider { key, provider };
                     self.metrics.incr(request_recv_metric(&request));
-                    self.metrics.incr("provider_records_stored");
+                    self.metrics.incr(names::PROVIDER_RECORDS_STORED);
                     self.nodes[to].node.dht.handle_request(
                         &from_info,
                         from_is_server,
@@ -1328,7 +1334,7 @@ impl IpfsNetwork {
             }
             NetEvent::Republish { node, cid } => {
                 if self.nodes[node].online && self.nodes[node].node.store.has(&cid) {
-                    self.metrics.incr("provider_republishes");
+                    self.metrics.incr(names::PROVIDER_REPUBLISHES);
                     self.publish_inner(node, cid, true);
                 }
             }
@@ -1338,7 +1344,7 @@ impl IpfsNetwork {
                     // Refresh doubles as the store's GC tick: drop provider
                     // records past the 24 h expiry (§3.1).
                     let expired = self.nodes[node].node.dht.expire_records(now);
-                    self.metrics.add("provider_records_expired", expired as u64);
+                    self.metrics.add(names::PROVIDER_RECORDS_EXPIRED, expired as u64);
                 }
                 if let Some(interval) = self.cfg.table_refresh_interval {
                     self.queue.schedule(interval, NetEvent::RefreshTable { node });
@@ -1353,7 +1359,7 @@ impl IpfsNetwork {
                     let from_is_server = self.nodes[from].is_server;
                     let request = Request::PutValue { key, value };
                     self.metrics.incr(request_recv_metric(&request));
-                    self.metrics.incr("ipns_records_stored");
+                    self.metrics.incr(names::IPNS_RECORDS_STORED);
                     self.nodes[to].node.dht.handle_request(
                         &from_info,
                         from_is_server,
@@ -1388,7 +1394,11 @@ impl IpfsNetwork {
         };
         let t_walk = t_walk_end.unwrap_or(now);
         let ok = stored > 0;
-        self.metrics.incr(if ok { "ipns_publish_success" } else { "ipns_publish_failed" });
+        self.metrics.incr(if ok {
+            names::IPNS_PUBLISH_SUCCESS
+        } else {
+            names::IPNS_PUBLISH_FAILED
+        });
         self.tracer.record_with(op, now, || TraceEventKind::OpFinished { success: ok });
         self.ipns_publish_reports.push(IpnsPublishReport {
             op,
@@ -1414,7 +1424,11 @@ impl IpfsNetwork {
             let _ = self.nodes[node].node.ipns.put(r.clone(), now);
         }
         let success = record.is_some();
-        self.metrics.incr(if success { "ipns_resolve_success" } else { "ipns_resolve_failed" });
+        self.metrics.incr(if success {
+            names::IPNS_RESOLVE_SUCCESS
+        } else {
+            names::IPNS_RESOLVE_FAILED
+        });
         self.tracer.record_with(op, now, || TraceEventKind::OpFinished { success });
         self.ipns_resolve_reports.push(IpnsResolveReport {
             op,
@@ -1428,7 +1442,7 @@ impl IpfsNetwork {
 
     fn on_churn(&mut self, id: NodeId, online: bool) {
         self.nodes[id].online = online;
-        self.metrics.incr(if online { "churn_online" } else { "churn_offline" });
+        self.metrics.incr(if online { names::CHURN_ONLINE } else { names::CHURN_OFFLINE });
         if online {
             self.announce_join(id);
         }
@@ -1506,7 +1520,7 @@ impl IpfsNetwork {
             self.queue.schedule(self.cfg.fetch_timeout, NetEvent::FetchTimeout { op });
             return;
         }
-        self.metrics.incr("bitswap_probe_timeouts");
+        self.metrics.incr(names::BITSWAP_PROBE_TIMEOUTS);
         self.tracer.record_with(op, now, || TraceEventKind::TimerFired { timer: "bitswap_probe" });
         self.tracer
             .record_with(op, now, || TraceEventKind::PhaseEntered { phase: "provider_walk" });
@@ -1620,7 +1634,7 @@ impl IpfsNetwork {
             failures: stats.failures,
             hops: stats.max_hops,
         });
-        self.metrics.observe("dht_walk_rpcs", stats.rpcs_sent as f64);
+        self.metrics.observe(names::DHT_WALK_RPCS, stats.rpcs_sent as f64);
         // Probe sessions to cancel once the op-table borrow is released.
         let mut self_probe_cancel: Vec<(NodeId, SessionHandle)> = Vec::new();
         // Phase 1: update op state under a scoped borrow, extract an action.
@@ -1759,7 +1773,7 @@ impl IpfsNetwork {
                         *phase = RetrievePhase::Fetch;
                         *addrbook_hit = true;
                     }
-                    self.metrics.incr("addr_book_hits");
+                    self.metrics.incr(names::ADDR_BOOK_HITS);
                     self.tracer.record_with(op, now, || TraceEventKind::AddrBookHit);
                     self.start_fetch(op, node, Arc::new(PeerInfo::new(provider, addrs)));
                 } else {
@@ -1888,6 +1902,14 @@ impl IpfsNetwork {
             return;
         };
         let (node, cid) = (*node, cid.clone());
+        if self.tracer.is_enabled() {
+            // The dial component of the §6.2 split ends here: the
+            // connection to the provider is up (instantly for warm
+            // reuse) and the Bitswap exchange begins.
+            let now = self.now();
+            let peer = self.resolve(&provider).unwrap_or(usize::MAX);
+            self.tracer.record_with(op, now, || TraceEventKind::DialCompleted { peer });
+        }
         let n = &mut self.nodes[node];
         let (session, outputs) =
             n.node.bitswap.start_session(cid, vec![provider], &mut n.node.store);
@@ -1933,7 +1955,7 @@ impl IpfsNetwork {
                     }
                 }
                 EngineOutput::BlockStored { session, .. } => {
-                    self.metrics.incr("bitswap_blocks_stored");
+                    self.metrics.incr(names::BITSWAP_BLOCKS_STORED);
                     if self.tracer.is_enabled() {
                         if let Some(&op) = self.session_owner.get(&(id, session)) {
                             let now = self.now();
@@ -2013,7 +2035,7 @@ impl IpfsNetwork {
             PublishPhase::Walk => 0,
         };
         let ok = success && stored > 0;
-        self.metrics.incr(if ok { "publish_success" } else { "publish_failed" });
+        self.metrics.incr(if ok { names::PUBLISH_SUCCESS } else { names::PUBLISH_FAILED });
         self.tracer.record_with(op, now, || TraceEventKind::OpFinished { success: ok });
         self.publish_reports.push(PublishReport {
             op,
@@ -2056,9 +2078,9 @@ impl IpfsNetwork {
         let t_peer = t_peer_end.unwrap_or(t_prov);
         let t_fetch0 = t_fetch_start.unwrap_or(t_peer);
         let bytes = if success { self.nodes[node].node.store.stats().bytes } else { 0 };
-        self.metrics.incr(if success { "retrieve_success" } else { "retrieve_failed" });
+        self.metrics.incr(if success { names::RETRIEVE_SUCCESS } else { names::RETRIEVE_FAILED });
         if success && via_bitswap {
-            self.metrics.incr("retrieve_via_bitswap");
+            self.metrics.incr(names::RETRIEVE_VIA_BITSWAP);
         }
         self.tracer.record_with(op, now, || TraceEventKind::OpFinished { success });
         self.retrieve_reports.push(RetrieveReport {
@@ -2094,7 +2116,7 @@ impl IpfsNetwork {
     /// the peer is not dialable.
     fn dial(&mut self, from: NodeId, peer: &PeerId) -> Option<(NodeId, SimDuration)> {
         let target = self.resolve(peer)?;
-        self.metrics.incr("dials_attempted");
+        self.metrics.incr(names::DIALS_ATTEMPTED);
         if !self.nodes[target].online {
             return None;
         }
@@ -2105,14 +2127,14 @@ impl IpfsNetwork {
                 // Bitswap probe can't reuse it either.
                 if self.nodes[from].connections.remove(target) {
                     self.nodes[target].connections.remove(from);
-                    self.metrics.incr("fault_conns_severed");
+                    self.metrics.incr(names::FAULT_CONNS_SEVERED);
                 }
-                self.metrics.incr("fault_dials_blocked");
+                self.metrics.incr(names::FAULT_DIALS_BLOCKED);
                 return None;
             }
             let spike = self.faults.extra_dial_fail_prob();
             if spike > 0.0 && self.rng.random_range(0.0..1.0) < spike {
-                self.metrics.incr("fault_dials_spiked");
+                self.metrics.incr(names::FAULT_DIALS_SPIKED);
                 return None;
             }
         }
@@ -2123,12 +2145,12 @@ impl IpfsNetwork {
                 // ago; fall through to a fresh dial.
                 self.nodes[from].connections.remove(target);
                 self.nodes[target].connections.remove(from);
-                self.metrics.incr("conn_idle_expired");
+                self.metrics.incr(names::CONN_IDLE_EXPIRED);
             } else {
                 self.conn_clock += 1;
                 let stamp = self.conn_clock;
                 self.nodes[from].connections.insert(target, stamp, now);
-                self.metrics.incr("dials_warm");
+                self.metrics.incr(names::DIALS_WARM);
                 return Some((target, SimDuration::ZERO));
             }
         }
@@ -2155,7 +2177,7 @@ impl IpfsNetwork {
         self.nodes[target].connections.insert(from, stamp, now);
         self.prune_connections(from);
         self.prune_connections(target);
-        self.metrics.incr("dials_ok");
+        self.metrics.incr(names::DIALS_OK);
         Some((target, d))
     }
 
@@ -2196,7 +2218,7 @@ impl IpfsNetwork {
         } else {
             (t.dial_timeout + overhead, DialClass::Timeout5s)
         };
-        self.metrics.incr("dials_failed");
+        self.metrics.incr(names::DIALS_FAILED);
         self.metrics.incr(class.metric());
         (delay, class)
     }
@@ -2371,7 +2393,7 @@ mod tests {
         net.run_until_quiet();
         let rr = net.retrieve_reports[0].clone();
         assert!(!rr.success, "cross-partition retrieval must fail: {rr:?}");
-        assert!(net.metrics().get("fault_dials_blocked") > 0);
+        assert!(net.metrics().get(names::FAULT_DIALS_BLOCKED) > 0);
 
         // Heal, then the same retrieval succeeds.
         net.run_until(t0 + SimDuration::from_secs(301));
@@ -2380,7 +2402,7 @@ mod tests {
         net.run_until_quiet();
         let rr = net.retrieve_reports[1].clone();
         assert!(rr.success, "post-heal retrieval must succeed: {rr:?}");
-        assert_eq!(net.metrics().get("fault_partition_heals"), 1);
+        assert_eq!(net.metrics().get(names::FAULT_PARTITION_HEALS), 1);
     }
 
     #[test]
@@ -2404,7 +2426,7 @@ mod tests {
         net.install_fault_plan(plan);
         net.run_for(SimDuration::from_secs(10));
         assert!(!net.is_connected(requester, provider), "boundary severs the warm conn");
-        assert!(net.metrics().get("fault_conns_severed") > 0);
+        assert!(net.metrics().get(names::FAULT_CONNS_SEVERED) > 0);
 
         net.retrieve(requester, cid);
         net.run_until_quiet();
@@ -2423,7 +2445,7 @@ mod tests {
 
         let online_before: usize = (0..net.crashable).filter(|&i| net.is_online(i)).count();
         net.run_until(t0 + SimDuration::from_secs(31));
-        let crashed = net.metrics().get("fault_nodes_crashed");
+        let crashed = net.metrics().get(names::FAULT_NODES_CRASHED);
         assert!(crashed > 0, "half the online peers crash");
         let online_during: usize = (0..net.crashable).filter(|&i| net.is_online(i)).count();
         assert!(online_during < online_before);
@@ -2431,7 +2453,7 @@ mod tests {
         net.run_until(t0 + SimDuration::from_secs(200));
         let online_after: usize = (0..net.crashable).filter(|&i| net.is_online(i)).count();
         assert!(online_after > online_during, "victims restart after the wave");
-        assert_eq!(net.metrics().get("fault_crash_waves"), 1);
+        assert_eq!(net.metrics().get(names::FAULT_CRASH_WAVES), 1);
     }
 
     #[test]
@@ -2494,7 +2516,7 @@ mod tests {
         net.run_until_quiet();
         let rr = net.retrieve_reports[0].clone();
         assert!(rr.success, "degradation slows but does not cut: {rr:?}");
-        assert_eq!(net.metrics().get("fault_degrade_starts"), 1);
+        assert_eq!(net.metrics().get(names::FAULT_DEGRADE_STARTS), 1);
     }
 
     #[test]

@@ -22,30 +22,237 @@
 //! Tracing is off by default. [`Tracer::record_with`] takes a closure that
 //! builds the event, so a disabled tracer costs exactly one branch per
 //! call site and performs no allocation.
+//!
+//! Three submodules build on this layer: [`names`] holds every canonical
+//! metric name as a constant, [`span`] folds an [`OpTrace`] into a causal
+//! span tree with critical-path analysis and the §6.2
+//! [`LatencyBreakdown`](span::LatencyBreakdown), and [`timeseries`]
+//! buckets counter deltas and samples into windows of simulated time
+//! (the Fig. 4 longitudinal view).
 
 use crate::ops::OpId;
 use simnet::SimTime;
 use std::collections::{BTreeMap, HashMap};
 
+pub mod names;
+pub mod span;
+pub mod timeseries;
+
 // ---------------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------------
 
+/// How a [`MetricsRegistry`] stores histogram samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistogramMode {
+    /// Raw `Vec<f64>` samples: exact percentiles, memory linear in the
+    /// sample count. Right for small runs and anything a test pins.
+    #[default]
+    Exact,
+    /// Log-bucketed [`StreamingHistogram`]s: memory is O(buckets)
+    /// regardless of sample count, percentiles carry a bounded relative
+    /// error (≤ ½·(γ−1) ≈ 2.5 % at the built-in growth factor). Right
+    /// for paper-scale runs.
+    Streaming,
+}
+
+/// A log-bucketed streaming histogram: geometric buckets with growth
+/// factor [`StreamingHistogram::GROWTH`], so a positive sample `v` lands
+/// in bucket `⌊ln v / ln γ⌋` and any percentile estimate (the bucket
+/// midpoint) is within `(γ−1)/2` relative error of the true value.
+/// Zero or negative samples are counted below every bucket and estimated
+/// as `0.0` (the stack's histograms — latencies, counts — are
+/// non-negative). Memory is the number of *occupied* buckets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamingHistogram {
+    buckets: BTreeMap<i32, u64>,
+    zero_or_less: u64,
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingHistogram {
+    /// Geometric bucket growth factor γ.
+    pub const GROWTH: f64 = 1.05;
+
+    fn bucket_of(v: f64) -> i32 {
+        (v.ln() / Self::GROWTH.ln()).floor() as i32
+    }
+
+    fn bucket_estimate(idx: i32) -> f64 {
+        // Arithmetic midpoint of [γ^i, γ^(i+1)).
+        Self::GROWTH.powi(idx) * (1.0 + Self::GROWTH) / 2.0
+    }
+
+    /// Records one (finite) sample.
+    pub fn observe(&mut self, v: f64) {
+        if v > 0.0 {
+            *self.buckets.entry(Self::bucket_of(v)).or_insert(0) += 1;
+        } else {
+            self.zero_or_less += 1;
+        }
+        self.sum += v;
+        self.min = if self.n == 0 { v } else { self.min.min(v) };
+        self.max = if self.n == 0 { v } else { self.max.max(v) };
+        self.n += 1;
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Exact arithmetic mean (the sum is tracked exactly).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Occupied buckets — the histogram's memory footprint.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len() + usize::from(self.zero_or_less > 0)
+    }
+
+    /// Nearest-rank percentile estimate (`q` in `0.0..=1.0`), clamped to
+    /// the observed `[min, max]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let rank = ((self.n - 1) as f64 * q).round() as u64;
+        let mut cum = self.zero_or_less;
+        if rank < cum {
+            return 0.0f64.clamp(self.min, self.max);
+        }
+        for (&idx, &c) in &self.buckets {
+            cum += c;
+            if rank < cum {
+                return Self::bucket_estimate(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another streaming histogram into this one.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+        self.zero_or_less += other.zero_or_less;
+        self.sum += other.sum;
+        if other.n > 0 {
+            self.min = if self.n == 0 { other.min } else { self.min.min(other.min) };
+            self.max = if self.n == 0 { other.max } else { self.max.max(other.max) };
+        }
+        self.n += other.n;
+    }
+}
+
+/// Summary statistics of one histogram, computed the same way in both
+/// [`HistogramMode`]s (exactly in `Exact`, within the bucket error bound
+/// in `Streaming`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramStats {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean (exact in both modes).
+    pub mean: f64,
+    /// 50th percentile.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// One histogram's storage.
+#[derive(Debug, Clone, PartialEq)]
+enum Hist {
+    Exact(Vec<f64>),
+    Streaming(StreamingHistogram),
+}
+
+impl Hist {
+    fn new(mode: HistogramMode) -> Hist {
+        match mode {
+            HistogramMode::Exact => Hist::Exact(Vec::new()),
+            HistogramMode::Streaming => Hist::Streaming(StreamingHistogram::default()),
+        }
+    }
+
+    fn observe(&mut self, sample: f64) {
+        match self {
+            Hist::Exact(v) => v.push(sample),
+            Hist::Streaming(h) => h.observe(sample),
+        }
+    }
+
+    fn stats(&self) -> HistogramStats {
+        match self {
+            Hist::Exact(samples) => {
+                let mut sorted = samples.clone();
+                sorted.sort_by(f64::total_cmp);
+                let n = sorted.len();
+                let mean = if n == 0 { 0.0 } else { sorted.iter().sum::<f64>() / n as f64 };
+                HistogramStats {
+                    n,
+                    mean,
+                    p50: pct(&sorted, 0.50),
+                    p90: pct(&sorted, 0.90),
+                    p99: pct(&sorted, 0.99),
+                }
+            }
+            Hist::Streaming(h) => HistogramStats {
+                n: h.count() as usize,
+                mean: h.mean(),
+                p50: h.percentile(0.50),
+                p90: h.percentile(0.90),
+                p99: h.percentile(0.99),
+            },
+        }
+    }
+
+    fn footprint(&self) -> usize {
+        match self {
+            Hist::Exact(v) => v.len(),
+            Hist::Streaming(h) => h.bucket_count(),
+        }
+    }
+}
+
 /// Registry of named counters and histograms.
 ///
 /// Counter names are `&'static str` so incrementing never allocates.
-/// Histograms store raw `f64` samples; at simulation scale (thousands of
-/// ops) this is small and gives exact percentiles at export time.
+/// Histograms are stored per the registry's [`HistogramMode`]: exact raw
+/// samples by default (small runs, exact percentiles at export time), or
+/// log-bucketed streaming histograms for paper-scale runs
+/// ([`MetricsRegistry::with_histogram_mode`]).
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Vec<f64>>,
+    histograms: BTreeMap<&'static str, Hist>,
+    mode: HistogramMode,
 }
 
 impl MetricsRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry in [`HistogramMode::Exact`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty registry with the given histogram mode.
+    pub fn with_histogram_mode(mode: HistogramMode) -> Self {
+        MetricsRegistry { mode, ..Default::default() }
+    }
+
+    /// The registry's histogram mode.
+    pub fn histogram_mode(&self) -> HistogramMode {
+        self.mode
     }
 
     /// Increments counter `name` by one.
@@ -69,14 +276,39 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Records one sample into histogram `name`.
+    /// Records one sample into histogram `name`. Non-finite samples are
+    /// dropped and counted under [`names::OBS_SAMPLES_DROPPED`], so a NaN
+    /// can never poison percentile computation or the JSON export.
     pub fn observe(&mut self, name: &'static str, sample: f64) {
-        self.histograms.entry(name).or_default().push(sample);
+        if !sample.is_finite() {
+            self.add(names::OBS_SAMPLES_DROPPED, 1);
+            return;
+        }
+        self.histograms.entry(name).or_insert_with(|| Hist::new(self.mode)).observe(sample);
     }
 
     /// Raw samples of histogram `name` (empty slice if never touched).
+    /// Streaming histograms keep no raw samples, so they also yield an
+    /// empty slice — use [`MetricsRegistry::stats`] for mode-independent
+    /// summaries.
     pub fn samples(&self, name: &str) -> &[f64] {
-        self.histograms.get(name).map(Vec::as_slice).unwrap_or(&[])
+        match self.histograms.get(name) {
+            Some(Hist::Exact(v)) => v.as_slice(),
+            _ => &[],
+        }
+    }
+
+    /// Summary statistics of histogram `name`, in either mode. `None` if
+    /// the histogram was never touched.
+    pub fn stats(&self, name: &str) -> Option<HistogramStats> {
+        self.histograms.get(name).map(Hist::stats)
+    }
+
+    /// Stored values for histogram `name`: raw sample count in exact
+    /// mode, occupied bucket count in streaming mode. Zero if never
+    /// touched. This is the quantity the streaming mode bounds.
+    pub fn histogram_footprint(&self, name: &str) -> usize {
+        self.histograms.get(name).map(Hist::footprint).unwrap_or(0)
     }
 
     /// Iterates counters in name order.
@@ -96,24 +328,64 @@ impl MetricsRegistry {
         self.counters().filter(move |(k, _)| k.starts_with(prefix))
     }
 
-    /// Iterates histograms in name order.
+    /// Iterates raw-sample histograms in name order. Streaming entries
+    /// hold no raw samples and are skipped; use
+    /// [`MetricsRegistry::histogram_stats`] for a mode-independent view.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &[f64])> + '_ {
-        self.histograms.iter().map(|(k, v)| (*k, v.as_slice()))
+        self.histograms.iter().filter_map(|(k, v)| match v {
+            Hist::Exact(s) => Some((*k, s.as_slice())),
+            Hist::Streaming(_) => None,
+        })
     }
 
-    /// Folds another registry into this one (counters add, samples append).
+    /// Iterates every histogram's summary statistics in name order,
+    /// regardless of mode.
+    pub fn histogram_stats(&self) -> impl Iterator<Item = (&'static str, HistogramStats)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v.stats()))
+    }
+
+    /// Folds another registry into this one (counters add, samples
+    /// append). When either side of a histogram is streaming, the merged
+    /// entry is streaming — exact samples are re-observed into buckets so
+    /// a merge never resurrects unbounded storage.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
         }
-        for (k, v) in &other.histograms {
-            self.histograms.entry(k).or_default().extend_from_slice(v);
+        for (k, theirs) in &other.histograms {
+            match self.histograms.entry(k) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(theirs.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    match (e.get_mut(), theirs) {
+                        (Hist::Exact(mine), Hist::Exact(t)) => mine.extend_from_slice(t),
+                        (Hist::Streaming(mine), Hist::Streaming(t)) => mine.merge(t),
+                        (Hist::Streaming(mine), Hist::Exact(t)) => {
+                            for &s in t {
+                                mine.observe(s);
+                            }
+                        }
+                        (slot @ Hist::Exact(_), Hist::Streaming(t)) => {
+                            let mut merged = t.clone();
+                            if let Hist::Exact(mine) = slot {
+                                for &s in mine.iter() {
+                                    merged.observe(s);
+                                }
+                            }
+                            *slot = Hist::Streaming(merged);
+                        }
+                    }
+                }
+            }
         }
     }
 
     /// Serialises the registry as a JSON object:
     /// `{"counters": {..}, "histograms": {"name": {"n": .., "mean": ..,
-    /// "p50": .., "p90": .., "p99": ..}}}`.
+    /// "p50": .., "p90": .., "p99": ..}}}`. Floats are JSON-safe: any
+    /// non-finite value renders as `null` (none can arise from observed
+    /// samples, which are guarded at intake).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -123,19 +395,18 @@ impl MetricsRegistry {
             out.push_str(&format!("\"{k}\":{v}"));
         }
         out.push_str("},\"histograms\":{");
-        for (i, (k, samples)) in self.histograms.iter().enumerate() {
+        for (i, (k, hist)) in self.histograms.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let mut sorted = samples.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let n = sorted.len();
-            let mean = if n == 0 { 0.0 } else { sorted.iter().sum::<f64>() / n as f64 };
+            let s = hist.stats();
             out.push_str(&format!(
-                "\"{k}\":{{\"n\":{n},\"mean\":{mean},\"p50\":{},\"p90\":{},\"p99\":{}}}",
-                pct(&sorted, 0.50),
-                pct(&sorted, 0.90),
-                pct(&sorted, 0.99),
+                "\"{k}\":{{\"n\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                s.n,
+                fmt_json_f64(s.mean),
+                fmt_json_f64(s.p50),
+                fmt_json_f64(s.p90),
+                fmt_json_f64(s.p99),
             ));
         }
         out.push_str("}}");
@@ -145,6 +416,16 @@ impl MetricsRegistry {
     /// Flattens counters into `(name, value)` CSV rows.
     pub fn to_csv_rows(&self) -> Vec<(String, u64)> {
         self.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+}
+
+/// Formats a float for embedding in JSON: non-finite values (which JSON
+/// cannot represent) render as `null`.
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -187,9 +468,9 @@ impl DialClass {
     /// Counter name bumped when a dial fails with this class.
     pub fn metric(self) -> &'static str {
         match self {
-            DialClass::FastRefuse => "dial_failed_fast_refuse",
-            DialClass::Timeout5s => "dial_failed_timeout_5s",
-            DialClass::Websocket45s => "dial_failed_timeout_45s",
+            DialClass::FastRefuse => names::DIAL_FAILED_FAST_REFUSE,
+            DialClass::Timeout5s => names::DIAL_FAILED_TIMEOUT_5S,
+            DialClass::Websocket45s => names::DIAL_FAILED_TIMEOUT_45S,
         }
     }
 }
@@ -255,6 +536,13 @@ pub enum TraceEventKind {
         /// Failure class (§6.1 timeout split).
         class: DialClass,
     },
+    /// A previously started dial's connection came up — the exact end of
+    /// the dial component in the §6.2 latency split (a warm reuse
+    /// completes at the same instant it started).
+    DialCompleted {
+        /// Dialed node.
+        peer: usize,
+    },
     /// A timer guarding the operation was armed.
     TimerArmed {
         /// Timer label ("bitswap_probe", ...).
@@ -304,6 +592,7 @@ impl TraceEventKind {
             TraceEventKind::DialStarted { .. } => "dial_started",
             TraceEventKind::DialOk { .. } => "dial_ok",
             TraceEventKind::DialFailed { .. } => "dial_failed",
+            TraceEventKind::DialCompleted { .. } => "dial_completed",
             TraceEventKind::TimerArmed { .. } => "timer_armed",
             TraceEventKind::TimerFired { .. } => "timer_fired",
             TraceEventKind::BitswapSent { .. } => "bitswap_sent",
@@ -329,7 +618,9 @@ impl TraceEventKind {
             TraceEventKind::QueryConverged { rpcs, responses, failures, hops } => format!(
                 ",\"rpcs\":{rpcs},\"responses\":{responses},\"failures\":{failures},\"hops\":{hops}"
             ),
-            TraceEventKind::DialStarted { peer } => format!(",\"peer\":{peer}"),
+            TraceEventKind::DialStarted { peer } | TraceEventKind::DialCompleted { peer } => {
+                format!(",\"peer\":{peer}")
+            }
             TraceEventKind::DialOk { peer, warm } => format!(",\"peer\":{peer},\"warm\":{warm}"),
             TraceEventKind::DialFailed { peer, class } => {
                 format!(",\"peer\":{peer},\"class\":\"{}\"", class.label())
@@ -466,6 +757,22 @@ impl Tracer {
         self.traces.remove(&op)
     }
 
+    /// All collected traces sorted by [`OpId`] — the deterministic order
+    /// every bulk export must use (the backing store is a `HashMap`, so
+    /// raw iteration order would depend on hashing).
+    pub fn iter_sorted(&self) -> Vec<(OpId, &OpTrace)> {
+        let mut all: Vec<(OpId, &OpTrace)> = self.traces.iter().map(|(k, v)| (*k, v)).collect();
+        all.sort_by_key(|(id, _)| *id);
+        all
+    }
+
+    /// Removes and returns every collected trace, sorted by [`OpId`].
+    pub fn drain_sorted(&mut self) -> Vec<(OpId, OpTrace)> {
+        let mut all: Vec<(OpId, OpTrace)> = self.traces.drain().collect();
+        all.sort_by_key(|(id, _)| *id);
+        all
+    }
+
     /// Number of operations with collected traces.
     pub fn len(&self) -> usize {
         self.traces.len()
@@ -562,6 +869,123 @@ mod tests {
         let taken = tracer.take(op).unwrap();
         assert_eq!(taken.events.len(), 2);
         assert!(tracer.trace(op).is_none());
+    }
+
+    #[test]
+    fn json_export_handles_empty_and_single_sample() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.to_json(), "{\"counters\":{},\"histograms\":{}}");
+        let mut reg = MetricsRegistry::new();
+        reg.observe("h", 2.5);
+        let json = reg.to_json();
+        assert!(json.contains("\"h\":{\"n\":1,\"mean\":2.5,\"p50\":2.5,\"p90\":2.5,\"p99\":2.5}"));
+        assert_eq!(reg.stats("h").unwrap().n, 1);
+        assert!(reg.stats("missing").is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_and_counted() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe("h", f64::NAN);
+        reg.observe("h", f64::INFINITY);
+        reg.observe("h", f64::NEG_INFINITY);
+        reg.observe("h", 1.0);
+        assert_eq!(reg.get(names::OBS_SAMPLES_DROPPED), 3);
+        assert_eq!(reg.samples("h"), &[1.0]);
+        let json = reg.to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "JSON-safe: {json}");
+        // Same guard in streaming mode.
+        let mut s = MetricsRegistry::with_histogram_mode(HistogramMode::Streaming);
+        s.observe("h", f64::NAN);
+        assert_eq!(s.get(names::OBS_SAMPLES_DROPPED), 1);
+        assert!(s.stats("h").is_none());
+    }
+
+    #[test]
+    fn streaming_histogram_bounds_memory_and_percentile_error() {
+        let mut exact = MetricsRegistry::new();
+        let mut streaming = MetricsRegistry::with_histogram_mode(HistogramMode::Streaming);
+        // 100k deterministic log-uniform-ish samples spanning 1e-3..1e3.
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for _ in 0..100_000 {
+            // xorshift64*
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let u = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            let v = 10f64.powf(u * 6.0 - 3.0);
+            exact.observe("lat", v);
+            streaming.observe("lat", v);
+        }
+        // Memory: O(buckets), not O(samples). The full 1e-3..1e3 span is
+        // ~283 buckets at γ=1.05.
+        assert_eq!(exact.histogram_footprint("lat"), 100_000);
+        assert!(
+            streaming.histogram_footprint("lat") <= 300,
+            "streaming footprint must be bucket-bounded, got {}",
+            streaming.histogram_footprint("lat")
+        );
+        // Percentile relative error bounded by the bucket width (≤ 2.5 %,
+        // asserted with slack at 5 %); the mean is exact.
+        let e = exact.stats("lat").unwrap();
+        let s = streaming.stats("lat").unwrap();
+        assert_eq!(e.n, s.n);
+        assert!((e.mean - s.mean).abs() / e.mean < 1e-9, "mean is tracked exactly");
+        for (truth, est, q) in [(e.p50, s.p50, "p50"), (e.p90, s.p90, "p90"), (e.p99, s.p99, "p99")]
+        {
+            let rel = (truth - est).abs() / truth;
+            assert!(rel < 0.05, "{q}: exact={truth} streaming={est} rel_err={rel}");
+        }
+    }
+
+    #[test]
+    fn streaming_histograms_report_no_raw_samples() {
+        let mut reg = MetricsRegistry::with_histogram_mode(HistogramMode::Streaming);
+        reg.observe("h", 3.0);
+        assert_eq!(reg.samples("h"), &[] as &[f64]);
+        assert_eq!(reg.histograms().count(), 0, "raw-sample iteration skips streaming entries");
+        assert_eq!(reg.histogram_stats().count(), 1);
+        let s = reg.stats("h").unwrap();
+        assert_eq!(s.n, 1);
+        // A single sample is pinned by the min/max clamp.
+        assert_eq!(s.p50, 3.0);
+    }
+
+    #[test]
+    fn merge_handles_mixed_histogram_modes() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let mut exact = MetricsRegistry::new();
+        let mut streaming = MetricsRegistry::with_histogram_mode(HistogramMode::Streaming);
+        for &v in &samples {
+            exact.observe("h", v);
+            streaming.observe("h", v);
+        }
+        // Streaming absorbs exact…
+        let mut a = streaming.clone();
+        a.merge(&exact);
+        assert_eq!(a.stats("h").unwrap().n, 200);
+        assert!(a.histogram_footprint("h") < 200);
+        // …and an exact registry merging a streaming one converts.
+        let mut b = exact.clone();
+        b.merge(&streaming);
+        assert_eq!(b.stats("h").unwrap().n, 200);
+        assert!(b.histogram_footprint("h") < 200, "merge must not resurrect raw storage");
+        let p50 = b.stats("h").unwrap().p50;
+        assert!((p50 - 50.0).abs() / 50.0 < 0.05, "merged percentiles stay bounded: {p50}");
+    }
+
+    #[test]
+    fn tracer_drain_is_sorted_by_op_id() {
+        let mut tracer = Tracer::new(TraceConfig::enabled());
+        for id in [9u64, 2, 151, 40, 1] {
+            tracer.record_with(OpId(id), SimTime::ZERO, || TraceEventKind::BlockReceived);
+        }
+        let ids: Vec<u64> = tracer.iter_sorted().iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 2, 9, 40, 151]);
+        let drained = tracer.drain_sorted();
+        assert_eq!(drained.len(), 5);
+        assert!(drained.windows(2).all(|w| w[0].0 < w[1].0), "drain sorted by OpId");
+        assert!(tracer.is_empty());
     }
 
     #[test]

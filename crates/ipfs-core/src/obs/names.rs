@@ -1,0 +1,239 @@
+//! Canonical metric names.
+//!
+//! Every counter and histogram the simulation stack emits is named here,
+//! once, as a `&'static str` constant. Call sites reference the constant
+//! instead of a string literal, so a typo'd name cannot silently split a
+//! metric family into two — the compiler catches it. [`ALL`] lists every
+//! name for the uniqueness/style test and for bulk export.
+
+macro_rules! metric_names {
+    ($($(#[$meta:meta])* $ident:ident = $value:literal;)+) => {
+        $($(#[$meta])* pub const $ident: &str = $value;)+
+        /// Every metric name defined in this module.
+        pub const ALL: &[&str] = &[$($value),+];
+    };
+}
+
+metric_names! {
+    // -- DHT RPC volume by type (§3.1) --------------------------------
+    /// Outbound FIND_NODE RPCs.
+    DHT_RPC_SENT_FIND_NODE = "dht_rpc_sent_find_node";
+    /// Outbound GET_PROVIDERS RPCs.
+    DHT_RPC_SENT_GET_PROVIDERS = "dht_rpc_sent_get_providers";
+    /// Outbound ADD_PROVIDER RPCs.
+    DHT_RPC_SENT_ADD_PROVIDER = "dht_rpc_sent_add_provider";
+    /// Outbound PUT (peer record) RPCs.
+    DHT_RPC_SENT_PUT_PEER_RECORD = "dht_rpc_sent_put_peer_record";
+    /// Outbound PUT (IPNS value) RPCs.
+    DHT_RPC_SENT_PUT_VALUE = "dht_rpc_sent_put_value";
+    /// Outbound GET (IPNS value) RPCs.
+    DHT_RPC_SENT_GET_VALUE = "dht_rpc_sent_get_value";
+    /// Inbound FIND_NODE RPCs.
+    DHT_RPC_RECV_FIND_NODE = "dht_rpc_recv_find_node";
+    /// Inbound GET_PROVIDERS RPCs.
+    DHT_RPC_RECV_GET_PROVIDERS = "dht_rpc_recv_get_providers";
+    /// Inbound ADD_PROVIDER RPCs.
+    DHT_RPC_RECV_ADD_PROVIDER = "dht_rpc_recv_add_provider";
+    /// Inbound PUT (peer record) RPCs.
+    DHT_RPC_RECV_PUT_PEER_RECORD = "dht_rpc_recv_put_peer_record";
+    /// Inbound PUT (IPNS value) RPCs.
+    DHT_RPC_RECV_PUT_VALUE = "dht_rpc_recv_put_value";
+    /// Inbound GET (IPNS value) RPCs.
+    DHT_RPC_RECV_GET_VALUE = "dht_rpc_recv_get_value";
+    /// DHT RPCs answered in time.
+    DHT_RPC_OK = "dht_rpc_ok";
+    /// DHT RPCs that failed (unreachable peer / dial timeout).
+    DHT_RPC_FAILED = "dht_rpc_failed";
+    /// Histogram: RPCs issued per DHT walk.
+    DHT_WALK_RPCS = "dht_walk_rpcs";
+
+    // -- Dials and the §6.1 timeout split -----------------------------
+    /// Dials attempted.
+    DIALS_ATTEMPTED = "dials_attempted";
+    /// Dials that produced a connection.
+    DIALS_OK = "dials_ok";
+    /// Dials satisfied by an existing warm connection.
+    DIALS_WARM = "dials_warm";
+    /// Dials that failed (all classes).
+    DIALS_FAILED = "dials_failed";
+    /// Failed dials: immediate connection-refused.
+    DIAL_FAILED_FAST_REFUSE = "dial_failed_fast_refuse";
+    /// Failed dials: 5 s TCP/QUIC timeout.
+    DIAL_FAILED_TIMEOUT_5S = "dial_failed_timeout_5s";
+    /// Failed dials: 45 s WebSocket timeout.
+    DIAL_FAILED_TIMEOUT_45S = "dial_failed_timeout_45s";
+
+    // -- Bitswap message volume by type (§3.2) ------------------------
+    /// Outbound WANT-HAVE messages.
+    BITSWAP_SENT_WANT_HAVE = "bitswap_sent_want_have";
+    /// Outbound HAVE messages.
+    BITSWAP_SENT_HAVE = "bitswap_sent_have";
+    /// Outbound DONT-HAVE messages.
+    BITSWAP_SENT_DONT_HAVE = "bitswap_sent_dont_have";
+    /// Outbound WANT-BLOCK messages.
+    BITSWAP_SENT_WANT_BLOCK = "bitswap_sent_want_block";
+    /// Outbound BLOCK messages.
+    BITSWAP_SENT_BLOCK = "bitswap_sent_block";
+    /// Outbound CANCEL messages.
+    BITSWAP_SENT_CANCEL = "bitswap_sent_cancel";
+    /// Delivered WANT-HAVE messages.
+    BITSWAP_RECV_WANT_HAVE = "bitswap_recv_want_have";
+    /// Delivered HAVE messages.
+    BITSWAP_RECV_HAVE = "bitswap_recv_have";
+    /// Delivered DONT-HAVE messages.
+    BITSWAP_RECV_DONT_HAVE = "bitswap_recv_dont_have";
+    /// Delivered WANT-BLOCK messages.
+    BITSWAP_RECV_WANT_BLOCK = "bitswap_recv_want_block";
+    /// Delivered BLOCK messages.
+    BITSWAP_RECV_BLOCK = "bitswap_recv_block";
+    /// Delivered CANCEL messages.
+    BITSWAP_RECV_CANCEL = "bitswap_recv_cancel";
+    /// Blocks verified and stored by a Bitswap session.
+    BITSWAP_BLOCKS_STORED = "bitswap_blocks_stored";
+    /// Opportunistic 1 s probes that expired without the content.
+    BITSWAP_PROBE_TIMEOUTS = "bitswap_probe_timeouts";
+
+    // -- Operations ---------------------------------------------------
+    /// Publish operations submitted.
+    PUBLISH_OPS = "publish_ops";
+    /// Publish operations that succeeded.
+    PUBLISH_SUCCESS = "publish_success";
+    /// Publish operations that failed.
+    PUBLISH_FAILED = "publish_failed";
+    /// Retrieve operations submitted.
+    RETRIEVE_OPS = "retrieve_ops";
+    /// Retrieve operations that succeeded.
+    RETRIEVE_SUCCESS = "retrieve_success";
+    /// Retrieve operations that failed.
+    RETRIEVE_FAILED = "retrieve_failed";
+    /// Retrievals satisfied by the opportunistic Bitswap probe.
+    RETRIEVE_VIA_BITSWAP = "retrieve_via_bitswap";
+    /// IPNS publish operations submitted.
+    IPNS_PUBLISH_OPS = "ipns_publish_ops";
+    /// IPNS publish operations that succeeded.
+    IPNS_PUBLISH_SUCCESS = "ipns_publish_success";
+    /// IPNS publish operations that failed.
+    IPNS_PUBLISH_FAILED = "ipns_publish_failed";
+    /// IPNS resolve operations submitted.
+    IPNS_RESOLVE_OPS = "ipns_resolve_ops";
+    /// IPNS resolve operations that succeeded.
+    IPNS_RESOLVE_SUCCESS = "ipns_resolve_success";
+    /// IPNS resolve operations that failed.
+    IPNS_RESOLVE_FAILED = "ipns_resolve_failed";
+    /// IPNS records accepted into node stores.
+    IPNS_RECORDS_STORED = "ipns_records_stored";
+
+    // -- Provider records, connections, churn -------------------------
+    /// Provider records accepted into node stores (§3.1 replication).
+    PROVIDER_RECORDS_STORED = "provider_records_stored";
+    /// Provider records dropped at expiry.
+    PROVIDER_RECORDS_EXPIRED = "provider_records_expired";
+    /// Provider-record republish rounds.
+    PROVIDER_REPUBLISHES = "provider_republishes";
+    /// Peer walks short-circuited by the address book (§3.2).
+    ADDR_BOOK_HITS = "addr_book_hits";
+    /// Connections closed by the connection-manager high-water prune.
+    CONN_PRUNES = "conn_prunes";
+    /// Connections closed by the idle timeout.
+    CONN_IDLE_EXPIRED = "conn_idle_expired";
+    /// Churn transitions to online.
+    CHURN_ONLINE = "churn_online";
+    /// Churn transitions to offline.
+    CHURN_OFFLINE = "churn_offline";
+
+    // -- Fault injection (`faultsim`) ---------------------------------
+    /// Partitions started by the fault plan.
+    FAULT_PARTITION_STARTS = "fault_partition_starts";
+    /// Partitions healed.
+    FAULT_PARTITION_HEALS = "fault_partition_heals";
+    /// Link-degradation windows started.
+    FAULT_DEGRADE_STARTS = "fault_degrade_starts";
+    /// Link-degradation windows ended.
+    FAULT_DEGRADE_ENDS = "fault_degrade_ends";
+    /// Dial-failure spikes started.
+    FAULT_DIAL_SPIKE_STARTS = "fault_dial_spike_starts";
+    /// Dial-failure spikes ended.
+    FAULT_DIAL_SPIKE_ENDS = "fault_dial_spike_ends";
+    /// Crash waves executed.
+    FAULT_CRASH_WAVES = "fault_crash_waves";
+    /// Gauge: partitions currently active.
+    FAULT_PARTITIONS_ACTIVE = "fault_partitions_active";
+    /// Warm connections severed by a new partition.
+    FAULT_CONNS_SEVERED = "fault_conns_severed";
+    /// Dials refused by the partition oracle.
+    FAULT_DIALS_BLOCKED = "fault_dials_blocked";
+    /// Dials failed by an active dial-failure spike.
+    FAULT_DIALS_SPIKED = "fault_dials_spiked";
+    /// In-flight messages dropped at a partition cut.
+    FAULT_MESSAGES_CUT = "fault_messages_cut";
+    /// Messages lost to degraded-link loss.
+    FAULT_MESSAGES_LOST = "fault_messages_lost";
+    /// Nodes taken down by crash waves.
+    FAULT_NODES_CRASHED = "fault_nodes_crashed";
+    /// Histogram: seconds from heal to first successful retrieval.
+    FAULT_RECOVERY_SECS = "fault_recovery_secs";
+
+    // -- Gateway cache tiers (§6.3) -----------------------------------
+    /// Requests served from the nginx cache.
+    GATEWAY_NGINX_HITS = "gateway_nginx_hits";
+    /// Requests that missed the nginx cache.
+    GATEWAY_NGINX_MISSES = "gateway_nginx_misses";
+    /// Requests served from the gateway node's blockstore.
+    GATEWAY_NODE_STORE_HITS = "gateway_node_store_hits";
+    /// Requests that went to the network.
+    GATEWAY_NETWORK_FETCHES = "gateway_network_fetches";
+    /// Network fetches that failed.
+    GATEWAY_NETWORK_FAILURES = "gateway_network_failures";
+    /// Gauge: nginx cache evictions.
+    GATEWAY_NGINX_EVICTIONS = "gateway_nginx_evictions";
+    /// Time-series key: gateway requests per window.
+    GATEWAY_REQUESTS = "gateway_requests";
+    /// Time-series key: successfully served gateway requests per window.
+    GATEWAY_OK = "gateway_ok";
+    /// Time-series histogram: upstream response latency per request, ms.
+    GATEWAY_LATENCY_MS = "gateway_latency_ms";
+
+    // -- Crawler/monitor (§4.1) ---------------------------------------
+    /// Liveness probes issued by the monitor.
+    MONITOR_PROBES = "monitor_probes";
+    /// Liveness probes that found the peer up.
+    MONITOR_PROBES_UP = "monitor_probes_up";
+    /// Peer sessions observed by the monitor.
+    MONITOR_SESSIONS_OBSERVED = "monitor_sessions_observed";
+    /// Histogram: observed uptime seconds per session.
+    MONITOR_OBSERVED_UPTIME_SECS = "monitor_observed_uptime_secs";
+
+    // -- Observability self-metering ----------------------------------
+    /// Non-finite histogram samples rejected at intake.
+    OBS_SAMPLES_DROPPED = "obs_samples_dropped";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(name), "duplicate metric name: {name}");
+        }
+    }
+
+    #[test]
+    fn names_are_snake_case() {
+        for name in ALL {
+            assert!(!name.is_empty());
+            assert!(
+                name.chars().next().unwrap().is_ascii_lowercase(),
+                "metric name must start with a lowercase letter: {name}"
+            );
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "metric name must be snake_case [a-z0-9_]: {name}"
+            );
+            assert!(!name.contains("__"), "no doubled underscores: {name}");
+            assert!(!name.ends_with('_'), "no trailing underscore: {name}");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Windowed time series over simulated time.
+//!
+//! The paper's §4.1 view (Fig. 4) is longitudinal: activity per time bin
+//! across a day of operation. [`TimeSeries`] buckets counter increments
+//! and histogram samples into fixed-width windows of simulated time, and
+//! can snapshot a [`MetricsRegistry`](super::MetricsRegistry) repeatedly
+//! to turn its monotonic counters into per-window deltas.
+//!
+//! Everything is keyed by `BTreeMap` and merged window-by-window in key
+//! order, so building a series from per-cell pieces (one per
+//! `run_cells_with_jobs` cell, merged in cell order) produces output
+//! byte-identical at any `IPFS_REPRO_JOBS` value.
+
+use super::{pct, MetricsRegistry};
+use simnet::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One window's accumulated data.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct WindowData {
+    counters: BTreeMap<&'static str, u64>,
+    samples: BTreeMap<&'static str, Vec<f64>>,
+}
+
+/// Counter increments and histogram samples bucketed by fixed-width
+/// windows of simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    window: SimDuration,
+    windows: BTreeMap<u64, WindowData>,
+    snapshot: BTreeMap<&'static str, u64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given window width.
+    ///
+    /// # Panics
+    /// If `window` is zero.
+    pub fn new(window: SimDuration) -> TimeSeries {
+        assert!(window > SimDuration::ZERO, "time-series window must be positive");
+        TimeSeries { window, windows: BTreeMap::new(), snapshot: BTreeMap::new() }
+    }
+
+    /// The window width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// The window index containing `at`.
+    pub fn index_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() / self.window.as_nanos()
+    }
+
+    /// Start of window `idx`, in seconds of simulated time.
+    pub fn window_start_secs(&self, idx: u64) -> f64 {
+        idx as f64 * self.window.as_secs_f64()
+    }
+
+    /// Adds `n` to counter `name` in the window containing `at`.
+    pub fn record(&mut self, at: SimTime, name: &'static str, n: u64) {
+        let idx = self.index_of(at);
+        *self.windows.entry(idx).or_default().counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Adds one to counter `name` in the window containing `at`.
+    pub fn incr(&mut self, at: SimTime, name: &'static str) {
+        self.record(at, name, 1);
+    }
+
+    /// Records a histogram sample in the window containing `at`.
+    /// Non-finite samples are dropped and counted under
+    /// [`names::OBS_SAMPLES_DROPPED`](super::names::OBS_SAMPLES_DROPPED).
+    pub fn observe(&mut self, at: SimTime, name: &'static str, sample: f64) {
+        if !sample.is_finite() {
+            self.record(at, super::names::OBS_SAMPLES_DROPPED, 1);
+            return;
+        }
+        let idx = self.index_of(at);
+        self.windows.entry(idx).or_default().samples.entry(name).or_default().push(sample);
+    }
+
+    /// Snapshots every counter of `metrics` and books the delta since the
+    /// previous snapshot into the window containing `at`. Gauges that
+    /// decreased since the last snapshot contribute nothing (deltas
+    /// saturate at zero).
+    pub fn sample_counters(&mut self, at: SimTime, metrics: &MetricsRegistry) {
+        for (name, value) in metrics.counters() {
+            let prev = self.snapshot.insert(name, value).unwrap_or(0);
+            let delta = value.saturating_sub(prev);
+            if delta > 0 {
+                self.record(at, name, delta);
+            }
+        }
+    }
+
+    /// Folds another series into this one: counters add, samples append
+    /// in `other`'s order. Merging per-cell series in cell index order
+    /// yields the same bytes at any job count.
+    ///
+    /// # Panics
+    /// If the window widths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(self.window, other.window, "cannot merge series with different windows");
+        for (idx, data) in &other.windows {
+            let w = self.windows.entry(*idx).or_default();
+            for (name, v) in &data.counters {
+                *w.counters.entry(name).or_insert(0) += v;
+            }
+            for (name, samples) in &data.samples {
+                w.samples.entry(name).or_default().extend_from_slice(samples);
+            }
+        }
+    }
+
+    /// Whether the series holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Number of non-empty windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Indices of non-empty windows, ascending.
+    pub fn window_indices(&self) -> Vec<u64> {
+        self.windows.keys().copied().collect()
+    }
+
+    /// Counters booked in window `idx`, in name order.
+    pub fn counters_in(&self, idx: u64) -> Vec<(&'static str, u64)> {
+        self.windows
+            .get(&idx)
+            .map(|w| w.counters.iter().map(|(k, v)| (*k, *v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Samples recorded in window `idx`, in name order.
+    pub fn samples_in(&self, idx: u64) -> Vec<(&'static str, &[f64])> {
+        self.windows
+            .get(&idx)
+            .map(|w| w.samples.iter().map(|(k, v)| (*k, v.as_slice())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Dense per-window values of counter `name` from the first to the
+    /// last non-empty window (missing windows yield zero), as
+    /// `(window_start_secs, value)` points.
+    pub fn counter_series(&self, name: &str) -> Vec<(f64, u64)> {
+        let (Some(&lo), Some(&hi)) = (self.windows.keys().next(), self.windows.keys().next_back())
+        else {
+            return Vec::new();
+        };
+        (lo..=hi)
+            .map(|idx| {
+                let v =
+                    self.windows.get(&idx).and_then(|w| w.counters.get(name).copied()).unwrap_or(0);
+                (self.window_start_secs(idx), v)
+            })
+            .collect()
+    }
+
+    /// Per-window ratio `num / den` for every window where `den > 0`, as
+    /// `(window_start_secs, ratio)` points — e.g. a gateway hit rate per
+    /// window across an outage.
+    pub fn ratio_series(&self, num: &str, den: &str) -> Vec<(f64, f64)> {
+        self.windows
+            .iter()
+            .filter_map(|(idx, w)| {
+                let d = w.counters.get(den).copied().unwrap_or(0);
+                if d == 0 {
+                    return None;
+                }
+                let n = w.counters.get(num).copied().unwrap_or(0);
+                Some((self.window_start_secs(*idx), n as f64 / d as f64))
+            })
+            .collect()
+    }
+
+    /// Serialises the series as a JSON array of window objects, each with
+    /// `window_start_secs`, the window's counters, and per-sample-family
+    /// summaries (`n`, `mean`, `p50`, `p90`, `p99`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (idx, w)) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"window_start_secs\":{}", self.window_start_secs(*idx)));
+            out.push_str(",\"counters\":{");
+            for (j, (name, v)) in w.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{name}\":{v}"));
+            }
+            out.push_str("},\"samples\":{");
+            for (j, (name, samples)) in w.samples.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let mut sorted = samples.clone();
+                sorted.sort_by(f64::total_cmp);
+                let n = sorted.len();
+                let mean = if n == 0 { 0.0 } else { sorted.iter().sum::<f64>() / n as f64 };
+                out.push_str(&format!(
+                    "\"{name}\":{{\"n\":{n},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                    super::fmt_json_f64(mean),
+                    super::fmt_json_f64(pct(&sorted, 0.50)),
+                    super::fmt_json_f64(pct(&sorted, 0.90)),
+                    super::fmt_json_f64(pct(&sorted, 0.99)),
+                ));
+            }
+            out.push_str("}}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::names;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn counters_and_samples_land_in_their_windows() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(60));
+        ts.incr(t(5), "reqs");
+        ts.incr(t(59), "reqs");
+        ts.record(t(61), "reqs", 3);
+        ts.observe(t(5), "lat", 1.5);
+        ts.observe(t(61), "lat", 2.5);
+        assert_eq!(ts.window_indices(), vec![0, 1]);
+        assert_eq!(ts.counters_in(0), vec![("reqs", 2)]);
+        assert_eq!(ts.counters_in(1), vec![("reqs", 3)]);
+        assert_eq!(ts.samples_in(0), vec![("lat", &[1.5][..])]);
+        assert_eq!(ts.counter_series("reqs"), vec![(0.0, 2), (60.0, 3)]);
+    }
+
+    #[test]
+    fn counter_series_fills_gaps_with_zero() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.incr(t(0), "x");
+        ts.incr(t(35), "x");
+        let series = ts.counter_series("x");
+        assert_eq!(series, vec![(0.0, 1), (10.0, 0), (20.0, 0), (30.0, 1)]);
+    }
+
+    #[test]
+    fn delta_sampling_books_increments_per_window() {
+        let mut m = MetricsRegistry::new();
+        let mut ts = TimeSeries::new(SimDuration::from_secs(60));
+        m.add("dials_ok", 4);
+        ts.sample_counters(t(30), &m);
+        m.add("dials_ok", 6);
+        ts.sample_counters(t(90), &m);
+        // A gauge that decreases contributes nothing.
+        m.set("gauge", 10);
+        ts.sample_counters(t(100), &m);
+        m.set("gauge", 3);
+        ts.sample_counters(t(110), &m);
+        assert_eq!(ts.counters_in(0), vec![("dials_ok", 4)]);
+        assert_eq!(ts.counters_in(1), vec![("dials_ok", 6), ("gauge", 10)]);
+    }
+
+    #[test]
+    fn ratio_series_skips_empty_denominators() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(60));
+        ts.record(t(10), "req", 4);
+        ts.record(t(10), "ok", 3);
+        ts.record(t(70), "req", 2);
+        ts.observe(t(130), "unrelated", 1.0);
+        let r = ts.ratio_series("ok", "req");
+        assert_eq!(r, vec![(0.0, 0.75), (60.0, 0.0)]);
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_disjoint_cells_and_json_renders() {
+        let mut a = TimeSeries::new(SimDuration::from_secs(60));
+        a.incr(t(10), "req");
+        a.observe(t(10), "lat", 1.0);
+        let mut b = TimeSeries::new(SimDuration::from_secs(60));
+        b.record(t(70), "req", 2);
+        b.observe(t(70), "lat", 3.0);
+
+        let mut ab = TimeSeries::new(SimDuration::from_secs(60));
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = TimeSeries::new(SimDuration::from_secs(60));
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba, "disjoint-window merges commute");
+        assert_eq!(ab.to_json(), ba.to_json());
+        let json = ab.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"window_start_secs\":0"));
+        assert!(json.contains("\"req\":1"));
+        assert!(json.contains("\"n\":1"));
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_and_counted() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(60));
+        ts.observe(t(1), "lat", f64::NAN);
+        ts.observe(t(1), "lat", f64::INFINITY);
+        ts.observe(t(1), "lat", 2.0);
+        assert_eq!(ts.samples_in(0), vec![("lat", &[2.0][..])]);
+        assert_eq!(ts.counters_in(0), vec![(names::OBS_SAMPLES_DROPPED, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different windows")]
+    fn merging_mismatched_windows_panics() {
+        let mut a = TimeSeries::new(SimDuration::from_secs(60));
+        let b = TimeSeries::new(SimDuration::from_secs(30));
+        a.merge(&b);
+    }
+}

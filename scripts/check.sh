@@ -36,4 +36,27 @@ if ! cmp -s "$CHAOS_DIR/j1.txt" "$CHAOS_DIR/j4.txt"; then
 fi
 rm -rf "$CHAOS_DIR"
 
+echo "== latency smoke (span-attribution determinism gate) =="
+# The latency-attribution harness must exit 0, emit its table + JSON, and
+# print byte-identical artifacts whether cells run serially or on 4
+# workers (stdout and both written files are compared).
+cargo build --release -q -p bench --bin latency
+LAT_DIR="$(mktemp -d)"
+IPFS_REPRO_JOBS=1 ./target/release/latency --smoke --out "$LAT_DIR/j1" > /dev/null
+IPFS_REPRO_JOBS=4 ./target/release/latency --smoke --out "$LAT_DIR/j4" > /dev/null
+for f in tab_latency_attribution.txt BENCH_latency.json; do
+    if ! cmp -s "$LAT_DIR/j1/$f" "$LAT_DIR/j4/$f"; then
+        echo "latency --smoke $f differs between IPFS_REPRO_JOBS=1 and =4" >&2
+        diff "$LAT_DIR/j1/$f" "$LAT_DIR/j4/$f" >&2 || true
+        rm -rf "$LAT_DIR"
+        exit 1
+    fi
+done
+grep -q '"dominant_component": "dht_walk"' "$LAT_DIR/j1/BENCH_latency.json" || {
+    echo "latency --smoke: DHT walk is not the dominant component" >&2
+    rm -rf "$LAT_DIR"
+    exit 1
+}
+rm -rf "$LAT_DIR"
+
 echo "All checks passed."

@@ -4,7 +4,7 @@
 //! keeps gateway cold fetches on the full DHT path) must hold.
 
 use integration_tests::{payload, test_network, test_network_with};
-use ipfs_core::{NetworkConfig, TraceConfig, TraceEventKind};
+use ipfs_core::{LatencyBreakdown, NetworkConfig, SpanTree, TraceConfig, TraceEventKind};
 use simnet::SimDuration;
 
 #[test]
@@ -89,6 +89,80 @@ fn retrieval_trace_reproduces_the_section_3_2_pipeline() {
     assert!(m.get("bitswap_sent_block") > 0, "provider served BLOCKs");
     assert_eq!(m.get("bitswap_probe_timeouts"), 1, "1 s probe expired once");
     assert!(!m.samples("dht_walk_rpcs").is_empty());
+}
+
+#[test]
+fn span_breakdown_pins_the_section_3_2_pipeline_timing() {
+    // Same deterministic scenario as the pipeline test above, but folded
+    // through the span layer: the LatencyBreakdown must reconcile
+    // *exactly* (integer nanoseconds) with the retrieval state machine's
+    // own phase report, and the span tree's critical path must be a
+    // consistent sub-cover of the op interval.
+    let (mut net, ids) = test_network(
+        500,
+        &[simnet::latency::VantagePoint::EuCentral1, simnet::latency::VantagePoint::SaEast1],
+        101,
+    );
+    let [eu, sa] = ids[..] else { unreachable!() };
+    net.set_trace_config(TraceConfig::enabled());
+
+    let data = payload(512 * 1024, 1);
+    let cid = net.import_content(sa, &data);
+    let pub_op = net.publish(sa, cid.clone());
+    net.run_until_quiet();
+    let pr = net.publish_reports.last().unwrap().clone();
+    assert!(pr.success);
+    net.disconnect_all(sa);
+
+    let op = net.retrieve(eu, cid.clone());
+    net.run_until_quiet();
+    let rr = net.retrieve_reports.last().unwrap().clone();
+    assert!(rr.success);
+
+    // Publish breakdown: "walk" and "rpc_batch" segments must agree with
+    // the PublishReport to the nanosecond.
+    let pub_trace = net.trace(pub_op).expect("publish trace recorded");
+    let pub_bd = LatencyBreakdown::from_trace(pub_trace);
+    assert_eq!(pub_bd.total(), pr.total, "publish partition is exact");
+    assert_eq!(pub_bd.provider_walk, pr.dht_walk, "walk segment matches report");
+    assert_eq!(pub_bd.other, pr.rpc_batch, "rpc batch lands in `other`");
+
+    // Retrieval breakdown: every §3.2 phase matches the RetrieveReport
+    // field for field, and the components partition the total exactly.
+    let trace = net.take_trace(op).expect("retrieve trace recorded");
+    let bd = LatencyBreakdown::from_trace(&trace);
+    assert_eq!(bd.total(), rr.total, "components sum exactly to op duration");
+    assert_eq!(bd.bitswap_probe, rr.bitswap_probe);
+    assert_eq!(bd.bitswap_probe, SimDuration::from_secs(1), "probe burned its 1 s timeout");
+    assert_eq!(bd.provider_walk, rr.provider_walk);
+    assert_eq!(bd.peer_walk, rr.peer_walk);
+    // Note: `dial` may be zero here — the peer walk can leave a warm
+    // connection to the provider, which completes the dial instantly.
+    assert_eq!(bd.dial + bd.fetch, rr.fetch, "report's fetch = dial + transfer");
+    assert_eq!(bd.other, SimDuration::ZERO, "no unattributed time in this pipeline");
+
+    // Span tree: op span nests phase spans, phases nest RPC/dial spans;
+    // the critical path is chronological, within the op, and bounded.
+    let tree = SpanTree::from_trace(&trace).expect("span tree built");
+    assert_eq!(tree.duration(), rr.total);
+    assert!(!tree.root.children.is_empty(), "phases present");
+    for phase in &tree.root.children {
+        assert!(phase.start >= tree.root.start && phase.end <= tree.root.end);
+        for child in &phase.children {
+            assert!(child.start >= phase.start && child.end <= phase.end);
+        }
+    }
+    let path = tree.critical_path();
+    assert!(!path.is_empty());
+    assert!(tree.critical_path_duration() <= tree.duration());
+    for pair in path.windows(2) {
+        assert!(pair[0].end <= pair[1].start, "critical path hops are disjoint and ordered");
+    }
+    // The walk phases decompose into per-RPC spans on the critical path.
+    assert!(
+        path.iter().any(|h| h.label.starts_with("rpc:") || h.label == "bitswap_probe"),
+        "path descends into leaf spans: {path:?}"
+    );
 }
 
 #[test]
