@@ -6,7 +6,7 @@
 //! lookups" — a cache that can skip the second DHT walk entirely.
 
 use multiformats::{Multiaddr, PeerId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// A bounded LRU map from PeerID to known addresses.
 #[derive(Debug, Clone)]
@@ -14,6 +14,13 @@ pub struct AddressBook {
     capacity: usize,
     /// Entries with a logical-clock stamp for LRU eviction.
     entries: HashMap<PeerId, (u64, Vec<Multiaddr>)>,
+    /// Recency queue of `(stamp, peer)` records, oldest first. A record is
+    /// live only while its stamp matches the entry's; later touches push a
+    /// fresh record and orphan the old one, which eviction skips. Stamps
+    /// are unique and monotonic, so the oldest live record is exactly the
+    /// minimum-stamp entry — the same victim a full scan would pick — at
+    /// amortized O(1) instead of O(len) per eviction.
+    recency: VecDeque<(u64, PeerId)>,
     clock: u64,
     /// Lifetime hit/miss counters.
     pub hits: u64,
@@ -25,35 +32,51 @@ impl AddressBook {
     /// Creates a book with the paper's default capacity of 900.
     pub fn new(capacity: usize) -> AddressBook {
         assert!(capacity > 0);
-        AddressBook { capacity, entries: HashMap::new(), clock: 0, hits: 0, misses: 0 }
+        AddressBook {
+            capacity,
+            entries: HashMap::new(),
+            recency: VecDeque::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
-    /// Records addresses for a peer (refreshes recency).
-    pub fn insert(&mut self, peer: PeerId, addrs: Vec<Multiaddr>) {
+    /// Records addresses for a peer (refreshes recency). Clones only when
+    /// the peer is new or its addresses actually changed — re-announcing
+    /// the same addresses is the common case on the DHT walk hot path.
+    pub fn insert(&mut self, peer: &PeerId, addrs: &[Multiaddr]) {
         if addrs.is_empty() {
             return;
         }
         self.clock += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&peer) {
-            // Evict the least recently used entry.
-            if let Some(oldest) =
-                self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(p, _)| p.clone())
-            {
-                self.entries.remove(&oldest);
+        let clock = self.clock;
+        if let Some((stamp, existing)) = self.entries.get_mut(peer) {
+            *stamp = clock;
+            if existing.as_slice() != addrs {
+                *existing = addrs.to_vec();
             }
+        } else {
+            if self.entries.len() >= self.capacity {
+                self.evict_oldest();
+            }
+            self.entries.insert(peer.clone(), (clock, addrs.to_vec()));
         }
-        self.entries.insert(peer, (self.clock, addrs));
+        self.touch(clock, peer);
     }
 
     /// Looks up addresses, refreshing recency on hit and counting
     /// hit/miss statistics.
     pub fn lookup(&mut self, peer: &PeerId) -> Option<Vec<Multiaddr>> {
         self.clock += 1;
+        let clock = self.clock;
         match self.entries.get_mut(peer) {
             Some((stamp, addrs)) => {
-                *stamp = self.clock;
+                *stamp = clock;
                 self.hits += 1;
-                Some(addrs.clone())
+                let addrs = addrs.clone();
+                self.touch(clock, peer);
+                Some(addrs)
             }
             None => {
                 self.misses += 1;
@@ -67,7 +90,8 @@ impl AddressBook {
         self.entries.contains_key(peer)
     }
 
-    /// Drops a peer (e.g. its addresses proved stale).
+    /// Drops a peer (e.g. its addresses proved stale). Its queue records
+    /// become orphans that eviction skips.
     pub fn remove(&mut self, peer: &PeerId) {
         self.entries.remove(peer);
     }
@@ -80,6 +104,27 @@ impl AddressBook {
     /// Whether the book is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Appends a recency record, compacting the queue when orphaned
+    /// records outnumber live ones ~3:1 so it stays O(capacity).
+    fn touch(&mut self, stamp: u64, peer: &PeerId) {
+        self.recency.push_back((stamp, peer.clone()));
+        if self.recency.len() > 4 * self.capacity.max(self.entries.len()) {
+            let entries = &self.entries;
+            self.recency.retain(|(s, p)| entries.get(p).is_some_and(|(live, _)| live == s));
+        }
+    }
+
+    /// Removes the least-recently-used entry: pop queue records until one
+    /// is still live, then drop that peer.
+    fn evict_oldest(&mut self) {
+        while let Some((stamp, peer)) = self.recency.pop_front() {
+            if self.entries.get(&peer).is_some_and(|(live, _)| *live == stamp) {
+                self.entries.remove(&peer);
+                return;
+            }
+        }
     }
 }
 
@@ -105,7 +150,7 @@ mod tests {
     #[test]
     fn insert_lookup_roundtrip() {
         let mut book = AddressBook::new(10);
-        book.insert(peer(1), addr(1));
+        book.insert(&peer(1), &addr(1));
         assert_eq!(book.lookup(&peer(1)), Some(addr(1)));
         assert_eq!(book.lookup(&peer(2)), None);
         assert_eq!((book.hits, book.misses), (1, 1));
@@ -120,12 +165,12 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut book = AddressBook::new(3);
-        book.insert(peer(1), addr(1));
-        book.insert(peer(2), addr(2));
-        book.insert(peer(3), addr(3));
+        book.insert(&peer(1), &addr(1));
+        book.insert(&peer(2), &addr(2));
+        book.insert(&peer(3), &addr(3));
         // Touch 1 so 2 becomes the LRU.
         book.lookup(&peer(1));
-        book.insert(peer(4), addr(4));
+        book.insert(&peer(4), &addr(4));
         assert_eq!(book.len(), 3);
         assert!(book.contains(&peer(1)));
         assert!(!book.contains(&peer(2)), "LRU entry evicted");
@@ -136,8 +181,8 @@ mod tests {
     #[test]
     fn reinsert_does_not_grow() {
         let mut book = AddressBook::new(2);
-        book.insert(peer(1), addr(1));
-        book.insert(peer(1), addr(9));
+        book.insert(&peer(1), &addr(1));
+        book.insert(&peer(1), &addr(9));
         assert_eq!(book.len(), 1);
         assert_eq!(book.lookup(&peer(1)), Some(addr(9)));
     }
@@ -145,27 +190,53 @@ mod tests {
     #[test]
     fn empty_addresses_ignored() {
         let mut book = AddressBook::new(2);
-        book.insert(peer(1), vec![]);
+        book.insert(&peer(1), &[]);
         assert!(book.is_empty());
     }
 
     #[test]
     fn remove_clears_entry() {
         let mut book = AddressBook::new(2);
-        book.insert(peer(1), addr(1));
+        book.insert(&peer(1), &addr(1));
         book.remove(&peer(1));
         assert!(!book.contains(&peer(1)));
+    }
+
+    #[test]
+    fn removed_peer_does_not_shield_survivors() {
+        // A removed peer's orphaned queue record must not satisfy an
+        // eviction (that would silently under-evict).
+        let mut book = AddressBook::new(2);
+        book.insert(&peer(1), &addr(1));
+        book.insert(&peer(2), &addr(2));
+        book.remove(&peer(1));
+        book.insert(&peer(3), &addr(3));
+        book.insert(&peer(4), &addr(4));
+        assert_eq!(book.len(), 2);
+        assert!(!book.contains(&peer(2)), "oldest live entry evicted");
+        assert!(book.contains(&peer(3)));
+        assert!(book.contains(&peer(4)));
     }
 
     #[test]
     fn full_capacity_churn() {
         let mut book = AddressBook::new(900);
         for i in 0..2000 {
-            book.insert(peer(i), addr((i % 60_000) as u16));
+            book.insert(&peer(i), &addr((i % 60_000) as u16));
         }
         assert_eq!(book.len(), 900);
         // The most recent 900 survive.
         assert!(book.contains(&peer(1999)));
         assert!(!book.contains(&peer(0)));
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded() {
+        let mut book = AddressBook::new(8);
+        for round in 0..1000u64 {
+            book.insert(&peer(round % 8), &addr(1));
+            book.lookup(&peer((round + 1) % 8));
+        }
+        assert!(book.recency.len() <= 4 * 8 + 1, "queue compacts: {}", book.recency.len());
     }
 }

@@ -14,7 +14,10 @@
 use crate::config::{NodeConfig, TimeoutModel};
 use crate::ipns::IpnsRecord;
 use crate::node::IpfsNode;
-use crate::obs::{names, DialClass, MetricsRegistry, OpTrace, TraceConfig, TraceEventKind, Tracer};
+use crate::obs::{
+    names, CounterHandle, DialClass, HistogramHandle, MetricsRegistry, OpTrace, TraceConfig,
+    TraceEventKind, Tracer,
+};
 use crate::ops::{
     IpnsPublishReport, IpnsResolveReport, OpId, PublishPhase, PublishReport, RetrievePhase,
     RetrieveReport,
@@ -32,7 +35,7 @@ use multiformats::{Cid, Keypair, Multiaddr, PeerId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::latency::{BandwidthClass, LatencyModel, Region, VantagePoint};
-use simnet::{EventQueue, Population, SimDuration, SimTime};
+use simnet::{EventQueue, Population, SimDuration, SimTime, TimerId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -153,6 +156,18 @@ struct SimNode {
     /// Warm connections, indexed for O(log n) LRU pruning and O(expired)
     /// idle expiry.
     connections: ConnSet,
+    /// Pending bucket-refresh timer. Armed only while the node is online
+    /// (cancelled at churn-off, lazily re-armed at rejoin) so offline
+    /// nodes contribute zero standing timers to the scheduler.
+    refresh_timer: Option<TimerId>,
+    /// Armed republish timers, one per published CID. A `Vec` keyed by
+    /// CID, not a map: iteration order must be deterministic because it
+    /// feeds event-scheduling (and thus RNG-draw) order.
+    republish: Vec<(Cid, TimerId)>,
+    /// CIDs whose republish chain lapsed while the node was offline
+    /// (timers are cancelled at churn-off); the next rejoin re-announces
+    /// them, mirroring go-ipfs's reprovide-on-startup sweep.
+    republish_deferred: Vec<Cid>,
 }
 
 /// A node's warm-connection set with a recency index.
@@ -243,9 +258,9 @@ impl ConnSet {
 #[derive(Debug, Clone)]
 enum NetEvent {
     /// A DHT query RPC arrives at its target.
-    RpcArrive { from: NodeId, to: NodeId, query: QueryId, request: Request },
+    RpcArrive { from: NodeId, to: NodeId, query: QueryId, request: Box<Request> },
     /// A DHT response arrives back at the requester.
-    RpcResponse { to: NodeId, query: QueryId, from_peer: PeerId, response: Response },
+    RpcResponse { to: NodeId, query: QueryId, from_peer: PeerId, response: Box<Response> },
     /// A query RPC failed (dial timeout / no response within deadline).
     RpcFail { node: NodeId, query: QueryId, peer: PeerId },
     /// A fire-and-forget ADD_PROVIDER arrives at its target (§3.1).
@@ -253,7 +268,7 @@ enum NetEvent {
     /// One item of a publish RPC batch settled at the publisher.
     ProviderStoreSettled { op: OpId, ok: bool },
     /// A Bitswap message arrives.
-    BitswapArrive { from: NodeId, to: NodeId, message: Message },
+    BitswapArrive { from: NodeId, to: NodeId, message: Box<Message> },
     /// The 1 s opportunistic-Bitswap window expired (§3.2).
     BitswapProbeTimeout { op: OpId },
     /// The dial to a content provider completed; start the fetch session.
@@ -271,6 +286,13 @@ enum NetEvent {
     /// One item of an IPNS publish batch settled at the publisher.
     ValueStoreSettled { op: OpId, ok: bool },
 }
+
+// The scheduler copies pending events through timing-wheel slots, so the
+// enum's footprint is paid on every schedule/cascade/pop. The RPC and
+// Bitswap payloads above are boxed to keep the inline size capped by the
+// plain-data variants; growing past this bound should be a deliberate
+// choice, not an accident.
+const _: () = assert!(std::mem::size_of::<NetEvent>() <= 80);
 
 /// Internal per-operation state.
 enum OpState {
@@ -330,50 +352,118 @@ enum Action {
 }
 
 /// Counter name for an outbound DHT RPC of the given type.
-fn request_sent_metric(request: &Request) -> &'static str {
+fn request_kind(request: &Request) -> usize {
     match request {
-        Request::FindNode { .. } => names::DHT_RPC_SENT_FIND_NODE,
-        Request::GetProviders { .. } => names::DHT_RPC_SENT_GET_PROVIDERS,
-        Request::AddProvider { .. } => names::DHT_RPC_SENT_ADD_PROVIDER,
-        Request::PutPeerRecord { .. } => names::DHT_RPC_SENT_PUT_PEER_RECORD,
-        Request::PutValue { .. } => names::DHT_RPC_SENT_PUT_VALUE,
-        Request::GetValue { .. } => names::DHT_RPC_SENT_GET_VALUE,
+        Request::FindNode { .. } => 0,
+        Request::GetProviders { .. } => 1,
+        Request::AddProvider { .. } => 2,
+        Request::PutPeerRecord { .. } => 3,
+        Request::PutValue { .. } => 4,
+        Request::GetValue { .. } => 5,
     }
 }
 
-/// Counter name for an inbound DHT RPC of the given type.
-fn request_recv_metric(request: &Request) -> &'static str {
-    match request {
-        Request::FindNode { .. } => names::DHT_RPC_RECV_FIND_NODE,
-        Request::GetProviders { .. } => names::DHT_RPC_RECV_GET_PROVIDERS,
-        Request::AddProvider { .. } => names::DHT_RPC_RECV_ADD_PROVIDER,
-        Request::PutPeerRecord { .. } => names::DHT_RPC_RECV_PUT_PEER_RECORD,
-        Request::PutValue { .. } => names::DHT_RPC_RECV_PUT_VALUE,
-        Request::GetValue { .. } => names::DHT_RPC_RECV_GET_VALUE,
-    }
-}
-
-/// Counter name for an outbound Bitswap message of the given type.
-fn bitswap_sent_metric(message: &Message) -> &'static str {
+/// Index of a Bitswap message type into the [`HotMetrics`] counter arrays.
+fn bitswap_kind(message: &Message) -> usize {
     match message {
-        Message::WantHave(_) => names::BITSWAP_SENT_WANT_HAVE,
-        Message::Have(_) => names::BITSWAP_SENT_HAVE,
-        Message::DontHave(_) => names::BITSWAP_SENT_DONT_HAVE,
-        Message::WantBlock(_) => names::BITSWAP_SENT_WANT_BLOCK,
-        Message::Block { .. } => names::BITSWAP_SENT_BLOCK,
-        Message::Cancel(_) => names::BITSWAP_SENT_CANCEL,
+        Message::WantHave(_) => 0,
+        Message::Have(_) => 1,
+        Message::DontHave(_) => 2,
+        Message::WantBlock(_) => 3,
+        Message::Block { .. } => 4,
+        Message::Cancel(_) => 5,
     }
 }
 
-/// Counter name for a delivered Bitswap message of the given type.
-fn bitswap_recv_metric(message: &Message) -> &'static str {
-    match message {
-        Message::WantHave(_) => names::BITSWAP_RECV_WANT_HAVE,
-        Message::Have(_) => names::BITSWAP_RECV_HAVE,
-        Message::DontHave(_) => names::BITSWAP_RECV_DONT_HAVE,
-        Message::WantBlock(_) => names::BITSWAP_RECV_WANT_BLOCK,
-        Message::Block { .. } => names::BITSWAP_RECV_BLOCK,
-        Message::Cancel(_) => names::BITSWAP_RECV_CANCEL,
+/// Index of a dial-failure class into [`HotMetrics::dial_fail`].
+fn dial_class_kind(class: DialClass) -> usize {
+    match class {
+        DialClass::FastRefuse => 0,
+        DialClass::Timeout5s => 1,
+        DialClass::Websocket45s => 2,
+    }
+}
+
+/// Dense metric handles for everything the per-event hot path touches,
+/// resolved once at [`IpfsNetwork::from_population`] from [`names`]
+/// constants. Bumping through a handle is a bounds-checked array write —
+/// no string hashing or tree walk per event. Cold paths (reports, fault
+/// bookkeeping, per-operation counters) keep using the string-keyed API.
+struct HotMetrics {
+    /// Outbound DHT RPCs by [`request_kind`].
+    rpc_sent: [CounterHandle; 6],
+    /// Inbound DHT RPCs by [`request_kind`].
+    rpc_recv: [CounterHandle; 6],
+    /// Outbound Bitswap messages by [`bitswap_kind`].
+    bitswap_sent: [CounterHandle; 6],
+    /// Delivered Bitswap messages by [`bitswap_kind`].
+    bitswap_recv: [CounterHandle; 6],
+    /// Failed dials by [`dial_class_kind`].
+    dial_fail: [CounterHandle; 3],
+    dht_rpc_ok: CounterHandle,
+    dht_rpc_failed: CounterHandle,
+    dials_attempted: CounterHandle,
+    dials_warm: CounterHandle,
+    dials_ok: CounterHandle,
+    dials_failed: CounterHandle,
+    conn_idle_expired: CounterHandle,
+    conn_prunes: CounterHandle,
+    provider_records_stored: CounterHandle,
+    dht_walk_rpcs: HistogramHandle,
+}
+
+impl HotMetrics {
+    fn resolve(m: &mut MetricsRegistry) -> HotMetrics {
+        let c = |m: &mut MetricsRegistry, name| m.counter_handle(name);
+        HotMetrics {
+            rpc_sent: [
+                c(m, names::DHT_RPC_SENT_FIND_NODE),
+                c(m, names::DHT_RPC_SENT_GET_PROVIDERS),
+                c(m, names::DHT_RPC_SENT_ADD_PROVIDER),
+                c(m, names::DHT_RPC_SENT_PUT_PEER_RECORD),
+                c(m, names::DHT_RPC_SENT_PUT_VALUE),
+                c(m, names::DHT_RPC_SENT_GET_VALUE),
+            ],
+            rpc_recv: [
+                c(m, names::DHT_RPC_RECV_FIND_NODE),
+                c(m, names::DHT_RPC_RECV_GET_PROVIDERS),
+                c(m, names::DHT_RPC_RECV_ADD_PROVIDER),
+                c(m, names::DHT_RPC_RECV_PUT_PEER_RECORD),
+                c(m, names::DHT_RPC_RECV_PUT_VALUE),
+                c(m, names::DHT_RPC_RECV_GET_VALUE),
+            ],
+            bitswap_sent: [
+                c(m, names::BITSWAP_SENT_WANT_HAVE),
+                c(m, names::BITSWAP_SENT_HAVE),
+                c(m, names::BITSWAP_SENT_DONT_HAVE),
+                c(m, names::BITSWAP_SENT_WANT_BLOCK),
+                c(m, names::BITSWAP_SENT_BLOCK),
+                c(m, names::BITSWAP_SENT_CANCEL),
+            ],
+            bitswap_recv: [
+                c(m, names::BITSWAP_RECV_WANT_HAVE),
+                c(m, names::BITSWAP_RECV_HAVE),
+                c(m, names::BITSWAP_RECV_DONT_HAVE),
+                c(m, names::BITSWAP_RECV_WANT_BLOCK),
+                c(m, names::BITSWAP_RECV_BLOCK),
+                c(m, names::BITSWAP_RECV_CANCEL),
+            ],
+            dial_fail: [
+                c(m, DialClass::FastRefuse.metric()),
+                c(m, DialClass::Timeout5s.metric()),
+                c(m, DialClass::Websocket45s.metric()),
+            ],
+            dht_rpc_ok: c(m, names::DHT_RPC_OK),
+            dht_rpc_failed: c(m, names::DHT_RPC_FAILED),
+            dials_attempted: c(m, names::DIALS_ATTEMPTED),
+            dials_warm: c(m, names::DIALS_WARM),
+            dials_ok: c(m, names::DIALS_OK),
+            dials_failed: c(m, names::DIALS_FAILED),
+            conn_idle_expired: c(m, names::CONN_IDLE_EXPIRED),
+            conn_prunes: c(m, names::CONN_PRUNES),
+            provider_records_stored: c(m, names::PROVIDER_RECORDS_STORED),
+            dht_walk_rpcs: m.histogram_handle(names::DHT_WALK_RPCS),
+        }
     }
 }
 
@@ -411,6 +501,8 @@ pub struct IpfsNetwork {
     /// Metrics accumulated over the run (RPC volume, dials, Bitswap
     /// traffic, record lifecycle, churn — see [`crate::obs`]).
     metrics: MetricsRegistry,
+    /// Pre-resolved handles into `metrics` for the per-event hot path.
+    hot: HotMetrics,
     /// Per-operation trace collector (off by default).
     tracer: Tracer,
     /// Scripted-fault state; idle (and cost-free) unless a plan is
@@ -456,6 +548,9 @@ impl IpfsNetwork {
                 online: p.schedule.online_at(SimTime::ZERO),
                 is_server: !p.nat,
                 connections: ConnSet::new(),
+                refresh_timer: None,
+                republish: Vec::new(),
+                republish_deferred: Vec::new(),
             });
         }
 
@@ -474,6 +569,9 @@ impl IpfsNetwork {
                 online: true,
                 is_server: true,
                 connections: ConnSet::new(),
+                refresh_timer: None,
+                republish: Vec::new(),
+                republish_deferred: Vec::new(),
             });
         }
 
@@ -489,18 +587,32 @@ impl IpfsNetwork {
                 online: true,
                 is_server: true,
                 connections: ConnSet::new(),
+                refresh_timer: None,
+                republish: Vec::new(),
+                republish_deferred: Vec::new(),
             });
         }
 
         // Periodic table refresh, staggered per node to avoid a thundering
-        // herd of simultaneous refresh events.
+        // herd of simultaneous refresh events. Only online nodes are armed:
+        // a node that starts (or goes) offline gets its chain armed at the
+        // churn-online transition instead, so dead timers never sit in the
+        // scheduler.
         if let Some(interval) = cfg.table_refresh_interval {
-            for id in 0..nodes.len() {
+            for (id, node) in nodes.iter_mut().enumerate() {
+                if !node.online {
+                    continue;
+                }
                 let stagger = SimDuration::from_nanos(interval.as_nanos() * (id as u64 % 64) / 64);
-                queue.schedule_at(SimTime::ZERO + stagger, NetEvent::RefreshTable { node: id });
+                node.refresh_timer = Some(queue.schedule_at_cancellable(
+                    SimTime::ZERO + stagger,
+                    NetEvent::RefreshTable { node: id },
+                ));
             }
         }
 
+        let mut metrics = MetricsRegistry::new();
+        let hot = HotMetrics::resolve(&mut metrics);
         let mut net = IpfsNetwork {
             queue,
             rng,
@@ -519,7 +631,8 @@ impl IpfsNetwork {
             ipns_publish_reports: Vec::new(),
             ipns_resolve_reports: Vec::new(),
             events_processed: 0,
-            metrics: MetricsRegistry::new(),
+            metrics,
+            hot,
             tracer: Tracer::default(),
             faults: FaultOracle::idle(),
             crashable: pop.peers.len(),
@@ -769,7 +882,7 @@ impl IpfsNetwork {
                 Some(v) => {
                     self.nodes[id].connections.remove(v);
                     self.nodes[v].connections.remove(id);
-                    self.metrics.incr(names::CONN_PRUNES);
+                    self.metrics.incr_handle(self.hot.conn_prunes);
                 }
                 None => break,
             }
@@ -784,7 +897,7 @@ impl IpfsNetwork {
         let timeout = self.cfg.conn_idle_timeout;
         while let Some(peer) = self.nodes[id].connections.pop_idle(now, timeout) {
             self.nodes[peer].connections.remove(id);
-            self.metrics.incr(names::CONN_IDLE_EXPIRED);
+            self.metrics.incr_handle(self.hot.conn_idle_expired);
         }
     }
 
@@ -813,9 +926,9 @@ impl IpfsNetwork {
             return;
         }
         let near = self.cfg.bootstrap_near_peers.max(1);
-        let own_key = Key::from_peer(self.nodes[id].node.peer_id());
         let own_region = self.nodes[id].region;
         let info = self.nodes[id].node.info().clone();
+        let own_key = info.key(); // cached SHA-256 of the PeerID
         let pos = self.sorted_servers.partition_point(|(k, _)| k.0 < own_key.0);
         let window = 3 * near;
         let lo = pos.saturating_sub(window);
@@ -825,27 +938,28 @@ impl IpfsNetwork {
         let reachable = |net: &Self, sid: NodeId| {
             net.nodes[sid].online && !net.faults.blocked(own_region, net.nodes[sid].region)
         };
-        // (a) Insert self into nearby online servers' tables.
-        if self.nodes[id].is_server {
-            let mut hosts: Vec<(kademlia::Distance, NodeId)> = self.sorted_servers[lo..hi]
-                .iter()
-                .filter(|(_, sid)| *sid != id && reachable(self, *sid))
-                .map(|(k, sid)| (k.distance(&own_key), *sid))
-                .collect();
-            hosts.sort_by_key(|a| a.0);
-            for (_, host) in hosts.into_iter().take(near) {
-                self.nodes[host].node.dht.add_peer(info.clone(), true);
-            }
-        }
-        // (b) Refresh own table: nearby + random online servers.
-        let mut candidates: Vec<(kademlia::Distance, NodeId)> = self.sorted_servers[lo..hi]
+        // Both halves of the announcement see the same neighbourhood — the
+        // `near` reachable servers closest to the joiner's key — so compute
+        // the candidate list once. Distances are unique (SHA-256 keys), so
+        // select-then-sort matches a full stable sort's first `near`.
+        let mut nearby: Vec<(kademlia::Distance, NodeId)> = self.sorted_servers[lo..hi]
             .iter()
             .filter(|(_, sid)| *sid != id && reachable(self, *sid))
             .map(|(k, sid)| (k.distance(&own_key), *sid))
             .collect();
-        candidates.sort_by_key(|a| a.0);
-        let mut to_add: Vec<NodeId> =
-            candidates.into_iter().take(near).map(|(_, sid)| sid).collect();
+        if nearby.len() > near {
+            nearby.select_nth_unstable(near - 1);
+            nearby.truncate(near);
+        }
+        nearby.sort_unstable();
+        // (a) Insert self into nearby online servers' tables.
+        if self.nodes[id].is_server {
+            for &(_, host) in &nearby {
+                self.nodes[host].node.dht.add_peer(info.clone(), true);
+            }
+        }
+        // (b) Refresh own table: nearby + random online servers.
+        let mut to_add: Vec<NodeId> = nearby.into_iter().map(|(_, sid)| sid).collect();
         for _ in 0..self.cfg.bootstrap_random_peers / 3 {
             let (_, sid) = self.sorted_servers[self.rng.random_range(0..self.sorted_servers.len())];
             if sid != id && reachable(self, sid) {
@@ -1015,8 +1129,17 @@ impl IpfsNetwork {
         self.query_owner.insert((id, qid), op);
         self.process_dht_outputs(id, outputs);
         if self.cfg.auto_republish {
-            self.queue
-                .schedule(self.cfg.node.republish_interval, NetEvent::Republish { node: id, cid });
+            // One chain per (node, CID): republishing content that already
+            // has a pending timer replaces it instead of stacking chains.
+            if let Some(pos) = self.nodes[id].republish.iter().position(|(c, _)| *c == cid) {
+                let (_, old) = self.nodes[id].republish.remove(pos);
+                self.queue.cancel(old);
+            }
+            let timer = self.queue.schedule_cancellable(
+                self.cfg.node.republish_interval,
+                NetEvent::Republish { node: id, cid: cid.clone() },
+            );
+            self.nodes[id].republish.push((cid, timer));
         }
         op
     }
@@ -1257,7 +1380,7 @@ impl IpfsNetwork {
                 if self.cut_in_flight(from, to) {
                     return; // requester's guard timeout will fire
                 }
-                self.on_rpc_arrive(now, from, to, query, request)
+                self.on_rpc_arrive(now, from, to, query, *request)
             }
             NetEvent::RpcResponse { to, query, from_peer, response } => {
                 if let Some(responder) = self.resolve(&from_peer) {
@@ -1266,7 +1389,7 @@ impl IpfsNetwork {
                     }
                 }
                 self.pending_rpcs.remove(&(to, query, from_peer.clone()));
-                self.metrics.incr(names::DHT_RPC_OK);
+                self.metrics.incr_handle(self.hot.dht_rpc_ok);
                 if self.tracer.is_enabled() {
                     if let Some(&op) = self.query_owner.get(&(to, query)) {
                         let peer = self.resolve(&from_peer).unwrap_or(usize::MAX);
@@ -1277,14 +1400,14 @@ impl IpfsNetwork {
                 // Remember responder addresses (§3.2 address book).
                 for info in response.closer() {
                     if !info.addrs.is_empty() {
-                        self.nodes[to].node.addr_book.insert(info.peer.clone(), info.addrs.clone());
+                        self.nodes[to].node.addr_book.insert(&info.peer, &info.addrs);
                     }
                 }
                 self.process_dht_outputs(to, outputs);
             }
             NetEvent::RpcFail { node, query, peer } => {
                 if self.pending_rpcs.remove(&(node, query, peer.clone())) {
-                    self.metrics.incr(names::DHT_RPC_FAILED);
+                    self.metrics.incr_handle(self.hot.dht_rpc_failed);
                     if self.tracer.is_enabled() {
                         if let Some(&op) = self.query_owner.get(&(node, query)) {
                             let p = self.resolve(&peer).unwrap_or(usize::MAX);
@@ -1304,8 +1427,8 @@ impl IpfsNetwork {
                     let from_info = self.nodes[from].node.info().clone();
                     let from_is_server = self.nodes[from].is_server;
                     let request = Request::AddProvider { key, provider };
-                    self.metrics.incr(request_recv_metric(&request));
-                    self.metrics.incr(names::PROVIDER_RECORDS_STORED);
+                    self.metrics.incr_handle(self.hot.rpc_recv[request_kind(&request)]);
+                    self.metrics.incr_handle(self.hot.provider_records_stored);
                     self.nodes[to].node.dht.handle_request(
                         &from_info,
                         from_is_server,
@@ -1319,10 +1442,11 @@ impl IpfsNetwork {
                 if !self.nodes[to].online || self.cut_in_flight(from, to) {
                     return; // dropped; guard timers handle the fallout
                 }
-                self.metrics.incr(bitswap_recv_metric(&message));
+                self.metrics.incr_handle(self.hot.bitswap_recv[bitswap_kind(&message)]);
                 let from_peer = self.nodes[from].node.peer_id().clone();
                 let n = &mut self.nodes[to];
-                let outputs = n.node.bitswap.handle_inbound(&from_peer, message, &mut n.node.store);
+                let outputs =
+                    n.node.bitswap.handle_inbound(&from_peer, *message, &mut n.node.store);
                 self.process_bitswap_outputs(to, outputs);
             }
             NetEvent::BitswapProbeTimeout { op } => self.on_probe_timeout(now, op),
@@ -1333,22 +1457,40 @@ impl IpfsNetwork {
                 }
             }
             NetEvent::Republish { node, cid } => {
-                if self.nodes[node].online && self.nodes[node].node.store.has(&cid) {
+                // This firing consumes its chain entry (order-preserving
+                // removal: Vec order feeds downstream scheduling order).
+                if let Some(pos) = self.nodes[node].republish.iter().position(|(c, _)| *c == cid) {
+                    self.nodes[node].republish.remove(pos);
+                }
+                if !self.nodes[node].node.store.has(&cid) {
+                    // Unpinned since the timer was armed: the chain ends.
+                } else if self.nodes[node].online {
                     self.metrics.incr(names::PROVIDER_REPUBLISHES);
                     self.publish_inner(node, cid, true);
+                } else {
+                    // Raced with a churn-offline between scheduling and
+                    // dispatch: park the chain instead of dropping it.
+                    self.metrics.incr(names::PROVIDER_REPUBLISH_DEFERRED);
+                    self.nodes[node].republish_deferred.push(cid);
                 }
             }
             NetEvent::RefreshTable { node } => {
+                self.nodes[node].refresh_timer = None;
                 if self.nodes[node].online {
                     self.announce_join(node);
                     // Refresh doubles as the store's GC tick: drop provider
                     // records past the 24 h expiry (§3.1).
                     let expired = self.nodes[node].node.dht.expire_records(now);
                     self.metrics.add(names::PROVIDER_RECORDS_EXPIRED, expired as u64);
+                    if let Some(interval) = self.cfg.table_refresh_interval {
+                        self.nodes[node].refresh_timer = Some(
+                            self.queue
+                                .schedule_cancellable(interval, NetEvent::RefreshTable { node }),
+                        );
+                    }
                 }
-                if let Some(interval) = self.cfg.table_refresh_interval {
-                    self.queue.schedule(interval, NetEvent::RefreshTable { node });
-                }
+                // Offline nodes stop re-arming; churn-online restarts the
+                // chain so a dead node never keeps timers in the scheduler.
             }
             NetEvent::ValueStoreArrive { from, to, key, value } => {
                 if self.cut_in_flight(from, to) {
@@ -1358,7 +1500,7 @@ impl IpfsNetwork {
                     let from_info = self.nodes[from].node.info().clone();
                     let from_is_server = self.nodes[from].is_server;
                     let request = Request::PutValue { key, value };
-                    self.metrics.incr(request_recv_metric(&request));
+                    self.metrics.incr_handle(self.hot.rpc_recv[request_kind(&request)]);
                     self.metrics.incr(names::IPNS_RECORDS_STORED);
                     self.nodes[to].node.dht.handle_request(
                         &from_info,
@@ -1445,8 +1587,36 @@ impl IpfsNetwork {
         self.metrics.incr(if online { names::CHURN_ONLINE } else { names::CHURN_OFFLINE });
         if online {
             self.announce_join(id);
-        }
-        if !online {
+            // Restart the refresh chain the node dropped when it went
+            // offline (armed lazily here rather than ticking while dead).
+            if let Some(interval) = self.cfg.table_refresh_interval {
+                if self.nodes[id].refresh_timer.is_none() {
+                    self.nodes[id].refresh_timer = Some(
+                        self.queue
+                            .schedule_cancellable(interval, NetEvent::RefreshTable { node: id }),
+                    );
+                }
+            }
+            // Resume republish chains parked while offline. go-ipfs
+            // reprovides on startup, so each parked CID reannounces
+            // immediately instead of waiting out a full interval.
+            let deferred = std::mem::take(&mut self.nodes[id].republish_deferred);
+            for cid in deferred {
+                self.metrics.incr(names::PROVIDER_REPUBLISH_RESUMED);
+                self.queue.schedule(SimDuration::ZERO, NetEvent::Republish { node: id, cid });
+            }
+        } else {
+            // A dead node must not keep timers alive in the scheduler:
+            // stop the refresh chain and park pending republishes.
+            if let Some(t) = self.nodes[id].refresh_timer.take() {
+                self.queue.cancel(t);
+            }
+            let chains = std::mem::take(&mut self.nodes[id].republish);
+            for (cid, timer) in chains {
+                self.queue.cancel(timer);
+                self.metrics.incr(names::PROVIDER_REPUBLISH_DEFERRED);
+                self.nodes[id].republish_deferred.push(cid);
+            }
             for p in self.nodes[id].connections.drain() {
                 self.nodes[p].connections.remove(id);
             }
@@ -1464,7 +1634,7 @@ impl IpfsNetwork {
         if !self.nodes[to].online {
             return; // requester's guard timeout will fire
         }
-        self.metrics.incr(request_recv_metric(&request));
+        self.metrics.incr_handle(self.hot.rpc_recv[request_kind(&request)]);
         let from_info = self.nodes[from].node.info().clone();
         let from_is_server = self.nodes[from].is_server;
         let response =
@@ -1475,8 +1645,10 @@ impl IpfsNetwork {
                 return; // requester's guard timeout will fire
             }
             let from_peer = self.nodes[to].node.peer_id().clone();
-            self.queue
-                .schedule(delay, NetEvent::RpcResponse { to: from, query, from_peer, response });
+            self.queue.schedule(
+                delay,
+                NetEvent::RpcResponse { to: from, query, from_peer, response: Box::new(response) },
+            );
         }
     }
 
@@ -1585,7 +1757,7 @@ impl IpfsNetwork {
         request: Request,
     ) {
         self.pending_rpcs.insert((from, query, to.peer.clone()));
-        self.metrics.incr(request_sent_metric(&request));
+        self.metrics.incr_handle(self.hot.rpc_sent[request_kind(&request)]);
         if self.tracer.is_enabled() {
             if let Some(&op) = self.query_owner.get(&(from, query)) {
                 let now = self.now();
@@ -1598,8 +1770,10 @@ impl IpfsNetwork {
             Some((target, connect_delay)) => {
                 let delay = connect_delay + self.one_way(from, target);
                 if !self.degraded_loss(from, target) {
-                    self.queue
-                        .schedule(delay, NetEvent::RpcArrive { from, to: target, query, request });
+                    self.queue.schedule(
+                        delay,
+                        NetEvent::RpcArrive { from, to: target, query, request: Box::new(request) },
+                    );
                 }
                 // Guard in case the target churns offline before arrival
                 // (or the request was lost to a degraded link).
@@ -1634,7 +1808,7 @@ impl IpfsNetwork {
             failures: stats.failures,
             hops: stats.max_hops,
         });
-        self.metrics.observe(names::DHT_WALK_RPCS, stats.rpcs_sent as f64);
+        self.metrics.observe_handle(self.hot.dht_walk_rpcs, stats.rpcs_sent as f64);
         // Probe sessions to cancel once the op-table borrow is released.
         let mut self_probe_cancel: Vec<(NodeId, SessionHandle)> = Vec::new();
         // Phase 1: update op state under a scoped borrow, extract an action.
@@ -1791,10 +1965,7 @@ impl IpfsNetwork {
                 }
             }
             Action::Fetch { node, provider } => {
-                self.nodes[node]
-                    .node
-                    .addr_book
-                    .insert(provider.peer.clone(), provider.addrs.clone());
+                self.nodes[node].node.addr_book.insert(&provider.peer, &provider.addrs);
                 self.start_fetch(op, node, provider);
             }
             Action::RetrieveFail => self.finish_retrieve(now, op, false),
@@ -1931,7 +2102,7 @@ impl IpfsNetwork {
                     if self.cut_in_flight(id, target) || self.degraded_loss(id, target) {
                         continue; // session guard timers handle the fallout
                     }
-                    self.metrics.incr(bitswap_sent_metric(&message));
+                    self.metrics.incr_handle(self.hot.bitswap_sent[bitswap_kind(&message)]);
                     let bytes = message.wire_size();
                     let from_region = self.nodes[id].region;
                     let from_bw = self.nodes[id].bandwidth;
@@ -1946,8 +2117,14 @@ impl IpfsNetwork {
                         to_bw,
                     );
                     let delay = self.inflate_latency(delay, from_region, to_region);
-                    self.queue
-                        .schedule(delay, NetEvent::BitswapArrive { from: id, to: target, message });
+                    self.queue.schedule(
+                        delay,
+                        NetEvent::BitswapArrive {
+                            from: id,
+                            to: target,
+                            message: Box::new(message),
+                        },
+                    );
                 }
                 EngineOutput::SessionComplete { session } => {
                     if let Some(op) = self.session_owner.remove(&(id, session)) {
@@ -2116,7 +2293,7 @@ impl IpfsNetwork {
     /// the peer is not dialable.
     fn dial(&mut self, from: NodeId, peer: &PeerId) -> Option<(NodeId, SimDuration)> {
         let target = self.resolve(peer)?;
-        self.metrics.incr(names::DIALS_ATTEMPTED);
+        self.metrics.incr_handle(self.hot.dials_attempted);
         if !self.nodes[target].online {
             return None;
         }
@@ -2145,12 +2322,12 @@ impl IpfsNetwork {
                 // ago; fall through to a fresh dial.
                 self.nodes[from].connections.remove(target);
                 self.nodes[target].connections.remove(from);
-                self.metrics.incr(names::CONN_IDLE_EXPIRED);
+                self.metrics.incr_handle(self.hot.conn_idle_expired);
             } else {
                 self.conn_clock += 1;
                 let stamp = self.conn_clock;
                 self.nodes[from].connections.insert(target, stamp, now);
-                self.metrics.incr(names::DIALS_WARM);
+                self.metrics.incr_handle(self.hot.dials_warm);
                 return Some((target, SimDuration::ZERO));
             }
         }
@@ -2177,7 +2354,7 @@ impl IpfsNetwork {
         self.nodes[target].connections.insert(from, stamp, now);
         self.prune_connections(from);
         self.prune_connections(target);
-        self.metrics.incr(names::DIALS_OK);
+        self.metrics.incr_handle(self.hot.dials_ok);
         Some((target, d))
     }
 
@@ -2218,8 +2395,8 @@ impl IpfsNetwork {
         } else {
             (t.dial_timeout + overhead, DialClass::Timeout5s)
         };
-        self.metrics.incr(names::DIALS_FAILED);
-        self.metrics.incr(class.metric());
+        self.metrics.incr_handle(self.hot.dials_failed);
+        self.metrics.incr_handle(self.hot.dial_fail[dial_class_kind(class)]);
         (delay, class)
     }
 }
@@ -2228,6 +2405,103 @@ impl IpfsNetwork {
 mod tests {
     use super::*;
     use simnet::PopulationConfig;
+
+    #[test]
+    fn offline_nodes_leave_no_pending_timers() {
+        // A node whose session ends must not keep a refresh chain ticking
+        // in the scheduler. With no always-online vantage or hydra nodes,
+        // only the currently-online population may hold pending timers
+        // once every scheduled session has played out.
+        let pop = Population::generate(
+            PopulationConfig {
+                size: 60,
+                nat_fraction: 0.3,
+                horizon: SimDuration::from_hours(2),
+                ..Default::default()
+            },
+            21,
+        );
+        let cfg = NetworkConfig {
+            table_refresh_interval: Some(SimDuration::from_mins(10)),
+            ..NetworkConfig::default()
+        };
+        let mut net = IpfsNetwork::from_population(&pop, &[], cfg, 21);
+        let deadline = SimTime::ZERO + SimDuration::from_hours(3);
+        net.run_until(deadline);
+        let online = net.nodes.iter().filter(|n| n.online).count();
+        assert!(online < net.nodes.len(), "test needs at least one offline node");
+        for (id, node) in net.nodes.iter().enumerate() {
+            if !node.online {
+                assert!(node.refresh_timer.is_none(), "offline node {id} holds a refresh timer");
+            }
+        }
+        // Everything still pending must be either one refresh timer per
+        // online node or a churn transition scheduled past the deadline —
+        // permanently-offline nodes contribute nothing.
+        let future_churn: usize = pop
+            .peers
+            .iter()
+            .flat_map(|p| p.schedule.sessions.iter())
+            .map(|&(start, end)| usize::from(start > deadline) + usize::from(end > deadline))
+            .sum();
+        assert!(
+            net.queue.len() <= online + future_churn,
+            "{} pending events for {online} online nodes + {future_churn} future churns: \
+             offline refresh chains leak",
+            net.queue.len()
+        );
+    }
+
+    #[test]
+    fn republish_chain_survives_provider_downtime() {
+        // go-ipfs reprovides on startup: a provider that is offline when
+        // its republish tick would fire must reannounce after it
+        // restarts, not drop the chain forever.
+        let pop = Population::generate(
+            PopulationConfig {
+                size: 150,
+                nat_fraction: 0.3,
+                horizon: SimDuration::from_hours(12),
+                ..Default::default()
+            },
+            23,
+        );
+        let cfg = NetworkConfig {
+            auto_republish: true,
+            node: NodeConfig {
+                republish_interval: SimDuration::from_hours(1),
+                ..NodeConfig::default()
+            },
+            ..NetworkConfig::default()
+        };
+        let mut net = IpfsNetwork::from_population(&pop, &[VantagePoint::EuCentral1], cfg, 23);
+        let [provider] = net.vantage_ids(1)[..] else { panic!() };
+        let data = Bytes::from(vec![0x5A; 100_000]);
+        let cid = net.import_content(provider, &data);
+        net.publish(provider, cid.clone());
+        net.run_until_quiet();
+        assert!(net.publish_reports[0].success);
+        assert_eq!(net.nodes[provider].republish.len(), 1, "republish chain armed");
+
+        // Take the provider down before the boundary and run across it:
+        // the parked chain must stay silent while the node is dead.
+        net.on_churn(provider, false);
+        assert!(net.nodes[provider].republish.is_empty());
+        assert_eq!(net.nodes[provider].republish_deferred, vec![cid.clone()]);
+        net.run_until(SimTime::ZERO + SimDuration::from_hours(2));
+        assert_eq!(net.metrics.get(names::PROVIDER_REPUBLISHES), 0);
+
+        // Restart: the chain reannounces immediately and re-arms.
+        net.on_churn(provider, true);
+        let resume_by = net.now() + SimDuration::from_mins(30);
+        net.run_until(resume_by);
+        assert_eq!(net.metrics.get(names::PROVIDER_REPUBLISH_RESUMED), 1);
+        assert!(
+            net.metrics.get(names::PROVIDER_REPUBLISHES) >= 1,
+            "provider must reannounce after restart"
+        );
+        assert_eq!(net.nodes[provider].republish.len(), 1, "chain re-armed after resume");
+    }
 
     fn small_net(n: usize, seed: u64) -> IpfsNetwork {
         let pop = Population::generate(

@@ -225,17 +225,57 @@ impl Hist {
     }
 }
 
+/// Dense-slot handle to one counter, resolved once with
+/// [`MetricsRegistry::counter_handle`]. Bumping through a handle is a
+/// bounds-checked array write — no string hashing, no tree walk — which is
+/// what per-event simulation fast paths use. Handles stay valid for the
+/// registry that issued them (and its clones); names never un-register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
+/// Dense-slot handle to one histogram (see [`CounterHandle`]), resolved
+/// once with [`MetricsRegistry::histogram_handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramHandle(usize);
+
+/// Backing storage for one counter.
+#[derive(Debug, Clone, Default)]
+struct CounterSlot {
+    value: u64,
+    /// Whether incr/add/set ever hit this slot. Resolving a handle alone
+    /// must not surface the counter in exports — pre-registered hot
+    /// counters would otherwise litter every report with zero rows.
+    touched: bool,
+}
+
+/// Backing storage for one histogram.
+#[derive(Debug, Clone)]
+struct HistSlot {
+    hist: Hist,
+    /// Whether any sample was ever recorded (same rationale as
+    /// [`CounterSlot::touched`]).
+    touched: bool,
+}
+
 /// Registry of named counters and histograms.
 ///
-/// Counter names are `&'static str` so incrementing never allocates.
+/// Counter names are `&'static str` so incrementing never allocates. The
+/// string-keyed API (`incr`/`add`/`observe`) pays one name lookup per call
+/// and suits cold paths; hot paths resolve a [`CounterHandle`] /
+/// [`HistogramHandle`] once and hit the dense slot vector directly.
+/// Name-ordered iteration (and therefore every export) is unchanged: the
+/// name index is a `BTreeMap` pointing into the slots.
+///
 /// Histograms are stored per the registry's [`HistogramMode`]: exact raw
 /// samples by default (small runs, exact percentiles at export time), or
 /// log-bucketed streaming histograms for paper-scale runs
 /// ([`MetricsRegistry::with_histogram_mode`]).
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Hist>,
+    counter_index: BTreeMap<&'static str, usize>,
+    counter_slots: Vec<CounterSlot>,
+    hist_index: BTreeMap<&'static str, usize>,
+    hist_slots: Vec<HistSlot>,
     mode: HistogramMode,
 }
 
@@ -255,6 +295,66 @@ impl MetricsRegistry {
         self.mode
     }
 
+    /// Resolves (registering if needed) the slot for counter `name`.
+    fn counter_slot(&mut self, name: &'static str) -> usize {
+        let slots = &mut self.counter_slots;
+        *self.counter_index.entry(name).or_insert_with(|| {
+            slots.push(CounterSlot::default());
+            slots.len() - 1
+        })
+    }
+
+    /// Resolves (registering if needed) the slot for histogram `name`.
+    fn hist_slot(&mut self, name: &'static str) -> usize {
+        let slots = &mut self.hist_slots;
+        let mode = self.mode;
+        *self.hist_index.entry(name).or_insert_with(|| {
+            slots.push(HistSlot { hist: Hist::new(mode), touched: false });
+            slots.len() - 1
+        })
+    }
+
+    /// Resolves a dense handle for counter `name`. Resolution pays the
+    /// one-off name lookup; every subsequent [`MetricsRegistry::incr_handle`]
+    /// / [`MetricsRegistry::add_handle`] is an array bump. Registration
+    /// alone does not surface the counter in exports.
+    pub fn counter_handle(&mut self, name: &'static str) -> CounterHandle {
+        CounterHandle(self.counter_slot(name))
+    }
+
+    /// Resolves a dense handle for histogram `name` (see
+    /// [`MetricsRegistry::counter_handle`]).
+    pub fn histogram_handle(&mut self, name: &'static str) -> HistogramHandle {
+        HistogramHandle(self.hist_slot(name))
+    }
+
+    /// Increments the counter behind `h` by one (no name lookup).
+    #[inline]
+    pub fn incr_handle(&mut self, h: CounterHandle) {
+        self.add_handle(h, 1);
+    }
+
+    /// Increments the counter behind `h` by `n` (no name lookup).
+    #[inline]
+    pub fn add_handle(&mut self, h: CounterHandle, n: u64) {
+        let slot = &mut self.counter_slots[h.0];
+        slot.value += n;
+        slot.touched = true;
+    }
+
+    /// Records one sample into the histogram behind `h` (no name lookup).
+    /// Same non-finite guard as [`MetricsRegistry::observe`].
+    #[inline]
+    pub fn observe_handle(&mut self, h: HistogramHandle, sample: f64) {
+        if !sample.is_finite() {
+            self.add(names::OBS_SAMPLES_DROPPED, 1);
+            return;
+        }
+        let slot = &mut self.hist_slots[h.0];
+        slot.hist.observe(sample);
+        slot.touched = true;
+    }
+
     /// Increments counter `name` by one.
     pub fn incr(&mut self, name: &'static str) {
         self.add(name, 1);
@@ -262,18 +362,24 @@ impl MetricsRegistry {
 
     /// Increments counter `name` by `n`.
     pub fn add(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_insert(0) += n;
+        let i = self.counter_slot(name);
+        let slot = &mut self.counter_slots[i];
+        slot.value += n;
+        slot.touched = true;
     }
 
     /// Sets counter `name` to an absolute value (for gauges sampled at
     /// export time, e.g. cache eviction totals owned by another struct).
     pub fn set(&mut self, name: &'static str, value: u64) {
-        self.counters.insert(name, value);
+        let i = self.counter_slot(name);
+        let slot = &mut self.counter_slots[i];
+        slot.value = value;
+        slot.touched = true;
     }
 
     /// Current value of counter `name` (zero if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_index.get(name).map(|&i| self.counter_slots[i].value).unwrap_or(0)
     }
 
     /// Records one sample into histogram `name`. Non-finite samples are
@@ -284,7 +390,10 @@ impl MetricsRegistry {
             self.add(names::OBS_SAMPLES_DROPPED, 1);
             return;
         }
-        self.histograms.entry(name).or_insert_with(|| Hist::new(self.mode)).observe(sample);
+        let i = self.hist_slot(name);
+        let slot = &mut self.hist_slots[i];
+        slot.hist.observe(sample);
+        slot.touched = true;
     }
 
     /// Raw samples of histogram `name` (empty slice if never touched).
@@ -292,7 +401,7 @@ impl MetricsRegistry {
     /// empty slice — use [`MetricsRegistry::stats`] for mode-independent
     /// summaries.
     pub fn samples(&self, name: &str) -> &[f64] {
-        match self.histograms.get(name) {
+        match self.hist_index.get(name).map(|&i| &self.hist_slots[i].hist) {
             Some(Hist::Exact(v)) => v.as_slice(),
             _ => &[],
         }
@@ -301,19 +410,25 @@ impl MetricsRegistry {
     /// Summary statistics of histogram `name`, in either mode. `None` if
     /// the histogram was never touched.
     pub fn stats(&self, name: &str) -> Option<HistogramStats> {
-        self.histograms.get(name).map(Hist::stats)
+        self.hist_index.get(name).and_then(|&i| {
+            let slot = &self.hist_slots[i];
+            slot.touched.then(|| slot.hist.stats())
+        })
     }
 
     /// Stored values for histogram `name`: raw sample count in exact
     /// mode, occupied bucket count in streaming mode. Zero if never
     /// touched. This is the quantity the streaming mode bounds.
     pub fn histogram_footprint(&self, name: &str) -> usize {
-        self.histograms.get(name).map(Hist::footprint).unwrap_or(0)
+        self.hist_index.get(name).map(|&i| self.hist_slots[i].hist.footprint()).unwrap_or(0)
     }
 
     /// Iterates counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        self.counter_index.iter().filter_map(|(k, &i)| {
+            let slot = &self.counter_slots[i];
+            slot.touched.then_some((*k, slot.value))
+        })
     }
 
     /// Iterates counters whose name starts with `prefix`, in name order.
@@ -332,8 +447,8 @@ impl MetricsRegistry {
     /// hold no raw samples and are skipped; use
     /// [`MetricsRegistry::histogram_stats`] for a mode-independent view.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &[f64])> + '_ {
-        self.histograms.iter().filter_map(|(k, v)| match v {
-            Hist::Exact(s) => Some((*k, s.as_slice())),
+        self.touched_hists().filter_map(|(k, hist)| match hist {
+            Hist::Exact(s) => Some((k, s.as_slice())),
             Hist::Streaming(_) => None,
         })
     }
@@ -341,7 +456,15 @@ impl MetricsRegistry {
     /// Iterates every histogram's summary statistics in name order,
     /// regardless of mode.
     pub fn histogram_stats(&self) -> impl Iterator<Item = (&'static str, HistogramStats)> + '_ {
-        self.histograms.iter().map(|(k, v)| (*k, v.stats()))
+        self.touched_hists().map(|(k, hist)| (k, hist.stats()))
+    }
+
+    /// Name-ordered iteration over histograms with at least one sample.
+    fn touched_hists(&self) -> impl Iterator<Item = (&'static str, &Hist)> + '_ {
+        self.hist_index.iter().filter_map(|(k, &i)| {
+            let slot = &self.hist_slots[i];
+            slot.touched.then_some((*k, &slot.hist))
+        })
     }
 
     /// Folds another registry into this one (counters add, samples
@@ -349,33 +472,42 @@ impl MetricsRegistry {
     /// entry is streaming — exact samples are re-observed into buckets so
     /// a merge never resurrects unbounded storage.
     pub fn merge(&mut self, other: &MetricsRegistry) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k).or_insert(0) += v;
+        for (k, &oi) in &other.counter_index {
+            let theirs = &other.counter_slots[oi];
+            if theirs.touched {
+                self.add(k, theirs.value);
+            }
         }
-        for (k, theirs) in &other.histograms {
-            match self.histograms.entry(k) {
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(theirs.clone());
+        for (k, &oi) in &other.hist_index {
+            let theirs = &other.hist_slots[oi];
+            if !theirs.touched {
+                continue;
+            }
+            let i = self.hist_slot(k);
+            let slot = &mut self.hist_slots[i];
+            if !slot.touched {
+                // Never sampled here: adopt theirs wholesale (keeps their
+                // storage mode, exactly like inserting into an empty map).
+                slot.hist = theirs.hist.clone();
+                slot.touched = true;
+                continue;
+            }
+            match (&mut slot.hist, &theirs.hist) {
+                (Hist::Exact(mine), Hist::Exact(t)) => mine.extend_from_slice(t),
+                (Hist::Streaming(mine), Hist::Streaming(t)) => mine.merge(t),
+                (Hist::Streaming(mine), Hist::Exact(t)) => {
+                    for &s in t {
+                        mine.observe(s);
+                    }
                 }
-                std::collections::btree_map::Entry::Occupied(mut e) => {
-                    match (e.get_mut(), theirs) {
-                        (Hist::Exact(mine), Hist::Exact(t)) => mine.extend_from_slice(t),
-                        (Hist::Streaming(mine), Hist::Streaming(t)) => mine.merge(t),
-                        (Hist::Streaming(mine), Hist::Exact(t)) => {
-                            for &s in t {
-                                mine.observe(s);
-                            }
-                        }
-                        (slot @ Hist::Exact(_), Hist::Streaming(t)) => {
-                            let mut merged = t.clone();
-                            if let Hist::Exact(mine) = slot {
-                                for &s in mine.iter() {
-                                    merged.observe(s);
-                                }
-                            }
-                            *slot = Hist::Streaming(merged);
+                (mine @ Hist::Exact(_), Hist::Streaming(t)) => {
+                    let mut merged = t.clone();
+                    if let Hist::Exact(samples) = mine {
+                        for &s in samples.iter() {
+                            merged.observe(s);
                         }
                     }
+                    *mine = Hist::Streaming(merged);
                 }
             }
         }
@@ -388,14 +520,14 @@ impl MetricsRegistry {
     /// samples, which are guarded at intake).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
-        for (i, (k, v)) in self.counters.iter().enumerate() {
+        for (i, (k, v)) in self.counters().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!("\"{k}\":{v}"));
         }
         out.push_str("},\"histograms\":{");
-        for (i, (k, hist)) in self.histograms.iter().enumerate() {
+        for (i, (k, hist)) in self.touched_hists().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -415,7 +547,7 @@ impl MetricsRegistry {
 
     /// Flattens counters into `(name, value)` CSV rows.
     pub fn to_csv_rows(&self) -> Vec<(String, u64)> {
-        self.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+        self.counters().map(|(k, v)| (k.to_string(), v)).collect()
     }
 }
 
@@ -804,6 +936,52 @@ mod tests {
         reg.set("gauge", 42);
         reg.set("gauge", 17);
         assert_eq!(reg.get("gauge"), 17);
+    }
+
+    #[test]
+    fn handle_and_name_paths_stay_in_lockstep() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter_handle(names::DIALS_ATTEMPTED);
+        let h = reg.histogram_handle(names::DHT_WALK_RPCS);
+        // Interleave handle- and string-keyed writes: both must hit the
+        // same storage, observable through either read path.
+        reg.incr_handle(c);
+        reg.incr(names::DIALS_ATTEMPTED);
+        reg.add_handle(c, 3);
+        reg.add(names::DIALS_ATTEMPTED, 5);
+        assert_eq!(reg.get(names::DIALS_ATTEMPTED), 10);
+        reg.observe_handle(h, 4.0);
+        reg.observe(names::DHT_WALK_RPCS, 8.0);
+        assert_eq!(reg.samples(names::DHT_WALK_RPCS), &[4.0, 8.0]);
+        // Re-resolving yields the same slot; exports see the merged view.
+        assert_eq!(reg.counter_handle(names::DIALS_ATTEMPTED), c);
+        assert_eq!(reg.histogram_handle(names::DHT_WALK_RPCS), h);
+        let json = reg.to_json();
+        assert!(json.contains("\"dials_attempted\":10"), "{json}");
+        assert!(json.contains("\"dht_walk_rpcs\":{\"n\":2"), "{json}");
+        // The non-finite guard applies on the handle path too.
+        reg.observe_handle(h, f64::NAN);
+        assert_eq!(reg.get(names::OBS_SAMPLES_DROPPED), 1);
+        assert_eq!(reg.stats(names::DHT_WALK_RPCS).unwrap().n, 2);
+    }
+
+    #[test]
+    fn handle_registration_alone_stays_out_of_exports() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter_handle("quiet_counter");
+        let _h = reg.histogram_handle("quiet_hist");
+        assert_eq!(reg.to_json(), "{\"counters\":{},\"histograms\":{}}");
+        assert_eq!(reg.counters().count(), 0);
+        assert_eq!(reg.histogram_stats().count(), 0);
+        assert!(reg.to_csv_rows().is_empty());
+        assert!(reg.stats("quiet_hist").is_none());
+        // A merge of registered-but-untouched slots is also invisible.
+        let mut into = MetricsRegistry::new();
+        into.merge(&reg);
+        assert_eq!(into.to_json(), "{\"counters\":{},\"histograms\":{}}");
+        // First real touch surfaces it.
+        reg.incr_handle(c);
+        assert_eq!(reg.to_json(), "{\"counters\":{\"quiet_counter\":1},\"histograms\":{}}");
     }
 
     #[test]

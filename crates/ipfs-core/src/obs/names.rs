@@ -130,6 +130,10 @@ metric_names! {
     PROVIDER_RECORDS_EXPIRED = "provider_records_expired";
     /// Provider-record republish rounds.
     PROVIDER_REPUBLISHES = "provider_republishes";
+    /// Republish chains parked because the provider went offline.
+    PROVIDER_REPUBLISH_DEFERRED = "provider_republish_deferred";
+    /// Parked republish chains resumed when the provider rejoined.
+    PROVIDER_REPUBLISH_RESUMED = "provider_republish_resumed";
     /// Peer walks short-circuited by the address book (§3.2).
     ADDR_BOOK_HITS = "addr_book_hits";
     /// Connections closed by the connection-manager high-water prune.

@@ -111,7 +111,9 @@ impl RoutingTable {
             return false; // never insert self
         };
         let bucket = &mut self.buckets[idx];
-        if let Some(pos) = bucket.iter().position(|e| e.info.peer == info.peer) {
+        // Keys are SHA-256 of the PeerID, so key equality is peer equality;
+        // the inline `[u8; 32]` compare avoids chasing the Arc on every probe.
+        if let Some(pos) = bucket.iter().position(|e| e.key == key) {
             let mut entry = bucket.remove(pos);
             entry.info = info;
             bucket.push(entry);
@@ -133,7 +135,7 @@ impl RoutingTable {
             return false;
         };
         let bucket = &mut self.buckets[idx];
-        if let Some(pos) = bucket.iter().position(|e| e.info.peer == *peer) {
+        if let Some(pos) = bucket.iter().position(|e| e.key == key) {
             bucket.remove(pos);
             self.size -= 1;
             true
@@ -147,7 +149,7 @@ impl RoutingTable {
         let key = Key::from_peer(peer);
         self.local
             .bucket_index(&key)
-            .map(|idx| self.buckets[idx].iter().any(|e| e.info.peer == *peer))
+            .map(|idx| self.buckets[idx].iter().any(|e| e.key == key))
             .unwrap_or(false)
     }
 

@@ -31,7 +31,7 @@ pub mod population;
 pub mod time;
 
 pub use churn::{ChurnModel, SessionSchedule};
-pub use engine::{Engine, EventQueue, ScheduledEvent};
+pub use engine::{Engine, EventQueue, ScheduledEvent, SchedulerKind, TimerId};
 pub use geodb::{AsInfo, CloudProvider, Country, GeoDb};
 pub use latency::{LatencyModel, Region, VantagePoint};
 pub use population::{Population, PopulationConfig, SimPeer};

@@ -21,6 +21,11 @@ impl SimTime {
     /// The far future (used as "no deadline").
     pub const MAX: SimTime = SimTime(u64::MAX);
 
+    /// From nanoseconds since start (inverse of [`SimTime::as_nanos`]).
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
     /// Nanoseconds since start.
     pub fn as_nanos(self) -> u64 {
         self.0
@@ -44,6 +49,11 @@ impl SimTime {
     /// Checked addition.
     pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
         self.0.checked_add(d.0).map(SimTime)
+    }
+
+    /// Saturating addition (clamps at [`SimTime::MAX`]).
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
     }
 }
 

@@ -15,11 +15,30 @@ echo "== cargo test =="
 cargo test -q
 
 echo "== throughput smoke (events/sec regression gate) =="
+# The gate runs on the wheel scheduler — the default, and the one whose
+# performance we ship.
 cargo build --release -q -p bench --bin throughput
 SMOKE_DIR="$(mktemp -d)"
-IPFS_REPRO_CSV_DIR="$SMOKE_DIR" ./target/release/throughput --smoke \
+IPFS_REPRO_CSV_DIR="$SMOKE_DIR" IPFS_REPRO_SCHED=wheel ./target/release/throughput --smoke \
     --check-against results/BENCH_throughput_smoke_baseline.json
 rm -rf "$SMOKE_DIR"
+
+echo "== scheduler equivalence (heap vs wheel digest gate) =="
+# The timing wheel must be order-exactly equivalent to the BinaryHeap
+# reference: a digest run (deterministic event/walk counts + metrics
+# fingerprint, no wall-clock values) must be byte-identical under both.
+SCHED_DIR="$(mktemp -d)"
+IPFS_REPRO_SCHED=heap ./target/release/throughput --smoke --digest \
+    > "$SCHED_DIR/heap.txt" 2> /dev/null
+IPFS_REPRO_SCHED=wheel ./target/release/throughput --smoke --digest \
+    > "$SCHED_DIR/wheel.txt" 2> /dev/null
+if ! cmp -s "$SCHED_DIR/heap.txt" "$SCHED_DIR/wheel.txt"; then
+    echo "throughput --smoke --digest differs between IPFS_REPRO_SCHED=heap and =wheel" >&2
+    diff "$SCHED_DIR/heap.txt" "$SCHED_DIR/wheel.txt" >&2 || true
+    rm -rf "$SCHED_DIR"
+    exit 1
+fi
+rm -rf "$SCHED_DIR"
 
 echo "== chaos smoke (fault-injection determinism gate) =="
 # The chaos harness must exit 0 and print byte-identical output whether
