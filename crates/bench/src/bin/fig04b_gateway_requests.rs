@@ -44,6 +44,7 @@ fn main() {
         .iter()
         .map(|r| AccessLogEntry {
             at: r.at,
+            completed_at: r.at,
             user: r.user,
             country: r.country,
             cid: workload.objects[r.object].cid.clone(),

@@ -76,8 +76,14 @@ fn main() {
     println!("\n--- Fig 11b: cached vs non-cached requests per 30-min bin ---");
     let day = SimDuration::from_hours(24);
     let bin = SimDuration::from_mins(30);
-    let cached = RequestBins::build(&log, day, bin, |e| e.served_by != ServedBy::Network);
-    let noncached = RequestBins::build(&log, day, bin, |e| e.served_by == ServedBy::Network);
+    // "Cached" = the content-bearing cache tiers; a negative-cache answer
+    // (remembered failure) counts on the non-cached side.
+    let cached = RequestBins::build(&log, day, bin, |e| {
+        matches!(e.served_by, ServedBy::NginxCache | ServedBy::NodeStore)
+    });
+    let noncached = RequestBins::build(&log, day, bin, |e| {
+        !matches!(e.served_by, ServedBy::NginxCache | ServedBy::NodeStore)
+    });
     let mut min_rate: f64 = 1.0;
     let mut max_rate: f64 = 0.0;
     for i in 0..cached.counts.len() {

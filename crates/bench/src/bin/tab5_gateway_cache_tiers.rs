@@ -82,8 +82,13 @@ fn main() {
             &rows
         )
     );
-    let combined =
-        log.iter().filter(|e| e.served_by != ServedBy::Network).count() as f64 / total_requests;
+    // "Cached" means the content-bearing tiers only — a negative-cache
+    // answer is a remembered failure, not cached content.
+    let combined = log
+        .iter()
+        .filter(|e| matches!(e.served_by, ServedBy::NginxCache | ServedBy::NodeStore))
+        .count() as f64
+        / total_requests;
     println!(
         "combined cache tiers serve {:.1} % of requests (paper: >80 %); nginx lifetime hit rate {:.1} %",
         100.0 * combined,

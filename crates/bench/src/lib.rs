@@ -33,6 +33,7 @@
 
 pub mod chaos;
 pub mod export;
+pub mod gateway_fleet;
 pub mod latency;
 pub mod runner;
 pub mod stats;

@@ -1,5 +1,7 @@
-//! The "nginx" web cache: byte-bounded LRU over whole objects.
+//! The "nginx" web cache: byte-bounded LRU over whole objects, with an
+//! optional TinyLFU admission gate (see [`crate::admission`]).
 
+use crate::admission::{cid_key, TinyLfu};
 use multiformats::Cid;
 use std::collections::{BTreeMap, HashMap};
 
@@ -94,6 +96,41 @@ impl LruWebCache {
                 self.evictions += 1;
             }
         }
+    }
+
+    /// TinyLFU-gated insert: the candidate is admitted only if it would fit
+    /// without evictions, or if its estimated access frequency beats every
+    /// LRU victim it would displace. Returns whether the object was cached.
+    ///
+    /// All-or-nothing: a rejected candidate leaves the cache untouched (no
+    /// evictions, no recency changes), so one-hit wonders cannot chip away
+    /// at the resident working set.
+    pub fn put_with_admission(&mut self, cid: Cid, size: u64, filter: &TinyLfu) -> bool {
+        if size > self.capacity_bytes {
+            return false;
+        }
+        // Bytes freed by replacing an existing entry for the same CID.
+        let replaced = self.entries.get(&cid).map(|(s, _)| *s).unwrap_or(0);
+        if self.used_bytes - replaced + size > self.capacity_bytes {
+            // The duel: walk would-be victims in LRU order; every victim the
+            // insert would displace must lose to the candidate.
+            let cand = cid_key(&cid);
+            let mut freed = replaced;
+            for victim in self.by_stamp.values() {
+                if *victim == cid {
+                    continue;
+                }
+                if self.used_bytes - freed + size <= self.capacity_bytes {
+                    break;
+                }
+                if !filter.admits(cand, cid_key(victim)) {
+                    return false;
+                }
+                freed += self.entries[victim].0;
+            }
+        }
+        self.put(cid, size);
+        true
     }
 
     /// Whether `cid` is cached (no statistics side effects).
@@ -265,5 +302,114 @@ mod tests {
         c.put(cid(1), 400);
         assert_eq!(c.used_bytes(), 400);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn admission_rejects_one_hit_wonder_scan() {
+        use crate::admission::{TinyLfu, TinyLfuConfig};
+        // A hot working set that exactly fills the cache, then a scan of
+        // cold one-hit wonders. Plain LRU flushes the hot set; TinyLFU
+        // admission keeps it resident.
+        let mut filter = TinyLfu::new(TinyLfuConfig { counters: 256, sample_period: 4_096 });
+        let mut c = LruWebCache::new(500);
+        for hot in 0..5u32 {
+            for _ in 0..6 {
+                filter.record(cid_key(&cid(hot)));
+            }
+            assert!(c.put_with_admission(cid(hot), 100, &filter));
+        }
+        for cold in 100..160u32 {
+            filter.record(cid_key(&cid(cold)));
+            assert!(
+                !c.put_with_admission(cid(cold), 100, &filter),
+                "one-hit wonder {cold} must be rejected"
+            );
+        }
+        for hot in 0..5u32 {
+            assert!(c.contains(&cid(hot)), "hot set must survive the scan");
+        }
+        assert_eq!(c.evictions, 0, "rejected candidates must not evict");
+    }
+
+    #[test]
+    fn admission_lets_new_popular_object_displace_cold_tail() {
+        use crate::admission::{TinyLfu, TinyLfuConfig};
+        let mut filter = TinyLfu::new(TinyLfuConfig { counters: 256, sample_period: 4_096 });
+        let mut c = LruWebCache::new(300);
+        // Three resident objects, each seen once.
+        for id in 0..3u32 {
+            filter.record(cid_key(&cid(id)));
+            assert!(c.put_with_admission(cid(id), 100, &filter));
+        }
+        // A newcomer seen many times beats the single-access LRU victim.
+        for _ in 0..8 {
+            filter.record(cid_key(&cid(9)));
+        }
+        assert!(c.put_with_admission(cid(9), 100, &filter));
+        assert!(c.contains(&cid(9)));
+        assert!(!c.contains(&cid(0)), "the LRU victim is displaced");
+        assert_eq!(c.evictions, 1);
+    }
+
+    #[test]
+    fn admission_no_eviction_needed_always_admits() {
+        use crate::admission::{TinyLfu, TinyLfuConfig};
+        // With free space, even a never-seen candidate is cached.
+        let filter = TinyLfu::new(TinyLfuConfig::default());
+        let mut c = LruWebCache::new(1000);
+        assert!(c.put_with_admission(cid(1), 100, &filter));
+        assert!(c.contains(&cid(1)));
+        // Reinserting a resident object (size change) never duels either.
+        assert!(c.put_with_admission(cid(1), 900, &filter));
+        assert_eq!(c.used_bytes(), 900);
+    }
+
+    #[test]
+    fn admission_oversized_objects_not_cached() {
+        use crate::admission::{TinyLfu, TinyLfuConfig};
+        let filter = TinyLfu::new(TinyLfuConfig::default());
+        let mut c = LruWebCache::new(100);
+        assert!(!c.put_with_admission(cid(1), 500, &filter));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn proptest_admission_invariants() {
+        use crate::admission::{TinyLfu, TinyLfuConfig};
+        use proptest::prelude::*;
+        // Under arbitrary get/put/put_with_admission interleavings the
+        // cache must keep its capacity bound and index bijection, and an
+        // admitted put_with_admission must behave exactly like put (same
+        // final membership for that key).
+        proptest!(ProptestConfig::with_cases(64), |(ops in proptest::collection::vec(
+            (0u8..3, 0u32..20, 1u64..400), 1..300))| {
+            let mut filter = TinyLfu::new(TinyLfuConfig { counters: 64, sample_period: 128 });
+            let mut real = LruWebCache::new(1000);
+            for (op, id, size) in ops {
+                match op {
+                    0 => { real.get(&cid(id)); }
+                    1 => real.put(cid(id), size),
+                    _ => {
+                        filter.record(cid_key(&cid(id)));
+                        let admitted = real.put_with_admission(cid(id), size, &filter);
+                        if admitted {
+                            prop_assert!(real.contains(&cid(id)), "admitted ⇒ resident");
+                        } else if size <= 1000 {
+                            // Rejected ⇒ the duel ran ⇒ an eviction was
+                            // needed ⇒ cache stays as full as it was.
+                            prop_assert!(
+                                real.used_bytes() + size > 1000
+                                    || real.contains(&cid(id)),
+                                "rejection only happens when eviction would be needed"
+                            );
+                        }
+                    }
+                }
+                prop_assert!(real.used_bytes() <= 1000, "capacity bound");
+                prop_assert_eq!(real.by_stamp.len(), real.entries.len(), "stamp index in sync");
+                let sum: u64 = real.entries.values().map(|(s, _)| *s).sum();
+                prop_assert_eq!(sum, real.used_bytes(), "byte accounting");
+            }
+        });
     }
 }

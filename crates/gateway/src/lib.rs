@@ -9,21 +9,30 @@
 //! Web3 and NFT Storage Initiatives."
 //!
 //! - [`cache`] — the byte-bounded LRU web cache (the "nginx" tier).
-//! - [`gateway`] — the two-tier gateway bound to a simulated network.
+//! - [`admission`] — TinyLFU admission (count-min sketch + doorkeeper).
+//! - [`gateway`] — the multi-tier gateway bound to a simulated network,
+//!   with singleflight coalescing and negative caching.
+//! - [`fleet`] — N gateways behind a deterministic load balancer with
+//!   health-based failover.
 //! - [`workload`] — the diurnal, Zipf-popularity request generator
 //!   calibrated to the paper's gateway trace (§4.2: 7.1 M requests, 101 k
-//!   users, 274 k unique CIDs, 6.57 TB; Figures 4b, 6, 11; Table 5).
+//!   users, 274 k unique CIDs, 6.57 TB; Figures 4b, 6, 11; Table 5),
+//!   with an optional flash-crowd shock term.
 //! - [`log`] — access-log records and time-binning helpers.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod cache;
+pub mod fleet;
 pub mod gateway;
 pub mod log;
 pub mod workload;
 
+pub use admission::{TinyLfu, TinyLfuConfig};
 pub use cache::LruWebCache;
-pub use gateway::{Gateway, GatewayConfig, ServedBy};
+pub use fleet::{FleetConfig, FleetLogEntry, GatewayFleet, LbPolicy};
+pub use gateway::{AdmissionPolicy, Gateway, GatewayConfig, ServedBy};
 pub use log::{AccessLogEntry, RequestBins};
-pub use workload::{GatewayWorkload, WorkloadConfig};
+pub use workload::{GatewayWorkload, ShockConfig, WorkloadConfig};

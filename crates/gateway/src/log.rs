@@ -12,6 +12,9 @@ use simnet::{SimDuration, SimTime};
 pub struct AccessLogEntry {
     /// Request arrival time.
     pub at: SimTime,
+    /// When the response finished serving (`at` + queueing + upstream
+    /// latency; equals `at` for a zero-latency cache hit).
+    pub completed_at: SimTime,
     /// User index.
     pub user: usize,
     /// Geolocated user country.
@@ -91,6 +94,7 @@ mod tests {
     fn entry(at_secs: u64, served_by: ServedBy) -> AccessLogEntry {
         AccessLogEntry {
             at: SimTime::ZERO + SimDuration::from_secs(at_secs),
+            completed_at: SimTime::ZERO + SimDuration::from_secs(at_secs),
             user: 0,
             country: Country::US,
             cid: Cid::from_raw_data(b"x"),

@@ -42,6 +42,27 @@ pub struct WorkloadConfig {
     pub pinned_fraction: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Optional flash-crowd shock: one object goes viral for a window of
+    /// the day. `None` generates exactly the trace previous versions did
+    /// (the shock plumbing leaves the RNG stream untouched).
+    pub shock: Option<ShockConfig>,
+}
+
+/// A flash-crowd shock: for a window of the trace the arrival rate is
+/// multiplied and a large share of requests converge on one viral object
+/// (the scenario a gateway fleet must absorb via caching + singleflight).
+#[derive(Debug, Clone, Copy)]
+pub struct ShockConfig {
+    /// When the shock window opens (offset from trace start).
+    pub start: SimDuration,
+    /// How long the window lasts.
+    pub duration: SimDuration,
+    /// Arrival-rate multiplier inside the window (≥ 1).
+    pub rate_boost: f64,
+    /// Fraction of in-window requests redirected to the viral object.
+    pub viral_fraction: f64,
+    /// Catalog index of the viral object.
+    pub viral_object: usize,
 }
 
 impl Default for WorkloadConfig {
@@ -56,6 +77,7 @@ impl Default for WorkloadConfig {
             size_sigma: 2.3,
             pinned_fraction: 0.62,
             seed: 7,
+            shock: None,
         }
     }
 }
@@ -177,6 +199,10 @@ impl GatewayWorkload {
         let user_cdf = zipf_cdf_short(config.users, 0.8);
 
         // --- requests ---
+        if let Some(s) = config.shock {
+            assert!(s.viral_object < config.catalog_size, "viral object outside the catalog");
+            assert!(s.rate_boost >= 1.0, "shock must not be a traffic dip");
+        }
         let day_secs = config.duration.as_secs_f64();
         let mut requests = Vec::with_capacity(config.requests);
         while requests.len() < config.requests {
@@ -184,11 +210,36 @@ impl GatewayWorkload {
             let user = sample_cdf(&mut rng, &user_cdf);
             let country = user_countries[user];
             let t = rng.random_range(0.0..day_secs);
+            let in_shock = config.shock.is_some_and(|s| {
+                let start = s.start.as_secs_f64();
+                t >= start && t < start + s.duration.as_secs_f64()
+            });
             let local_hour = ((t / 3600.0) + utc_offset_hours(country)).rem_euclid(24.0);
-            if rng.random_range(0.0..1.65) > diurnal_weight(local_hour) {
+            // With a shock configured, the acceptance cap scales by the
+            // boost so in-window weights can exceed the diurnal ceiling;
+            // with `shock: None` this is the exact literal 1.65 the
+            // pre-shock generator used (same RNG stream, same trace).
+            let cap = match config.shock {
+                Some(s) => 1.65 * s.rate_boost,
+                None => 1.65,
+            };
+            let weight = if in_shock {
+                diurnal_weight(local_hour) * config.shock.unwrap().rate_boost
+            } else {
+                diurnal_weight(local_hour)
+            };
+            if rng.random_range(0.0..cap) > weight {
                 continue;
             }
-            let object = sample_cdf(&mut rng, &zipf_cdf);
+            let mut object = sample_cdf(&mut rng, &zipf_cdf);
+            if in_shock {
+                // The extra RNG draw happens only inside an active shock
+                // window, so traces without one are bit-identical.
+                let s = config.shock.unwrap();
+                if rng.random_range(0.0..1.0) < s.viral_fraction {
+                    object = s.viral_object;
+                }
+            }
             let referrer = {
                 let x: f64 = rng.random_range(0.0..1.0);
                 if x < 0.482 {
@@ -245,13 +296,12 @@ fn sample_cdf<R: Rng + ?Sized>(rng: &mut R, cdf: &[f64]) -> usize {
 mod tests {
     use super::*;
 
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig { catalog_size: 500, users: 200, requests: 20_000, ..Default::default() }
+    }
+
     fn small() -> GatewayWorkload {
-        GatewayWorkload::generate(WorkloadConfig {
-            catalog_size: 500,
-            users: 200,
-            requests: 20_000,
-            ..Default::default()
-        })
+        GatewayWorkload::generate(small_config())
     }
 
     #[test]
@@ -349,5 +399,60 @@ mod tests {
         assert_eq!(a.requests.len(), b.requests.len());
         assert_eq!(a.requests[100].at, b.requests[100].at);
         assert_eq!(a.objects[42].size, b.objects[42].size);
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_traffic_on_viral_object() {
+        let shock = ShockConfig {
+            start: SimDuration::from_hours(12),
+            duration: SimDuration::from_hours(2),
+            rate_boost: 6.0,
+            viral_fraction: 0.7,
+            viral_object: 3,
+        };
+        let w = GatewayWorkload::generate(WorkloadConfig { shock: Some(shock), ..small_config() });
+        assert_eq!(w.requests.len(), 20_000, "total volume is unchanged");
+        let start = SimTime::ZERO + shock.start;
+        let end = start + shock.duration;
+        let in_window: Vec<_> = w.requests.iter().filter(|r| r.at >= start && r.at < end).collect();
+        // A 2/24h window holding a 6x boost must capture a large share.
+        let window_share = in_window.len() as f64 / w.requests.len() as f64;
+        assert!(window_share > 0.2, "shock window share {window_share}");
+        let viral_share =
+            in_window.iter().filter(|r| r.object == 3).count() as f64 / in_window.len() as f64;
+        assert!(viral_share > 0.6, "viral share inside the window {viral_share}");
+        // Outside the window the viral object stays ordinary catalog tail.
+        let out_total = w.requests.len() - in_window.len();
+        let out_viral =
+            w.requests.iter().filter(|r| (r.at < start || r.at >= end) && r.object == 3).count();
+        assert!(
+            (out_viral as f64) / (out_total as f64) < 0.1,
+            "viral object must not leak outside the window"
+        );
+    }
+
+    #[test]
+    fn inactive_shock_leaves_rng_stream_untouched() {
+        // A zero-width shock window never activates; the generated trace
+        // must be bit-identical to `shock: None` — proof that the shock
+        // plumbing adds no RNG draws outside an active window.
+        let base = small();
+        let shocked = GatewayWorkload::generate(WorkloadConfig {
+            shock: Some(ShockConfig {
+                start: SimDuration::from_hours(5),
+                duration: SimDuration::ZERO,
+                rate_boost: 1.0,
+                viral_fraction: 0.5,
+                viral_object: 0,
+            }),
+            ..small_config()
+        });
+        assert_eq!(base.requests.len(), shocked.requests.len());
+        for (a, b) in base.requests.iter().zip(&shocked.requests) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.object, b.object);
+            assert_eq!(a.referrer, b.referrer);
+        }
     }
 }

@@ -799,6 +799,22 @@ impl IpfsNetwork {
         self.nodes[id].region
     }
 
+    /// Whether `id` can act as a healthy gateway bridge right now: the
+    /// node is online and at least one other region is reachable from its
+    /// region (i.e. an active partition has not cut it off from the rest
+    /// of the network). A fleet load balancer uses this to fail traffic
+    /// over to surviving instances during a regional outage.
+    pub fn bridge_healthy(&self, id: NodeId) -> bool {
+        if !self.is_online(id) {
+            return false;
+        }
+        if !self.faults.has_active_faults() {
+            return true;
+        }
+        let r = self.nodes[id].region;
+        Region::ALL.iter().any(|&other| other != r && !self.faults.blocked(r, other))
+    }
+
     /// Number of currently active operations.
     pub fn active_ops(&self) -> usize {
         self.ops.len()

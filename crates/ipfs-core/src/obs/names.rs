@@ -188,8 +188,19 @@ metric_names! {
     GATEWAY_NETWORK_FETCHES = "gateway_network_fetches";
     /// Network fetches that failed.
     GATEWAY_NETWORK_FAILURES = "gateway_network_failures";
-    /// Gauge: nginx cache evictions.
+    /// nginx cache evictions (incremental deltas, safe to merge).
     GATEWAY_NGINX_EVICTIONS = "gateway_nginx_evictions";
+    /// Requests coalesced onto an in-flight retrieval (singleflight).
+    GATEWAY_SINGLEFLIGHT_WAITERS = "gateway_singleflight_waiters";
+    /// Requests answered from the negative cache (known-failed CIDs).
+    GATEWAY_NEGATIVE_HITS = "gateway_negative_cache_hits";
+    /// Failed retrievals recorded into the negative cache.
+    GATEWAY_NEGATIVE_INSERTS = "gateway_negative_cache_inserts";
+    /// Responses the TinyLFU admission filter kept out of the nginx tier.
+    GATEWAY_ADMISSION_REJECTS = "gateway_admission_rejects";
+    /// Requests re-routed to another gateway because the preferred
+    /// instance was unhealthy (fleet failover).
+    GATEWAY_FLEET_FAILOVERS = "gateway_fleet_failovers";
     /// Time-series key: gateway requests per window.
     GATEWAY_REQUESTS = "gateway_requests";
     /// Time-series key: successfully served gateway requests per window.

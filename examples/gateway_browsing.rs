@@ -55,7 +55,9 @@ fn main() {
 
     // Tier summary.
     println!("\ntier summary over {} requests:", log.len());
-    for tier in [ServedBy::NginxCache, ServedBy::NodeStore, ServedBy::Network] {
+    for tier in
+        [ServedBy::NginxCache, ServedBy::NodeStore, ServedBy::Network, ServedBy::NegativeCache]
+    {
         let entries: Vec<_> = log.iter().filter(|e| e.served_by == tier).collect();
         if entries.is_empty() {
             continue;

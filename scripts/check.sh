@@ -55,6 +55,23 @@ if ! cmp -s "$CHAOS_DIR/j1.txt" "$CHAOS_DIR/j4.txt"; then
 fi
 rm -rf "$CHAOS_DIR"
 
+echo "== gateway fleet smoke (determinism + requests/sec regression gate) =="
+# The fleet harness must exit 0, stay byte-identical on stdout whether its
+# cells run serially or on 4 workers, and hold the headline cell's
+# sustained requests/sec within 0.7x of the recorded baseline.
+cargo build --release -q -p bench --bin gateway_fleet
+FLEET_DIR="$(mktemp -d)"
+IPFS_REPRO_JOBS=1 ./target/release/gateway_fleet --smoke > "$FLEET_DIR/j1.txt" 2> /dev/null
+IPFS_REPRO_JOBS=4 ./target/release/gateway_fleet --smoke \
+    --check-against results/BENCH_gateway_fleet.json > "$FLEET_DIR/j4.txt"
+if ! cmp -s "$FLEET_DIR/j1.txt" "$FLEET_DIR/j4.txt"; then
+    echo "gateway_fleet --smoke output differs between IPFS_REPRO_JOBS=1 and =4" >&2
+    diff "$FLEET_DIR/j1.txt" "$FLEET_DIR/j4.txt" >&2 || true
+    rm -rf "$FLEET_DIR"
+    exit 1
+fi
+rm -rf "$FLEET_DIR"
+
 echo "== latency smoke (span-attribution determinism gate) =="
 # The latency-attribution harness must exit 0, emit its table + JSON, and
 # print byte-identical artifacts whether cells run serially or on 4
