@@ -1,7 +1,7 @@
 //! Throughput harness: simulator events/sec and DHT walks/sec.
 //!
 //! Not a paper artifact — this measures the *reproduction itself* so that
-//! performance PRs carry a recorded trajectory. Three sections per run:
+//! performance PRs carry a recorded trajectory. Four sections per run:
 //!
 //! 1. **routing** — a standing `RoutingTable` is hammered with `closest()`
 //!    calls on random targets (the FIND_NODE reply-set path, by far the
@@ -9,11 +9,19 @@
 //! 2. **sim** — a full `IpfsNetwork` runs publish/retrieve rounds; we
 //!    report discrete events processed per wall-clock second and completed
 //!    DHT walks per second, using the `obs` MetricsRegistry
-//!    (`dht_walk_rpcs` sample count) as the source of truth.
-//! 3. **scheduler** — a microbench of the event queue itself: steady-state
+//!    (`dht_walk_rpcs` sample count) as the source of truth, plus the mean
+//!    logical bytes of per-node state (the SoA memory-pass metric).
+//! 3. **pdes** — the sharded cells (`ipfs_core::shardsim` on
+//!    `simnet::ShardedEngine`): the paper-population cell and the `huge`
+//!    (≥100k-node) cell, with `IPFS_REPRO_SHARDS` region shards. Every
+//!    deterministic output (events, order/metrics fingerprints,
+//!    bytes_per_node) is byte-identical at any shard count; only the
+//!    wall-clock rates may move.
+//! 4. **scheduler** — a microbench of the event queue itself: steady-state
 //!    schedule+pop churn at a fixed pending-set size, for both the
 //!    `BinaryHeap` reference and the timing-wheel scheduler
-//!    (`IPFS_REPRO_SCHED` selects which one the sim sections use).
+//!    (`IPFS_REPRO_SCHED` selects which one the sim sections use) — plus
+//!    the sharded engine dispatching a synthetic relay workload.
 //!
 //! Full (non-smoke) runs repeat each cell three times and report the
 //! fastest repetition — min-of-N is robust to co-tenant noise — while
@@ -34,16 +42,19 @@
 //!   a previously recorded JSON (same mode); exit non-zero on a >30%
 //!   regression.
 
-use bench::runner::{banner, seed_from_env, Scale, ScaleConfig};
+use bench::runner::{banner, seed_from_env, shards_from_env, Scale, ScaleConfig};
 use bytes::Bytes;
-use ipfs_core::{IpfsNetwork, NetworkConfig};
+use ipfs_core::{IpfsNetwork, NetworkConfig, ShardSim, ShardSimConfig};
 use kademlia::routing::{PeerInfo, RoutingTable, K};
 use kademlia::Key;
 use multiformats::Keypair;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simnet::latency::VantagePoint;
-use simnet::{EventQueue, Population, PopulationConfig, SchedulerKind, SimDuration};
+use simnet::latency::{LatencyModel, VantagePoint};
+use simnet::{
+    EventQueue, Population, PopulationConfig, RegionEvent, SchedulerKind, ShardedEngine,
+    SimDuration, SimTime,
+};
 use std::time::Instant;
 
 /// One measured configuration.
@@ -86,6 +97,9 @@ struct SimResult {
     /// FNV-1a over every touched counter — a cheap fingerprint that any
     /// behavioural divergence between runs will disturb.
     metrics_fnv: u64,
+    /// Mean logical bytes of per-node state (connections + routing table
+    /// + address book) at the end of the run — the memory-pass metric.
+    bytes_per_node: u64,
     elapsed: f64,
     events_per_sec: f64,
     walks_per_sec: f64,
@@ -134,6 +148,7 @@ fn run_sim(cell: &Cell, seed: u64) -> SimResult {
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     let events = net.events_processed - events_before;
+    let bytes_per_node = net.bytes_per_node_estimate();
     let walks = net.metrics().samples(ipfs_core::obs::names::DHT_WALK_RPCS).len() - walks_before;
     let mut metrics_fnv = 0xcbf2_9ce4_8422_2325u64;
     for (name, value) in net.metrics().counters() {
@@ -145,6 +160,7 @@ fn run_sim(cell: &Cell, seed: u64) -> SimResult {
         events,
         walks,
         metrics_fnv,
+        bytes_per_node,
         elapsed,
         events_per_sec: events as f64 / elapsed,
         walks_per_sec: walks as f64 / elapsed,
@@ -172,6 +188,141 @@ fn run_scheduler(kind: SchedulerKind, pending: usize, churn_ops: usize, seed: u6
     (churn_ops * 2) as f64 / elapsed
 }
 
+/// One sharded-cell configuration (the struct-of-arrays PDES section).
+struct PdesCell {
+    label: &'static str,
+    nodes: usize,
+    sim_secs: u64,
+    ops_per_tick: u32,
+    /// Repetitions for full runs (the `huge` cell runs once — rebuilding a
+    /// 100k+-node world three times buys little extra noise rejection).
+    reps: usize,
+}
+
+/// Builds and runs one sharded cell. Returns the deterministic result plus
+/// (build seconds, run seconds).
+fn run_pdes(cell: &PdesCell, seed: u64, shards: usize) -> (ipfs_core::ShardSimResult, f64, f64) {
+    let cfg = ShardSimConfig {
+        nodes: cell.nodes,
+        shards,
+        seed,
+        duration: SimDuration::from_secs(cell.sim_secs),
+        ops_per_tick: cell.ops_per_tick,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let mut sim = ShardSim::build(&cfg);
+    let build = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let result = sim.run();
+    (result, build, t1.elapsed().as_secs_f64().max(1e-9))
+}
+
+fn measure_pdes(cell: &PdesCell, seed: u64, shards: usize, digest: bool) -> String {
+    let (best, mut build_sec, mut run_sec) = run_pdes(cell, seed, shards);
+    let reps = if digest { 1 } else { cell.reps.max(1) };
+    for _ in 1..reps {
+        let (rep, b, r) = run_pdes(cell, seed, shards);
+        assert_eq!(rep, best, "pdes cell must be deterministic");
+        if b < build_sec {
+            build_sec = b;
+        }
+        if r < run_sec {
+            run_sec = r;
+        }
+    }
+    if digest {
+        // Everything here is a pure function of (seed, cell) — identical
+        // at every shard count, worker count, and scheduler implementation.
+        // `scripts/check.sh` byte-diffs IPFS_REPRO_SHARDS=1 vs =6 runs.
+        println!(
+            "digest pdes {}: events={} order_fnv={:016x} metrics_fnv={:016x} bytes_per_node={}",
+            cell.label, best.events, best.order_fnv, best.metrics_fnv, best.bytes_per_node
+        );
+        return String::new();
+    }
+    let events_per_sec = best.events as f64 / run_sec;
+    println!("-- pdes {} ({} nodes, {} shards) --", cell.label, cell.nodes, shards);
+    println!(
+        "pdes: {} events in {:.3}s (+{:.3}s build) — {:.0} events/s, {} bytes/node",
+        best.events, run_sec, build_sec, events_per_sec, best.bytes_per_node
+    );
+    println!(
+        "pdes: {} publishes, {} retrieves ({} misses), {} RPC timeouts, order_fnv {:016x}",
+        best.counter("publish_done"),
+        best.counter("retrieve_done"),
+        best.counter("retrieve_miss"),
+        best.counter("rpc_timeout"),
+        best.order_fnv
+    );
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"label\": \"{}\",\n",
+            "      \"nodes\": {},\n",
+            "      \"shards\": {},\n",
+            "      \"events\": {},\n",
+            "      \"order_fnv\": \"{:016x}\",\n",
+            "      \"metrics_fnv\": \"{:016x}\",\n",
+            "      \"bytes_per_node\": {},\n",
+            "      \"publish_done\": {},\n",
+            "      \"retrieve_done\": {},\n",
+            "      \"retrieve_miss\": {},\n",
+            "      \"build_sec\": {:.6},\n",
+            "      \"elapsed_sec\": {:.6},\n",
+            "      \"events_per_sec\": {:.1}\n",
+            "    }}"
+        ),
+        cell.label,
+        cell.nodes,
+        shards,
+        best.events,
+        best.order_fnv,
+        best.metrics_fnv,
+        best.bytes_per_node,
+        best.counter("publish_done"),
+        best.counter("retrieve_done"),
+        best.counter("retrieve_miss"),
+        build_sec,
+        run_sec,
+        events_per_sec
+    )
+}
+
+/// A token circling the region ring — the sharded-engine microbench event.
+#[derive(Clone, Copy)]
+struct Relay {
+    region: u8,
+}
+
+impl RegionEvent for Relay {
+    fn region(&self) -> usize {
+        self.region as usize
+    }
+}
+
+/// Sharded-engine microbench: `tokens` relay tokens per region, each
+/// forwarding to the next region after exactly the lookahead delay — pure
+/// dispatch + window-synchronization overhead, no model work. Returns
+/// (events dispatched, elapsed seconds).
+fn run_sharded_relay(shards: usize, tokens: usize, sim_secs: u64, seed: u64) -> (u64, f64) {
+    let lookahead = LatencyModel::default().cross_region_lookahead();
+    let mut eng: ShardedEngine<Relay> = ShardedEngine::new(10, shards, lookahead, seed);
+    for region in 0..10u8 {
+        for _ in 0..tokens {
+            eng.seed_event(SimTime::ZERO, Relay { region });
+        }
+    }
+    let deadline = SimTime::ZERO + SimDuration::from_secs(sim_secs);
+    let mut states: Vec<()> = vec![(); shards];
+    let start = Instant::now();
+    let dispatched = eng.run_until(deadline, &mut states, &|_, ctx, _, ev| {
+        let hop = Relay { region: (ev.region + 1) % 10 };
+        ctx.schedule(ctx.lookahead(), hop);
+    });
+    (dispatched, start.elapsed().as_secs_f64().max(1e-9))
+}
+
 fn sched_name(kind: SchedulerKind) -> &'static str {
     match kind {
         SchedulerKind::Heap => "heap",
@@ -194,8 +345,8 @@ fn measure(cell: &Cell, seed: u64, digest: bool, reps: usize) -> String {
         }
         let rep = run_sim(cell, seed);
         assert_eq!(
-            (rep.events, rep.walks, rep.metrics_fnv),
-            (sim.events, sim.walks, sim.metrics_fnv),
+            (rep.events, rep.walks, rep.metrics_fnv, rep.bytes_per_node),
+            (sim.events, sim.walks, sim.metrics_fnv, sim.bytes_per_node),
             "sim section must be deterministic"
         );
         if rep.elapsed < sim.elapsed {
@@ -206,8 +357,15 @@ fn measure(cell: &Cell, seed: u64, digest: bool, reps: usize) -> String {
         // Only values that are a pure function of (seed, scale, scheduler
         // equivalence) — nothing wall-clock derived.
         println!(
-            "digest {}: table={} touched={} events={} walks={} metrics_fnv={:016x}",
-            cell.label, table_size, touched, sim.events, sim.walks, sim.metrics_fnv
+            "digest {}: table={} touched={} events={} walks={} metrics_fnv={:016x} \
+bytes_per_node={}",
+            cell.label,
+            table_size,
+            touched,
+            sim.events,
+            sim.walks,
+            sim.metrics_fnv,
+            sim.bytes_per_node
         );
         return String::new();
     }
@@ -217,8 +375,15 @@ fn measure(cell: &Cell, seed: u64, digest: bool, reps: usize) -> String {
         cell.closest_calls, table_size, r_elapsed, calls_per_sec
     );
     println!(
-        "sim: {} rounds, {} events, {} walks in {:.3}s — {:.0} events/s, {:.1} walks/s",
-        cell.rounds, sim.events, sim.walks, sim.elapsed, sim.events_per_sec, sim.walks_per_sec
+        "sim: {} rounds, {} events, {} walks in {:.3}s — {:.0} events/s, {:.1} walks/s, \
+{} bytes/node",
+        cell.rounds,
+        sim.events,
+        sim.walks,
+        sim.elapsed,
+        sim.events_per_sec,
+        sim.walks_per_sec,
+        sim.bytes_per_node
     );
     format!(
         concat!(
@@ -235,6 +400,7 @@ fn measure(cell: &Cell, seed: u64, digest: bool, reps: usize) -> String {
             "        \"rounds\": {},\n",
             "        \"events\": {},\n",
             "        \"walks\": {},\n",
+            "        \"bytes_per_node\": {},\n",
             "        \"elapsed_sec\": {:.6},\n",
             "        \"events_per_sec\": {:.1},\n",
             "        \"walks_per_sec\": {:.3}\n",
@@ -250,6 +416,7 @@ fn measure(cell: &Cell, seed: u64, digest: bool, reps: usize) -> String {
         cell.rounds,
         sim.events,
         sim.walks,
+        sim.bytes_per_node,
         sim.elapsed,
         sim.events_per_sec,
         sim.walks_per_sec
@@ -306,10 +473,33 @@ fn main() {
         cells
     };
 
+    // PDES cells: `pdes_*` exercises the paper-scale population on the
+    // sharded engine; `huge*` is the ≥100k-node headline the SoA memory
+    // pass exists for. Smoke variants keep the same shapes, shorter.
+    let pdes_cells: Vec<PdesCell> = if smoke {
+        vec![
+            PdesCell { label: "pdes_smoke", nodes: 4_000, sim_secs: 12, ops_per_tick: 6, reps: 1 },
+            PdesCell { label: "huge_smoke", nodes: 100_000, sim_secs: 4, ops_per_tick: 4, reps: 1 },
+        ]
+    } else {
+        vec![
+            PdesCell { label: "paper_pdes", nodes: 20_000, sim_secs: 60, ops_per_tick: 8, reps: 3 },
+            PdesCell { label: "huge", nodes: 120_000, sim_secs: 30, ops_per_tick: 8, reps: 1 },
+        ]
+    };
+    let shards = shards_from_env();
+    if digest {
+        // Like the scheduler name: stdout must be byte-identical across
+        // IPFS_REPRO_SHARDS values, so the shard count goes to stderr.
+        eprintln!("pdes shards: {shards}");
+    }
+
     // Smoke (CI gate) and digest (equivalence diff) run each cell once;
     // recorded full runs take the best of three to shed scheduler noise.
     let reps = if smoke || digest { 1 } else { 3 };
     let entries: Vec<String> = cells.iter().map(|c| measure(c, seed, digest, reps)).collect();
+    let pdes_entries: Vec<String> =
+        pdes_cells.iter().map(|c| measure_pdes(c, seed, shards, digest)).collect();
     if digest {
         // Digest runs exist to be byte-diffed across scheduler
         // implementations; rates and JSON export would only add noise.
@@ -345,15 +535,40 @@ fn main() {
             ));
         }
     }
+    // The sharded engine on a pure relay workload: dispatch + window
+    // synchronization overhead with no model work in the handler.
+    let (relay_tokens, relay_secs) = if smoke { (256, 1) } else { (1_024, 2) };
+    let (relay_events, relay_elapsed) = run_sharded_relay(shards, relay_tokens, relay_secs, seed);
+    let relay_rate = relay_events as f64 / relay_elapsed;
+    println!(
+        "scheduler: sharded relay ({shards} shards, {} tokens) — {:.0} events/s",
+        relay_tokens * 10,
+        relay_rate
+    );
+    sched_entries.push(format!(
+        concat!(
+            "    {{\n",
+            "      \"impl\": \"sharded_relay\",\n",
+            "      \"pending\": {},\n",
+            "      \"churn_ops\": {},\n",
+            "      \"ops_per_sec\": {:.1}\n",
+            "    }}"
+        ),
+        relay_tokens * 10,
+        relay_events,
+        relay_rate
+    ));
 
     let json = format!(
         concat!(
             "{{\n  \"harness\": \"throughput\",\n  \"seed\": {},\n",
             "  \"entries\": [\n{}\n  ],\n",
+            "  \"pdes\": [\n{}\n  ],\n",
             "  \"scheduler\": [\n{}\n  ]\n}}\n"
         ),
         seed,
         entries.join(",\n"),
+        pdes_entries.join(",\n"),
         sched_entries.join(",\n")
     );
     if let Some(path) = bench::write_json("BENCH_throughput", &json) {
@@ -361,23 +576,27 @@ fn main() {
     }
 
     if let Some(path) = check_against {
-        let label = cells[0].label;
-        let baseline = std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|s| baseline_events_per_sec(&s, label))
-            .unwrap_or_else(|| {
-                eprintln!("throughput: cannot read baseline events/sec from {path}");
-                std::process::exit(2);
-            });
-        let current = baseline_events_per_sec(&json, label).expect("own JSON parses");
-        let ratio = current / baseline.max(1e-9);
-        println!(
-            "regression gate [{label}]: current {current:.0} events/s vs baseline \
+        // Gate both headline rates: the netsim cell and the PDES cell.
+        for label in [cells[0].label, pdes_cells[0].label] {
+            let baseline = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|s| baseline_events_per_sec(&s, label))
+                .unwrap_or_else(|| {
+                    eprintln!(
+                        "throughput: cannot read baseline events/sec for {label} from {path}"
+                    );
+                    std::process::exit(2);
+                });
+            let current = baseline_events_per_sec(&json, label).expect("own JSON parses");
+            let ratio = current / baseline.max(1e-9);
+            println!(
+                "regression gate [{label}]: current {current:.0} events/s vs baseline \
 {baseline:.0} events/s (ratio {ratio:.2})"
-        );
-        if ratio < 0.7 {
-            eprintln!("throughput: events/sec regressed >30% against {path}");
-            std::process::exit(1);
+            );
+            if ratio < 0.7 {
+                eprintln!("throughput: {label} events/sec regressed >30% against {path}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -96,6 +96,20 @@ pub fn jobs_from_env() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
+/// Region shards for the PDES cells (override with `IPFS_REPRO_SHARDS`,
+/// clamped to `1..=10`; `1` forces the exact serial path; default:
+/// `min(6, available cores)`). Results are byte-identical at every value
+/// — the knob only trades wall-clock time.
+pub fn shards_from_env() -> usize {
+    env::var("IPFS_REPRO_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|s: usize| s.clamp(1, 10))
+        .unwrap_or_else(|| {
+            6.min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        })
+}
+
 /// Runs `cells` independent experiment cells through `f` on `jobs` worker
 /// threads, returning results in cell order.
 ///

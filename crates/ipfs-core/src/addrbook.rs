@@ -4,23 +4,40 @@
 //! recently seen peers. Nodes check whether they already have an address
 //! for the PeerID they have discovered before performing any further
 //! lookups" — a cache that can skip the second DHT walk entirely.
+//!
+//! Entries live in a slab arena and the recency queue holds `(stamp, slot)`
+//! pairs — 12 bytes — instead of cloning a `PeerId` (a heap-allocated
+//! multihash) per touch, which dominated the book's memory traffic in
+//! large populations. Eviction order is unchanged from the stamp-based
+//! original: stamps are unique and monotonic, so the oldest live record is
+//! exactly the minimum-stamp entry.
 
 use multiformats::{Multiaddr, PeerId};
 use std::collections::{HashMap, VecDeque};
+
+/// One slab slot. `stamp == 0` marks a dead slot (never a live stamp: the
+/// clock starts at 1), so stale recency records can never resurrect a
+/// removed or recycled entry.
+#[derive(Debug, Clone)]
+struct Slot {
+    peer: PeerId,
+    stamp: u64,
+    addrs: Vec<Multiaddr>,
+}
 
 /// A bounded LRU map from PeerID to known addresses.
 #[derive(Debug, Clone)]
 pub struct AddressBook {
     capacity: usize,
-    /// Entries with a logical-clock stamp for LRU eviction.
-    entries: HashMap<PeerId, (u64, Vec<Multiaddr>)>,
-    /// Recency queue of `(stamp, peer)` records, oldest first. A record is
-    /// live only while its stamp matches the entry's; later touches push a
-    /// fresh record and orphan the old one, which eviction skips. Stamps
-    /// are unique and monotonic, so the oldest live record is exactly the
-    /// minimum-stamp entry — the same victim a full scan would pick — at
-    /// amortized O(1) instead of O(len) per eviction.
-    recency: VecDeque<(u64, PeerId)>,
+    /// Peer → slab slot of its live entry.
+    index: HashMap<PeerId, u32>,
+    /// Slab of entries; dead slots are recycled through `free`.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Recency queue of `(stamp, slot)` records, oldest first. A record is
+    /// live only while its stamp matches the slot's; later touches push a
+    /// fresh record and orphan the old one, which eviction skips.
+    recency: VecDeque<(u64, u32)>,
     clock: u64,
     /// Lifetime hit/miss counters.
     pub hits: u64,
@@ -34,7 +51,9 @@ impl AddressBook {
         assert!(capacity > 0);
         AddressBook {
             capacity,
-            entries: HashMap::new(),
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             recency: VecDeque::new(),
             clock: 0,
             hits: 0,
@@ -51,18 +70,36 @@ impl AddressBook {
         }
         self.clock += 1;
         let clock = self.clock;
-        if let Some((stamp, existing)) = self.entries.get_mut(peer) {
-            *stamp = clock;
-            if existing.as_slice() != addrs {
-                *existing = addrs.to_vec();
+        let slot = if let Some(&slot) = self.index.get(peer) {
+            let entry = &mut self.slots[slot as usize];
+            entry.stamp = clock;
+            if entry.addrs.as_slice() != addrs {
+                entry.addrs = addrs.to_vec();
             }
+            slot
         } else {
-            if self.entries.len() >= self.capacity {
+            if self.index.len() >= self.capacity {
                 self.evict_oldest();
             }
-            self.entries.insert(peer.clone(), (clock, addrs.to_vec()));
-        }
-        self.touch(clock, peer);
+            let slot = match self.free.pop() {
+                Some(slot) => {
+                    self.slots[slot as usize] =
+                        Slot { peer: peer.clone(), stamp: clock, addrs: addrs.to_vec() };
+                    slot
+                }
+                None => {
+                    self.slots.push(Slot {
+                        peer: peer.clone(),
+                        stamp: clock,
+                        addrs: addrs.to_vec(),
+                    });
+                    (self.slots.len() - 1) as u32
+                }
+            };
+            self.index.insert(peer.clone(), slot);
+            slot
+        };
+        self.touch(clock, slot);
     }
 
     /// Looks up addresses, refreshing recency on hit and counting
@@ -70,12 +107,13 @@ impl AddressBook {
     pub fn lookup(&mut self, peer: &PeerId) -> Option<Vec<Multiaddr>> {
         self.clock += 1;
         let clock = self.clock;
-        match self.entries.get_mut(peer) {
-            Some((stamp, addrs)) => {
-                *stamp = clock;
+        match self.index.get(peer) {
+            Some(&slot) => {
+                let entry = &mut self.slots[slot as usize];
+                entry.stamp = clock;
                 self.hits += 1;
-                let addrs = addrs.clone();
-                self.touch(clock, peer);
+                let addrs = entry.addrs.clone();
+                self.touch(clock, slot);
                 Some(addrs)
             }
             None => {
@@ -87,44 +125,76 @@ impl AddressBook {
 
     /// Non-mutating presence check (no statistics, no recency bump).
     pub fn contains(&self, peer: &PeerId) -> bool {
-        self.entries.contains_key(peer)
+        self.index.contains_key(peer)
     }
 
     /// Drops a peer (e.g. its addresses proved stale). Its queue records
-    /// become orphans that eviction skips.
+    /// become orphans that eviction skips; the slot is recycled.
     pub fn remove(&mut self, peer: &PeerId) {
-        self.entries.remove(peer);
+        if let Some(slot) = self.index.remove(peer) {
+            self.release(slot);
+        }
     }
 
     /// Number of peers currently remembered.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether the book is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
+    }
+
+    /// Logical bytes held (length-based, allocation-independent): index
+    /// entry + slab slot + peer-multihash heap per live peer, a fixed
+    /// per-address estimate for stored multiaddrs, and the recency queue
+    /// at 12 bytes per record.
+    pub fn bytes_estimate(&self) -> u64 {
+        /// Estimated heap bytes per stored [`Multiaddr`] (a short protocol
+        /// component vector, e.g. `/ip4/../tcp/..`).
+        const ADDR_BYTES: usize = 48;
+        let mut total = std::mem::size_of::<AddressBook>();
+        total += self.recency.len() * std::mem::size_of::<(u64, u32)>();
+        for &slot in self.index.values() {
+            let entry = &self.slots[slot as usize];
+            total += std::mem::size_of::<(PeerId, u32)>() + std::mem::size_of::<Slot>();
+            total += entry.peer.as_multihash().digest().len();
+            total += entry.addrs.len() * ADDR_BYTES;
+        }
+        total as u64
     }
 
     /// Appends a recency record, compacting the queue when orphaned
     /// records outnumber live ones ~3:1 so it stays O(capacity).
-    fn touch(&mut self, stamp: u64, peer: &PeerId) {
-        self.recency.push_back((stamp, peer.clone()));
-        if self.recency.len() > 4 * self.capacity.max(self.entries.len()) {
-            let entries = &self.entries;
-            self.recency.retain(|(s, p)| entries.get(p).is_some_and(|(live, _)| live == s));
+    fn touch(&mut self, stamp: u64, slot: u32) {
+        self.recency.push_back((stamp, slot));
+        if self.recency.len() > 4 * self.capacity.max(self.index.len()) {
+            let slots = &self.slots;
+            self.recency.retain(|&(s, slot)| slots[slot as usize].stamp == s);
         }
     }
 
     /// Removes the least-recently-used entry: pop queue records until one
     /// is still live, then drop that peer.
     fn evict_oldest(&mut self) {
-        while let Some((stamp, peer)) = self.recency.pop_front() {
-            if self.entries.get(&peer).is_some_and(|(live, _)| *live == stamp) {
-                self.entries.remove(&peer);
+        while let Some((stamp, slot)) = self.recency.pop_front() {
+            if self.slots[slot as usize].stamp == stamp {
+                let peer = self.slots[slot as usize].peer.clone();
+                self.index.remove(&peer);
+                self.release(slot);
                 return;
             }
         }
+    }
+
+    /// Marks a slot dead and recycles it. Shrinks the address list so a
+    /// dead slot holds no heap memory beyond the (reused) peer id.
+    fn release(&mut self, slot: u32) {
+        let entry = &mut self.slots[slot as usize];
+        entry.stamp = 0;
+        entry.addrs = Vec::new();
+        self.free.push(slot);
     }
 }
 
@@ -219,6 +289,21 @@ mod tests {
     }
 
     #[test]
+    fn recycled_slot_does_not_shield_survivors() {
+        // peer(1)'s slot is recycled for peer(3); peer(1)'s orphaned
+        // recency records must not count for the new occupant.
+        let mut book = AddressBook::new(2);
+        book.insert(&peer(1), &addr(1));
+        book.insert(&peer(2), &addr(2));
+        book.remove(&peer(1));
+        book.insert(&peer(3), &addr(3)); // reuses the freed slot
+        book.insert(&peer(4), &addr(4)); // must evict 2, not skip via 1's ghost
+        assert!(!book.contains(&peer(2)));
+        assert!(book.contains(&peer(3)));
+        assert!(book.contains(&peer(4)));
+    }
+
+    #[test]
     fn full_capacity_churn() {
         let mut book = AddressBook::new(900);
         for i in 0..2000 {
@@ -238,5 +323,27 @@ mod tests {
             book.lookup(&peer((round + 1) % 8));
         }
         assert!(book.recency.len() <= 4 * 8 + 1, "queue compacts: {}", book.recency.len());
+    }
+
+    #[test]
+    fn slab_stays_bounded_under_churn() {
+        let mut book = AddressBook::new(8);
+        for i in 0..1000u64 {
+            book.insert(&peer(i), &addr(1));
+        }
+        // Evicted entries recycle their slots: the slab never exceeds the
+        // live count by more than the burst between evict and reinsert.
+        assert!(book.slots.len() <= 9, "slab grew to {}", book.slots.len());
+        assert!(book.bytes_estimate() > 0);
+    }
+
+    #[test]
+    fn bytes_estimate_shrinks_on_remove() {
+        let mut book = AddressBook::new(8);
+        book.insert(&peer(1), &addr(1));
+        book.insert(&peer(2), &addr(2));
+        let two = book.bytes_estimate();
+        book.remove(&peer(2));
+        assert!(book.bytes_estimate() < two);
     }
 }

@@ -1,0 +1,362 @@
+//! Arena-backed warm-connection set with intrusive LRU order.
+//!
+//! Replaces the previous per-node `HashMap + BTreeMap` connection index
+//! (two heap structures and a simulation-global stamp clock per touch)
+//! with a single slot arena threaded by an intrusive doubly-linked list:
+//! insert/touch moves a slot to the list tail in O(1) with no allocation
+//! after warm-up, the LRU victim is the head, and idle expiry walks from
+//! the head and stops at the first fresh entry.
+//!
+//! **Behavioral equivalence.** In the old structure every insert/touch
+//! took a fresh, strictly increasing global stamp, so within one node's
+//! set the stamp order *was* the last-touch order — exactly the order an
+//! intrusive move-to-back list maintains. All observable orders (LRU
+//! victim, idle-expiry order, `drain`/`peers` oldest-first) are therefore
+//! identical, which keeps every recorded simulation artifact byte-stable
+//! (property-tested against a reference model below).
+
+use crate::netsim::NodeId;
+use simnet::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    peer: NodeId,
+    last_used: SimTime,
+    prev: u32,
+    next: u32,
+}
+
+/// A node's warm-connection set: arena slots + intrusive LRU list.
+///
+/// Oldest (least recently touched) entries sit at the head; every
+/// [`ConnSet::insert`] moves its entry to the tail. Freed slots are
+/// recycled through a free list, so a node's set reaches a steady state
+/// with zero allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ConnSet {
+    slots: Vec<Slot>,
+    index: HashMap<NodeId, u32>,
+    head: u32,
+    tail: u32,
+    free: u32,
+}
+
+impl ConnSet {
+    /// Creates an empty set.
+    pub fn new() -> ConnSet {
+        ConnSet { slots: Vec::new(), index: HashMap::new(), head: NONE, tail: NONE, free: NONE }
+    }
+
+    /// Number of warm connections.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `peer` is connected.
+    pub fn contains(&self, peer: NodeId) -> bool {
+        self.index.contains_key(&peer)
+    }
+
+    /// When the connection to `peer` was last used, if connected.
+    pub fn last_used(&self, peer: NodeId) -> Option<SimTime> {
+        self.index.get(&peer).map(|&s| self.slots[s as usize].last_used)
+    }
+
+    /// Inserts a connection, or re-marks an existing one as just used.
+    /// Either way the entry becomes the most recently used.
+    pub fn insert(&mut self, peer: NodeId, now: SimTime) {
+        if let Some(&s) = self.index.get(&peer) {
+            self.slots[s as usize].last_used = now;
+            self.unlink(s);
+            self.push_back(s);
+            return;
+        }
+        let s = if self.free != NONE {
+            let s = self.free;
+            self.free = self.slots[s as usize].next;
+            self.slots[s as usize] = Slot { peer, last_used: now, prev: NONE, next: NONE };
+            s
+        } else {
+            self.slots.push(Slot { peer, last_used: now, prev: NONE, next: NONE });
+            (self.slots.len() - 1) as u32
+        };
+        self.index.insert(peer, s);
+        self.push_back(s);
+    }
+
+    /// Removes the connection to `peer`. Returns whether it existed.
+    pub fn remove(&mut self, peer: NodeId) -> bool {
+        match self.index.remove(&peer) {
+            Some(s) => {
+                self.unlink(s);
+                self.release(s);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The least-recently-used peer (the prune victim).
+    pub fn lru(&self) -> Option<NodeId> {
+        (self.head != NONE).then(|| self.slots[self.head as usize].peer)
+    }
+
+    /// Removes and returns the LRU connection if it has sat idle past
+    /// `timeout`. Callers loop until `None`: list order is last-use order,
+    /// so the first fresh entry proves the rest are fresh too.
+    pub fn pop_idle(&mut self, now: SimTime, timeout: SimDuration) -> Option<NodeId> {
+        if self.head == NONE {
+            return None;
+        }
+        let s = self.head;
+        let slot = &self.slots[s as usize];
+        if now.since(slot.last_used) > timeout {
+            let peer = slot.peer;
+            self.index.remove(&peer);
+            self.unlink(s);
+            self.release(s);
+            Some(peer)
+        } else {
+            None
+        }
+    }
+
+    /// Removes every connection, returning the peers oldest-first.
+    pub fn drain(&mut self) -> Vec<NodeId> {
+        let peers: Vec<NodeId> = self.peers().collect();
+        self.slots.clear();
+        self.index.clear();
+        self.head = NONE;
+        self.tail = NONE;
+        self.free = NONE;
+        peers
+    }
+
+    /// Connected peers, oldest (least recently used) first.
+    pub fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NONE {
+                return None;
+            }
+            let slot = &self.slots[cur as usize];
+            cur = slot.next;
+            Some(slot.peer)
+        })
+    }
+
+    /// Logical bytes held (length-based, allocation-independent): arena
+    /// slot plus index entry per live connection.
+    pub fn bytes(&self) -> u64 {
+        let per_entry = std::mem::size_of::<Slot>() + std::mem::size_of::<(NodeId, u32)>();
+        (self.len() * per_entry) as u64
+    }
+
+    fn unlink(&mut self, s: u32) {
+        let (prev, next) = {
+            let slot = &self.slots[s as usize];
+            (slot.prev, slot.next)
+        };
+        if prev != NONE {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_back(&mut self, s: u32) {
+        self.slots[s as usize].prev = self.tail;
+        self.slots[s as usize].next = NONE;
+        if self.tail != NONE {
+            self.slots[self.tail as usize].next = s;
+        } else {
+            self.head = s;
+        }
+        self.tail = s;
+    }
+
+    fn release(&mut self, s: u32) {
+        self.slots[s as usize].next = self.free;
+        self.free = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::{BTreeMap, HashMap};
+
+    /// The previous stamp-based implementation, kept as the reference
+    /// model for the equivalence proptest.
+    #[derive(Default)]
+    struct StampSet {
+        by_peer: HashMap<NodeId, (u64, SimTime)>,
+        by_stamp: BTreeMap<u64, NodeId>,
+        clock: u64,
+    }
+
+    impl StampSet {
+        fn insert(&mut self, peer: NodeId, now: SimTime) {
+            self.clock += 1;
+            let stamp = self.clock;
+            if let Some((old, _)) = self.by_peer.insert(peer, (stamp, now)) {
+                self.by_stamp.remove(&old);
+            }
+            self.by_stamp.insert(stamp, peer);
+        }
+
+        fn remove(&mut self, peer: NodeId) -> bool {
+            match self.by_peer.remove(&peer) {
+                Some((stamp, _)) => {
+                    self.by_stamp.remove(&stamp);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn lru(&self) -> Option<NodeId> {
+            self.by_stamp.values().next().copied()
+        }
+
+        fn pop_idle(&mut self, now: SimTime, timeout: SimDuration) -> Option<NodeId> {
+            let (&stamp, &peer) = self.by_stamp.iter().next()?;
+            let (_, last_used) = self.by_peer[&peer];
+            if now.since(last_used) > timeout {
+                self.by_stamp.remove(&stamp);
+                self.by_peer.remove(&peer);
+                Some(peer)
+            } else {
+                None
+            }
+        }
+
+        fn peers(&self) -> Vec<NodeId> {
+            self.by_stamp.values().copied().collect()
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn insert_touch_orders_by_recency() {
+        let mut c = ConnSet::new();
+        c.insert(1, t(0));
+        c.insert(2, t(1));
+        c.insert(3, t(2));
+        assert_eq!(c.peers().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(c.lru(), Some(1));
+        // Touching 1 moves it to the back.
+        c.insert(1, t(3));
+        assert_eq!(c.peers().collect::<Vec<_>>(), vec![2, 3, 1]);
+        assert_eq!(c.lru(), Some(2));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.last_used(1), Some(t(3)));
+    }
+
+    #[test]
+    fn remove_and_slot_reuse() {
+        let mut c = ConnSet::new();
+        for p in 0..8usize {
+            c.insert(p, t(p as u64));
+        }
+        assert!(c.remove(3));
+        assert!(!c.remove(3));
+        c.insert(99, t(10));
+        // Freed slot recycled: arena did not grow.
+        assert_eq!(c.slots.len(), 8);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.peers().last(), Some(99));
+    }
+
+    #[test]
+    fn pop_idle_stops_at_first_fresh() {
+        let mut c = ConnSet::new();
+        c.insert(1, t(0));
+        c.insert(2, t(50));
+        c.insert(3, t(900));
+        let timeout = SimDuration::from_millis(100);
+        assert_eq!(c.pop_idle(t(1000), timeout), Some(1));
+        assert_eq!(c.pop_idle(t(1000), timeout), Some(2));
+        assert_eq!(c.pop_idle(t(1000), timeout), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn drain_is_oldest_first_and_resets() {
+        let mut c = ConnSet::new();
+        c.insert(5, t(0));
+        c.insert(4, t(1));
+        c.insert(5, t(2));
+        assert_eq!(c.drain(), vec![4, 5]);
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        c.insert(7, t(3));
+        assert_eq!(c.peers().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn bytes_tracks_live_entries() {
+        let mut c = ConnSet::new();
+        assert_eq!(c.bytes(), 0);
+        c.insert(1, t(0));
+        c.insert(2, t(0));
+        let two = c.bytes();
+        c.remove(1);
+        assert_eq!(c.bytes(), two / 2);
+    }
+
+    proptest! {
+        /// The arena list must match the stamp-ordered reference on every
+        /// observable: membership, LRU victim, idle expiry, and full order.
+        #[test]
+        fn matches_stamp_reference(
+            ops in prop::collection::vec((0u8..4, 0usize..12, 0u64..2000), 1..200),
+        ) {
+            let mut arena = ConnSet::new();
+            let mut model = StampSet::default();
+            let mut clock_ms = 0u64;
+            for (op, peer, arg) in ops {
+                clock_ms += 1;
+                let now = t(clock_ms);
+                match op {
+                    0 => {
+                        arena.insert(peer, now);
+                        model.insert(peer, now);
+                    }
+                    1 => {
+                        prop_assert_eq!(arena.remove(peer), model.remove(peer));
+                    }
+                    2 => {
+                        let timeout = SimDuration::from_millis(arg % 500);
+                        prop_assert_eq!(
+                            arena.pop_idle(now, timeout),
+                            model.pop_idle(now, timeout)
+                        );
+                    }
+                    _ => {
+                        prop_assert_eq!(arena.lru(), model.lru());
+                    }
+                }
+                prop_assert_eq!(arena.len(), model.by_peer.len());
+                prop_assert_eq!(arena.peers().collect::<Vec<_>>(), model.peers());
+            }
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //! Modules:
 //! - [`config`] — protocol constants, every one traceable to the paper.
 //! - [`addrbook`] — the 900-entry recently-seen address book (§3.2).
+//! - [`conn`] — arena-backed warm-connection sets with intrusive LRU
+//!   order (the per-node connection state of the simulation).
 //! - [`ipns`] — mutable naming: signed, sequenced pointer records (§3.3).
 //! - [`autonat`] — the dial-back protocol that splits clients from servers
 //!   (§2.3).
@@ -31,6 +33,8 @@
 //!   §4.3 (Table 1, Table 4, Figures 9–10).
 //! - [`obs`] — observability: the metrics registry and per-operation
 //!   trace layer threaded through the simulation.
+//! - [`shardsim`] — the scale substrate: a struct-of-arrays IPFS cell on
+//!   the region-sharded deterministic PDES engine (100k+-node worlds).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +42,7 @@
 pub mod addrbook;
 pub mod autonat;
 pub mod config;
+pub mod conn;
 pub mod experiment;
 pub mod ipns;
 pub mod netsim;
@@ -45,10 +50,12 @@ pub mod node;
 pub mod obs;
 pub mod ops;
 pub mod pinning;
+pub mod shardsim;
 
 pub use addrbook::AddressBook;
 pub use autonat::{AutonatState, AutonatVerdict};
 pub use config::NodeConfig;
+pub use conn::ConnSet;
 pub use experiment::{DhtPerfConfig, DhtPerfExperiment, DhtPerfResults};
 pub use ipns::{IpnsRecord, IpnsStore};
 pub use netsim::{IpfsNetwork, NetworkConfig, NodeId};
@@ -61,3 +68,4 @@ pub use obs::{
 };
 pub use ops::{OpId, PublishReport, RetrieveReport};
 pub use pinning::{PinReceipt, PinningService};
+pub use shardsim::{ShardSim, ShardSimConfig, ShardSimResult};

@@ -12,6 +12,7 @@
 //! structure to what would run on a real transport.
 
 use crate::config::{NodeConfig, TimeoutModel};
+use crate::conn::ConnSet;
 use crate::ipns::IpnsRecord;
 use crate::node::IpfsNode;
 use crate::obs::{
@@ -36,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::latency::{BandwidthClass, LatencyModel, Region, VantagePoint};
 use simnet::{EventQueue, Population, SimDuration, SimTime, TimerId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Dense node identifier within one simulation.
@@ -170,90 +171,6 @@ struct SimNode {
     republish_deferred: Vec<Cid>,
 }
 
-/// A node's warm-connection set with a recency index.
-///
-/// Stamps come from the simulation-wide `conn_clock`, which strictly
-/// increases and is only ever advanced at the current sim time — so within
-/// one node's set, stamp order equals last-use order. The minimum stamp is
-/// therefore both the LRU prune victim and the longest-idle connection,
-/// and idle expiry can walk the index from the front and stop at the first
-/// still-fresh entry instead of scanning all (up to `max_connections`,
-/// default 900) entries.
-#[derive(Default)]
-struct ConnSet {
-    by_peer: HashMap<NodeId, (u64, SimTime)>,
-    by_stamp: BTreeMap<u64, NodeId>,
-}
-
-impl ConnSet {
-    fn new() -> ConnSet {
-        ConnSet::default()
-    }
-
-    fn len(&self) -> usize {
-        self.by_peer.len()
-    }
-
-    fn contains(&self, peer: NodeId) -> bool {
-        self.by_peer.contains_key(&peer)
-    }
-
-    fn get(&self, peer: NodeId) -> Option<(u64, SimTime)> {
-        self.by_peer.get(&peer).copied()
-    }
-
-    /// Inserts or re-stamps a connection.
-    fn insert(&mut self, peer: NodeId, stamp: u64, now: SimTime) {
-        if let Some((old, _)) = self.by_peer.insert(peer, (stamp, now)) {
-            self.by_stamp.remove(&old);
-        }
-        self.by_stamp.insert(stamp, peer);
-    }
-
-    fn remove(&mut self, peer: NodeId) -> bool {
-        match self.by_peer.remove(&peer) {
-            Some((stamp, _)) => {
-                self.by_stamp.remove(&stamp);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// The least-recently-used peer (smallest stamp).
-    fn lru(&self) -> Option<NodeId> {
-        self.by_stamp.values().next().copied()
-    }
-
-    /// Removes and returns the LRU connection if it has sat idle past
-    /// `timeout`. Callers loop until `None`: stamps order by last use, so
-    /// the first fresh entry proves the rest are fresh too.
-    fn pop_idle(&mut self, now: SimTime, timeout: SimDuration) -> Option<NodeId> {
-        let (&stamp, &peer) = self.by_stamp.iter().next()?;
-        let (_, last_used) = self.by_peer[&peer];
-        if now.since(last_used) > timeout {
-            self.by_stamp.remove(&stamp);
-            self.by_peer.remove(&peer);
-            Some(peer)
-        } else {
-            None
-        }
-    }
-
-    /// Removes every connection, returning the peers oldest-first.
-    fn drain(&mut self) -> Vec<NodeId> {
-        self.by_peer.clear();
-        let peers: Vec<NodeId> = self.by_stamp.values().copied().collect();
-        self.by_stamp.clear();
-        peers
-    }
-
-    /// Connected peers, oldest stamp first (deterministic order).
-    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.by_stamp.values().copied()
-    }
-}
-
 /// Events flowing through the simulation.
 #[derive(Debug, Clone)]
 enum NetEvent {
@@ -291,7 +208,10 @@ enum NetEvent {
 // enum's footprint is paid on every schedule/cascade/pop. The RPC and
 // Bitswap payloads above are boxed to keep the inline size capped by the
 // plain-data variants; growing past this bound should be a deliberate
-// choice, not an accident.
+// choice, not an accident. The sharded cell's event enum
+// (`crate::shardsim::Ev`) carries the same bound: its events additionally
+// cross shard mailboxes at window boundaries, where the inline size is
+// paid once more per hand-off.
 const _: () = assert!(std::mem::size_of::<NetEvent>() <= 80);
 
 /// Internal per-operation state.
@@ -482,8 +402,6 @@ pub struct IpfsNetwork {
     /// Outstanding query RPCs, for stale-timeout suppression.
     pending_rpcs: HashSet<(NodeId, QueryId, PeerId)>,
     next_op: u64,
-    /// Logical clock for connection-manager LRU stamps.
-    conn_clock: u64,
     /// All DHT servers sorted by key — used by the join-time announcement
     /// (each churn-online event re-inserts the peer near its key, the
     /// effect a real node's bootstrap self-lookup has).
@@ -624,7 +542,6 @@ impl IpfsNetwork {
             session_owner: HashMap::new(),
             pending_rpcs: HashSet::new(),
             next_op: 0,
-            conn_clock: 0,
             sorted_servers: Vec::new(),
             publish_reports: Vec::new(),
             retrieve_reports: Vec::new(),
@@ -825,6 +742,26 @@ impl IpfsNetwork {
         self.nodes[id].connections.len()
     }
 
+    /// Mean logical bytes of per-node protocol state: warm-connection
+    /// arena + routing-table entries + address-book slab. Length-based
+    /// (not capacity-based), so the figure is independent of allocator
+    /// growth policy and of how many shards executed the run.
+    pub fn bytes_per_node_estimate(&self) -> u64 {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let total: u64 = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.connections.bytes()
+                    + n.node.dht.routing().bytes_estimate()
+                    + n.node.addr_book.bytes_estimate()
+            })
+            .sum();
+        total / self.nodes.len() as u64
+    }
+
     /// Whether two nodes currently share a warm connection.
     pub fn is_connected(&self, a: NodeId, b: NodeId) -> bool {
         self.nodes[a].connections.contains(b)
@@ -881,11 +818,9 @@ impl IpfsNetwork {
     /// Opens a warm connection between two nodes (no time charged; used
     /// for experiment setup, e.g. gateway neighbour sets).
     pub fn connect(&mut self, a: NodeId, b: NodeId) {
-        self.conn_clock += 1;
-        let stamp = self.conn_clock;
         let now = self.now();
-        self.nodes[a].connections.insert(b, stamp, now);
-        self.nodes[b].connections.insert(a, stamp, now);
+        self.nodes[a].connections.insert(b, now);
+        self.nodes[b].connections.insert(a, now);
         self.prune_connections(a);
         self.prune_connections(b);
     }
@@ -2331,7 +2266,7 @@ impl IpfsNetwork {
                 return None;
             }
         }
-        if let Some((_, last_used)) = self.nodes[from].connections.get(target) {
+        if let Some(last_used) = self.nodes[from].connections.last_used(target) {
             let now = self.now();
             if now.since(last_used) > self.cfg.conn_idle_timeout {
                 // The connection manager closed this idle connection long
@@ -2340,9 +2275,7 @@ impl IpfsNetwork {
                 self.nodes[target].connections.remove(from);
                 self.metrics.incr_handle(self.hot.conn_idle_expired);
             } else {
-                self.conn_clock += 1;
-                let stamp = self.conn_clock;
-                self.nodes[from].connections.insert(target, stamp, now);
+                self.nodes[from].connections.insert(target, now);
                 self.metrics.incr_handle(self.hot.dials_warm);
                 return Some((target, SimDuration::ZERO));
             }
@@ -2363,11 +2296,9 @@ impl IpfsNetwork {
             return None;
         };
         let d = self.one_way(from, target) * extra_legs;
-        self.conn_clock += 1;
-        let stamp = self.conn_clock;
         let now = self.now();
-        self.nodes[from].connections.insert(target, stamp, now);
-        self.nodes[target].connections.insert(from, stamp, now);
+        self.nodes[from].connections.insert(target, now);
+        self.nodes[target].connections.insert(from, now);
         self.prune_connections(from);
         self.prune_connections(target);
         self.metrics.incr_handle(self.hot.dials_ok);

@@ -68,20 +68,27 @@ struct Entry {
 }
 
 /// The routing table of one DHT node.
+///
+/// Buckets are stored *sparsely*: only occupied buckets exist, as a vec of
+/// `(bucket_index, entries)` sorted by index. With hash-uniform keys a node
+/// only ever occupies ~log2(n) high buckets (15–20 at 100k peers), so the
+/// previous dense `[Vec; 256]` layout spent ~6 kB of empty `Vec` headers
+/// per node — 600 MB of pure overhead in a 100k-node world. Entries within
+/// a bucket are ordered least-recently seen first (classic Kademlia keeps
+/// long-lived peers, which §6.4 credits for IPFS's lookup reliability).
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     local: Key,
-    /// Buckets indexed by distance prefix; entries ordered least-recently
-    /// seen first (classic Kademlia keeps long-lived peers, which §6.4
-    /// credits for IPFS's lookup reliability).
-    buckets: Vec<Vec<Entry>>,
+    /// Occupied buckets, sorted by bucket index. Buckets are dropped as
+    /// soon as their last entry is removed, so no empty bucket lingers.
+    buckets: Vec<(u8, Vec<Entry>)>,
     size: usize,
 }
 
 impl RoutingTable {
     /// Creates an empty table for a node whose own key is `local`.
     pub fn new(local: Key) -> RoutingTable {
-        RoutingTable { local, buckets: vec![Vec::new(); NUM_BUCKETS], size: 0 }
+        RoutingTable { local, buckets: Vec::new(), size: 0 }
     }
 
     /// The local key the table is centered on.
@@ -110,7 +117,14 @@ impl RoutingTable {
         let Some(idx) = self.local.bucket_index(&key) else {
             return false; // never insert self
         };
-        let bucket = &mut self.buckets[idx];
+        let slot = match self.buckets.binary_search_by_key(&(idx as u8), |b| b.0) {
+            Ok(slot) => slot,
+            Err(slot) => {
+                self.buckets.insert(slot, (idx as u8, Vec::new()));
+                slot
+            }
+        };
+        let bucket = &mut self.buckets[slot].1;
         // Keys are SHA-256 of the PeerID, so key equality is peer equality;
         // the inline `[u8; 32]` compare avoids chasing the Arc on every probe.
         if let Some(pos) = bucket.iter().position(|e| e.key == key) {
@@ -120,6 +134,9 @@ impl RoutingTable {
             return true;
         }
         if bucket.len() >= K {
+            if bucket.is_empty() {
+                self.buckets.remove(slot); // K == 0 edge: keep no empties
+            }
             return false;
         }
         bucket.push(Entry { info, key });
@@ -134,9 +151,15 @@ impl RoutingTable {
         let Some(idx) = self.local.bucket_index(&key) else {
             return false;
         };
-        let bucket = &mut self.buckets[idx];
+        let Ok(slot) = self.buckets.binary_search_by_key(&(idx as u8), |b| b.0) else {
+            return false;
+        };
+        let bucket = &mut self.buckets[slot].1;
         if let Some(pos) = bucket.iter().position(|e| e.key == key) {
             bucket.remove(pos);
+            if bucket.is_empty() {
+                self.buckets.remove(slot);
+            }
             self.size -= 1;
             true
         } else {
@@ -149,7 +172,8 @@ impl RoutingTable {
         let key = Key::from_peer(peer);
         self.local
             .bucket_index(&key)
-            .map(|idx| self.buckets[idx].iter().any(|e| e.key == key))
+            .and_then(|idx| self.buckets.binary_search_by_key(&(idx as u8), |b| b.0).ok())
+            .map(|slot| self.buckets[slot].1.iter().any(|e| e.key == key))
             .unwrap_or(false)
     }
 
@@ -190,17 +214,16 @@ impl RoutingTable {
             .buckets
             .iter()
             .enumerate()
-            .filter(|(_, b)| !b.is_empty())
-            .map(|(i, _)| (Self::bucket_min_distance(&dt, i), i))
+            .map(|(slot, (idx, _))| (Self::bucket_min_distance(&dt, *idx as usize), slot))
             .collect();
         order.sort_unstable();
         let mut scratch: Vec<(Distance, &Arc<PeerInfo>)> = Vec::with_capacity(K);
-        for (_, idx) in order {
+        for (_, slot) in order {
             if out.len() >= count {
                 break;
             }
             scratch.clear();
-            scratch.extend(self.buckets[idx].iter().map(|e| (e.key.distance(target), &e.info)));
+            scratch.extend(self.buckets[slot].1.iter().map(|e| (e.key.distance(target), &e.info)));
             scratch.sort_unstable_by_key(|e| e.0);
             for (_, info) in &scratch {
                 out.push(Arc::clone(info));
@@ -215,17 +238,21 @@ impl RoutingTable {
     /// All peers in the table (bucket order) — used by the network crawler
     /// (§4.1), which asks peers "for all entries in their k-buckets".
     pub fn all_peers(&self) -> Vec<Arc<PeerInfo>> {
-        self.buckets.iter().flatten().map(|e| Arc::clone(&e.info)).collect()
+        self.buckets.iter().flat_map(|(_, b)| b).map(|e| Arc::clone(&e.info)).collect()
     }
 
     /// Occupancy of each non-empty bucket (for diagnostics/benchmarks).
     pub fn bucket_sizes(&self) -> Vec<(usize, usize)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| !b.is_empty())
-            .map(|(i, b)| (i, b.len()))
-            .collect()
+        self.buckets.iter().map(|(i, b)| (*i as usize, b.len())).collect()
+    }
+
+    /// Logical bytes held by this table (length-based, independent of
+    /// allocator slack): the fixed struct, one header per occupied bucket,
+    /// and one [`Entry`] (shared-info pointer + cached key) per peer.
+    pub fn bytes_estimate(&self) -> u64 {
+        let headers = self.buckets.len() * std::mem::size_of::<(u8, Vec<Entry>)>();
+        let entries = self.size * std::mem::size_of::<Entry>();
+        (std::mem::size_of::<RoutingTable>() + headers + entries) as u64
     }
 }
 
@@ -446,5 +473,44 @@ mod tests {
             rt.insert(info(seed));
         }
         assert_eq!(rt.all_peers().len(), rt.len());
+    }
+
+    #[test]
+    fn sparse_buckets_stay_sorted_and_nonempty() {
+        let mut rt = table(0);
+        for seed in 1..500u64 {
+            rt.insert(info(seed));
+        }
+        let sizes = rt.bucket_sizes();
+        assert!(sizes.windows(2).all(|w| w[0].0 < w[1].0), "bucket indices sorted");
+        assert!(sizes.iter().all(|&(_, s)| s > 0), "no empty buckets retained");
+        // Hash-uniform keys occupy only the ~log2(n) high buckets.
+        assert!(sizes.len() < 32, "expected sparse occupancy, got {}", sizes.len());
+        // Removing a bucket's last entry drops the bucket itself.
+        let before = rt.bucket_sizes().len();
+        let lonely =
+            rt.bucket_sizes().iter().find(|&&(_, s)| s == 1).map(|&(i, _)| i).and_then(|i| {
+                rt.all_peers().into_iter().find(|p| rt.local.bucket_index(&p.key()) == Some(i))
+            });
+        if let Some(p) = lonely {
+            assert!(rt.remove(&p.peer));
+            assert_eq!(rt.bucket_sizes().len(), before - 1);
+        }
+    }
+
+    #[test]
+    fn bytes_estimate_tracks_occupancy() {
+        let mut rt = table(0);
+        let empty = rt.bytes_estimate();
+        assert_eq!(empty, std::mem::size_of::<RoutingTable>() as u64);
+        for seed in 1..200u64 {
+            rt.insert(info(seed));
+        }
+        let full = rt.bytes_estimate();
+        assert!(full > empty);
+        // Dominated by per-entry cost, not per-bucket headers: entries are
+        // ~40 B each and the sparse table holds < 32 bucket headers.
+        let entries = (rt.len() * std::mem::size_of::<Entry>()) as u64;
+        assert!(full - empty < entries + 32 * 40);
     }
 }

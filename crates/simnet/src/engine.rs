@@ -403,6 +403,22 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Schedules `event` at an absolute instant under a *caller-supplied*
+    /// tie-break key that takes the place of the internal insertion
+    /// sequence. Dispatch order is (time, key), so two queues that receive
+    /// the same keyed events in any insertion order dispatch identically —
+    /// the property the region-sharded PDES driver ([`crate::shard`])
+    /// relies on when cross-shard mailboxes are drained in nondeterministic
+    /// order. Keys must be unique per (instant, queue) and keyed scheduling
+    /// must not be mixed with the auto-sequenced `schedule*` methods on the
+    /// same queue (the internal counter could collide with a caller key).
+    /// Keyed events are not cancellable. Panics if `at` is in the past.
+    pub fn schedule_at_keyed(&mut self, at: SimTime, key: u64, event: E) {
+        assert!(at >= self.now, "keyed event scheduled in the past");
+        self.pending += 1;
+        self.sched.push(ScheduledEvent { at, seq: key, event });
+    }
+
     fn push_event(&mut self, at: SimTime, event: E) -> u64 {
         let at = at.max(self.now);
         let seq = self.next_seq;

@@ -44,8 +44,18 @@ impl Region {
         Region::Oceania,
     ];
 
-    fn index(self) -> usize {
+    /// Number of zones (length of [`Region::ALL`]).
+    pub const COUNT: usize = 10;
+
+    /// This zone's position in [`Region::ALL`] — the row/column index of
+    /// the RTT matrix, and the shard key of the region-sharded PDES.
+    pub fn index(self) -> usize {
         Region::ALL.iter().position(|r| *r == self).expect("region in ALL")
+    }
+
+    /// The inverse of [`Region::index`].
+    pub fn from_index(i: usize) -> Region {
+        Region::ALL[i]
     }
 
     /// Short name for reports.
@@ -194,6 +204,53 @@ impl LatencyModel {
         SimDuration::from_secs_f64(half_rtt_ms * mult / 1e3)
     }
 
+    /// Hard lower bound on a floored one-way latency sample between two
+    /// zones: a quarter of the median RTT (i.e. the half-RTT median scaled
+    /// by [`LatencyModel::FLOOR_MULT`]). Computed in integer nanoseconds so
+    /// that `sample_one_way_floored(..) >= one_way_floor(..)` holds exactly.
+    pub fn one_way_floor(&self, a: Region, b: Region) -> SimDuration {
+        let rtt = self.median_rtt(a, b);
+        SimDuration::from_nanos(rtt.as_nanos() / 4)
+    }
+
+    /// Smallest [`LatencyModel::one_way_floor`] over any *cross-zone* pair:
+    /// the conservative lookahead of the region-sharded PDES
+    /// ([`crate::shard`]). No message between distinct zones can arrive
+    /// sooner than this after it was sent, so shards may safely advance
+    /// this far past the global minimum timestamp without hearing from
+    /// each other. With the current matrix (min off-diagonal RTT 25 ms,
+    /// eu-west <-> eu-central) this is 6.25 ms.
+    pub fn cross_region_lookahead(&self) -> SimDuration {
+        let mut min = SimDuration::MAX;
+        for a in Region::ALL {
+            for b in Region::ALL {
+                if a != b {
+                    min = min.min(self.one_way_floor(a, b));
+                }
+            }
+        }
+        min
+    }
+
+    /// Lowest value the log-normal jitter multiplier is allowed to take in
+    /// [`LatencyModel::sample_one_way_floored`]. With `jitter_sigma = 0.25`
+    /// the unclamped multiplier dips below 0.5 with probability
+    /// Φ(ln 0.5 / 0.25) ≈ 0.28 %, so the clamp barely perturbs the
+    /// distribution while giving the PDES a hard latency floor.
+    pub const FLOOR_MULT: f64 = 0.5;
+
+    /// Like [`LatencyModel::sample_one_way`], but clamped from below at
+    /// [`LatencyModel::one_way_floor`] so cross-zone deliveries can never
+    /// undercut the PDES lookahead window.
+    pub fn sample_one_way_floored<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        a: Region,
+        b: Region,
+    ) -> SimDuration {
+        self.sample_one_way(rng, a, b).max(self.one_way_floor(a, b))
+    }
+
     /// Time for `bytes` to flow from `sender` to `receiver`: one-way latency
     /// plus serialization at the bottleneck of the sender's uplink and the
     /// receiver's downlink.
@@ -335,6 +392,33 @@ mod tests {
         };
         assert!(mean_rtt(VantagePoint::EuCentral1) < mean_rtt(VantagePoint::AfSouth1));
         assert!(mean_rtt(VantagePoint::EuCentral1) < mean_rtt(VantagePoint::ApSoutheast2));
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_region_quarter_rtt() {
+        let model = LatencyModel::default();
+        // Min off-diagonal RTT is 25 ms (eu-west <-> eu-central) -> 6.25 ms.
+        assert_eq!(model.cross_region_lookahead(), SimDuration::from_micros(6_250));
+        assert_eq!(
+            model.one_way_floor(Region::EuropeWest, Region::EuropeCentral),
+            SimDuration::from_micros(6_250)
+        );
+    }
+
+    #[test]
+    fn floored_samples_never_undercut_floor_or_lookahead() {
+        let model = LatencyModel { jitter_sigma: 2.0 }; // exaggerate jitter
+        let mut rng = StdRng::seed_from_u64(7);
+        let la = model.cross_region_lookahead();
+        for _ in 0..5000 {
+            for (a, b) in
+                [(Region::EuropeWest, Region::EuropeCentral), (Region::Africa, Region::Oceania)]
+            {
+                let s = model.sample_one_way_floored(&mut rng, a, b);
+                assert!(s >= model.one_way_floor(a, b));
+                assert!(s >= la);
+            }
+        }
     }
 
     #[test]

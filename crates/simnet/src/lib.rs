@@ -19,6 +19,9 @@
 //!   heavy tail, multihoming, region mix (§5.1–5.2).
 //! - [`churn`] — region-dependent session/uptime model calibrated to §5.3
 //!   (87.6 % of sessions < 8 h, 2.5 % > 24 h, per-region medians).
+//! - [`shard`] — region-sharded deterministic parallel event execution
+//!   (conservative lookahead from the latency floor; byte-identical to the
+//!   serial path at any shard count).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,11 +31,13 @@ pub mod engine;
 pub mod geodb;
 pub mod latency;
 pub mod population;
+pub mod shard;
 pub mod time;
 
 pub use churn::{ChurnModel, SessionSchedule};
 pub use engine::{Engine, EventQueue, ScheduledEvent, SchedulerKind, TimerId};
 pub use geodb::{AsInfo, CloudProvider, Country, GeoDb};
 pub use latency::{LatencyModel, Region, VantagePoint};
-pub use population::{Population, PopulationConfig, SimPeer};
+pub use population::{LeanPopulation, Population, PopulationConfig, SimPeer};
+pub use shard::{RegionEvent, ShardCtx, ShardedEngine};
 pub use time::{SimDuration, SimTime};

@@ -197,6 +197,59 @@ impl Population {
     }
 }
 
+/// Struct-of-arrays population for very large cells (100k+ peers).
+///
+/// [`Population`] carries ~1 kB of per-peer state (host info, churn
+/// schedule vectors, multihoming) — fine at 20k peers, prohibitive at
+/// 100k+. The lean variant keeps only what the region-sharded PDES cell
+/// ([`crate::shard`]) consumes — the geographic zone, the DHT-server flag,
+/// and the datacenter-bandwidth flag — as three parallel arrays (~3 bytes
+/// per peer), sampled from the same [`GeoDb`] country/cloud mix and the
+/// same NAT share as the full generator.
+#[derive(Debug, Clone)]
+pub struct LeanPopulation {
+    /// Zone index per peer ([`crate::latency::Region::index`]).
+    pub region: Vec<u8>,
+    /// Whether the peer is a dialable DHT server (`!nat`).
+    pub server: Vec<bool>,
+    /// Whether the peer has datacenter bandwidth (cloud-hosted).
+    pub datacenter: Vec<bool>,
+}
+
+impl LeanPopulation {
+    /// Generates `size` peers deterministically from `seed`, with the given
+    /// NAT (non-server) fraction.
+    pub fn generate(size: usize, nat_fraction: f64, seed: u64) -> LeanPopulation {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6c65_616e_5f70_6f70); // "lean_pop"
+        let geodb = GeoDb::new();
+        let mut region = Vec::with_capacity(size);
+        let mut server = Vec::with_capacity(size);
+        let mut datacenter = Vec::with_capacity(size);
+        for index in 0..size {
+            let host = geodb.sample_host(&mut rng, index as u32);
+            region.push(host.region.index() as u8);
+            server.push(rng.random_range(0.0..1.0) >= nat_fraction);
+            datacenter.push(host.cloud.is_some());
+        }
+        LeanPopulation { region, server, datacenter }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.region.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.region.is_empty()
+    }
+
+    /// Logical bytes held per peer (length-based, allocation-independent).
+    pub fn bytes(&self) -> u64 {
+        (self.region.len() + self.server.len() + self.datacenter.len()) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,5 +330,24 @@ mod tests {
         let p = pop(10_000);
         let set: std::collections::HashSet<u64> = p.peers.iter().map(|x| x.key_seed).collect();
         assert_eq!(set.len(), p.peers.len());
+    }
+
+    #[test]
+    fn lean_population_matches_mix() {
+        let p = LeanPopulation::generate(20_000, 0.455, 42);
+        assert_eq!(p.len(), 20_000);
+        let servers = p.server.iter().filter(|&&s| s).count() as f64 / p.len() as f64;
+        assert!((servers - 0.545).abs() < 0.02, "server share {servers}");
+        // Every zone index must be valid, and several zones populated.
+        let mut seen = [false; crate::latency::Region::COUNT];
+        for &r in &p.region {
+            seen[r as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() >= 5, "zones underpopulated");
+        // Deterministic.
+        let q = LeanPopulation::generate(20_000, 0.455, 42);
+        assert_eq!(p.region, q.region);
+        assert_eq!(p.server, q.server);
+        assert!(p.bytes() >= 60_000);
     }
 }

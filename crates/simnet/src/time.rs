@@ -60,6 +60,8 @@ impl SimTime {
 impl SimDuration {
     /// Zero-length span.
     pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
 
     /// From nanoseconds.
     pub const fn from_nanos(ns: u64) -> SimDuration {

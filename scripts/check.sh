@@ -40,6 +40,24 @@ if ! cmp -s "$SCHED_DIR/heap.txt" "$SCHED_DIR/wheel.txt"; then
 fi
 rm -rf "$SCHED_DIR"
 
+echo "== PDES equivalence (serial vs sharded digest gate) =="
+# The region-sharded engine must reproduce the serial total order exactly:
+# a digest run (event counts, (time,key) order fingerprints, metrics
+# fingerprints, bytes/node — no wall-clock values) must be byte-identical
+# at IPFS_REPRO_SHARDS=1 (the exact serial path) and =6.
+PDES_DIR="$(mktemp -d)"
+IPFS_REPRO_SHARDS=1 ./target/release/throughput --smoke --digest \
+    > "$PDES_DIR/serial.txt" 2> /dev/null
+IPFS_REPRO_SHARDS=6 ./target/release/throughput --smoke --digest \
+    > "$PDES_DIR/sharded.txt" 2> /dev/null
+if ! cmp -s "$PDES_DIR/serial.txt" "$PDES_DIR/sharded.txt"; then
+    echo "throughput --smoke --digest differs between IPFS_REPRO_SHARDS=1 and =6" >&2
+    diff "$PDES_DIR/serial.txt" "$PDES_DIR/sharded.txt" >&2 || true
+    rm -rf "$PDES_DIR"
+    exit 1
+fi
+rm -rf "$PDES_DIR"
+
 echo "== chaos smoke (fault-injection determinism gate) =="
 # The chaos harness must exit 0 and print byte-identical output whether
 # its scenario cells run serially or on 4 worker threads.
