@@ -2,7 +2,7 @@
 //!
 //! Not a paper artifact — the paper (§6.1) measures steady-state dial
 //! failures and churn; this binary measures how the same stack *recovers*
-//! from scripted correlated failures (see `crates/faultsim`). Five
+//! from scripted correlated failures (see `crates/faultsim`). Six
 //! scenarios, each an independent deterministic cell:
 //!
 //! 1. **regional_partition** — a vantage region is cut off; reports
@@ -14,7 +14,10 @@
 //!    publish success and walk failures during vs after.
 //! 4. **degraded_links** — 4× latency and 5 % loss everywhere; retrieval
 //!    slows but completes, then returns to baseline.
-//! 5. **gateway_dip** — the gateway's region is partitioned for two hours
+//! 5. **provider_crash_midfetch** — the busiest provider of a 3-peer
+//!    swarm transfer crashes mid-fetch; the Bitswap session re-routes its
+//!    in-flight wants to the survivors and the retrieval completes.
+//! 6. **gateway_dip** — the gateway's region is partitioned for two hours
 //!    of the day; reports the hit-rate dip and recovery per time bin.
 //!
 //! Output is byte-identical for any `IPFS_REPRO_JOBS` value (cells are

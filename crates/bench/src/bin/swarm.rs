@@ -1,0 +1,96 @@
+//! Swarm-transfer benchmark: multi-provider Bitswap sessions over chunked
+//! Merkle-DAGs.
+//!
+//! Extends the paper's single-provider retrieval cells (§6.2) with the
+//! session layer the deployed client ships: WANT-HAVE broadcast over the
+//! provider swarm, want splitting with per-peer in-flight budgets, EWMA
+//! latency scoring, duplicate-factor ablation and renege re-routing (see
+//! `bench::swarm`). Reports sim-time goodput against swarm size for
+//! 512 KiB – 64 MiB DAGs.
+//!
+//! Stdout is byte-identical for any `IPFS_REPRO_JOBS` value (cells are
+//! pure functions of the master seed; see `bench::runner`). Wall-clock
+//! events/sec goes to stderr and the exported JSON only. When
+//! `IPFS_REPRO_CSV_DIR` is set, results land in `BENCH_swarm.json`.
+//!
+//! Flags:
+//! * `--smoke` — tiny fixed-size run for the CI determinism gate.
+//! * `--check-against <path>` — compare the headline cell's wall-clock
+//!   events/sec against a previously recorded JSON (same mode); exit
+//!   non-zero on a >30 % regression.
+
+use bench::runner::{banner, jobs_from_env, seed_from_env, Scale};
+use bench::swarm::{headline_label, render_json, render_report, run_all, SwarmBenchConfig};
+
+/// Pulls `"events_per_sec": <x>` for the entry `"label": "<label>"` out of
+/// an exported JSON (scanning, no parser dependency).
+fn baseline_events_per_sec(json: &str, label: &str) -> Option<f64> {
+    let entry = json.split("\"label\"").find(|chunk| {
+        chunk.trim_start().trim_start_matches(':').trim_start().starts_with(&format!("\"{label}\""))
+    })?;
+    let after = entry.split("\"events_per_sec\"").nth(1)?;
+    let num: String = after
+        .chars()
+        .skip_while(|c| *c == ':' || c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check_against = args
+        .iter()
+        .position(|a| a == "--check-against")
+        .and_then(|i| args.get(i + 1))
+        .map(String::from);
+
+    banner("Swarm transfer", "multi-provider Bitswap sessions over chunked DAGs");
+    let seed = seed_from_env();
+    let jobs = jobs_from_env();
+    let cfg = if smoke {
+        SwarmBenchConfig::smoke()
+    } else {
+        SwarmBenchConfig::at_scale(Scale::from_env())
+    };
+
+    let outputs = run_all(&cfg, seed, smoke, jobs);
+    print!("{}", render_report(&outputs));
+
+    // Wall-clock headline to stderr: stdout must stay byte-identical
+    // across job counts and machines.
+    let label = headline_label(smoke);
+    let headline = outputs.iter().find(|c| c.label == label).expect("headline cell ran");
+    eprintln!(
+        "sustained: {:.0} sim events/s over {} swarm cells [{}]",
+        headline.events_per_sec,
+        outputs.len(),
+        label
+    );
+
+    let json = render_json(&outputs, seed);
+    if let Some(path) = bench::write_json("BENCH_swarm", &json) {
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(path) = check_against {
+        let baseline = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| baseline_events_per_sec(&s, label))
+            .unwrap_or_else(|| {
+                eprintln!("swarm: cannot read baseline events/sec from {path}");
+                std::process::exit(2);
+            });
+        let current = headline.events_per_sec;
+        let ratio = current / baseline.max(1e-9);
+        eprintln!(
+            "regression gate [{label}]: current {current:.0} events/s vs baseline \
+{baseline:.0} events/s (ratio {ratio:.2})"
+        );
+        if ratio < 0.7 {
+            eprintln!("swarm: events/sec regressed >30% against {path}");
+            std::process::exit(1);
+        }
+    }
+}

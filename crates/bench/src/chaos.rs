@@ -380,6 +380,113 @@ fn scenario_degraded_links(cfg: &ChaosConfig, seed: u64) -> CellOutput {
     CellOutput { label: "degraded_links", report, json }
 }
 
+/// Provider crash mid-swarm-transfer: three providers serve a chunked
+/// 2 MiB Merkle-DAG; the one carrying the most blocks dies halfway
+/// through the fetch window, with WANT-BLOCKs outstanding at it. The requester's Bitswap session must
+/// notice the disconnect, re-queue the victim's in-flight wants onto the
+/// survivors and still complete the transfer (§3.2 swarm resilience).
+///
+/// Two passes over the *same seed*: a fault-free run locates the fetch
+/// window and the busiest provider (the worst-case victim); the measured
+/// run replays the identical workload with a targeted
+/// [`FaultPlan::crash_nodes`] installed inside that window.
+fn scenario_provider_crash(cfg: &ChaosConfig, seed: u64) -> CellOutput {
+    const DAG_BYTES: u64 = 2 * 1024 * 1024;
+    const SWARM: usize = 3;
+    let setup = |seed: u64| {
+        let pop = Population::generate(
+            PopulationConfig {
+                size: cfg.population,
+                nat_fraction: 0.3,
+                horizon: SimDuration::from_hours(6),
+                ..Default::default()
+            },
+            seed,
+        );
+        // Records carry multiaddrs so every provider is dialed up front —
+        // the swarm must assemble before the transfer ends for the crash
+        // to have survivors worth re-routing to.
+        let net_cfg =
+            NetworkConfig { provider_records_carry_addrs: true, ..NetworkConfig::default() };
+        let mut net =
+            IpfsNetwork::from_population(&pop, &[VantagePoint::EuCentral1], net_cfg, seed);
+        let requester = net.vantage_ids(1)[0];
+        let providers: Vec<NodeId> = net
+            .server_ids()
+            .into_iter()
+            .filter(|&i| net.is_dialable(i) && i != requester)
+            .take(SWARM)
+            .collect();
+        assert_eq!(providers.len(), SWARM, "population too small for the crash swarm");
+        let data = crate::swarm::gen_bytes(DAG_BYTES, seed ^ 0xC4A5);
+        let mut cid = None;
+        for &p in &providers {
+            let c = net.import_content(p, &data);
+            net.publish(p, c.clone());
+            cid = Some(c);
+        }
+        net.run_until_quiet();
+        // Cold-start the requester so the transfer runs as a swarm fetch
+        // (a warm provider connection would satisfy the 1 s probe and
+        // collapse the fetch window the crash must land inside).
+        net.disconnect_all(requester);
+        (net, requester, providers, cid.expect("at least one provider"))
+    };
+
+    // Pass 1 (fault-free): locate the fetch window and the victim.
+    let (mut probe, requester, providers, cid) = setup(seed);
+    probe.retrieve(requester, cid);
+    probe.run_until_quiet();
+    let baseline = probe.retrieve_reports.last().expect("retrieve ran").clone();
+    let victim = *providers
+        .iter()
+        .max_by_key(|&&p| probe.node_mut(p).bitswap.counts_sent.block)
+        .expect("swarm is non-empty");
+    let fetch_start = baseline.started_at + baseline.discover();
+    let crash_at = fetch_start + SimDuration::from_secs_f64(baseline.fetch.as_secs_f64() * 0.5);
+
+    // Pass 2: identical workload, but the victim dies mid-fetch. The plan
+    // draws no randomness, so both passes share a timeline up to the crash.
+    let (mut net, requester, providers, cid) = setup(seed);
+    let mut plan = FaultPlan::new();
+    plan.crash_nodes(crash_at, vec![victim], SimDuration::from_secs(600));
+    net.install_fault_plan(plan);
+    net.retrieve(requester, cid);
+    net.run_until_quiet();
+    let rr = net.retrieve_reports.last().expect("retrieve ran").clone();
+    let reroutes = net.metrics().get(names::BITSWAP_SESSION_REROUTES);
+    let crashed = net.metrics().get(names::FAULT_NODES_CRASHED);
+    let victim_blocks = net.node_mut(victim).bitswap.counts_sent.block;
+    let survivor_blocks: u64 = providers
+        .iter()
+        .filter(|&&p| p != victim)
+        .map(|&p| net.node_mut(p).bitswap.counts_sent.block)
+        .sum();
+
+    let report = format!(
+        "{SWARM}-provider swarm fetch of a 2.0 MiB DAG; busiest provider crashes mid-fetch\n\
+         fault-free fetch: ok={} {:.3}s sim; crash scheduled 50% into that window\n\
+         with crash: ok={} {:.3}s sim (must complete), {crashed} node crashed\n\
+         session reroutes: {reroutes} (must be nonzero)\n\
+         blocks served: victim {victim_blocks} (pre-crash), survivors {survivor_blocks}\n{}",
+        baseline.success,
+        baseline.fetch.as_secs_f64(),
+        rr.success,
+        rr.fetch.as_secs_f64(),
+        crate::export::fault_report(net.metrics()),
+    );
+    let json = format!(
+        "{{\"baseline_ok\": {}, \"baseline_fetch_secs\": {:.6}, \"crash_ok\": {}, \
+          \"crash_fetch_secs\": {:.6}, \"reroutes\": {reroutes}, \
+          \"victim_blocks\": {victim_blocks}, \"survivor_blocks\": {survivor_blocks}}}",
+        baseline.success,
+        baseline.fetch.as_secs_f64(),
+        rr.success,
+        rr.fetch.as_secs_f64(),
+    );
+    CellOutput { label: "provider_crash_midfetch", report, json }
+}
+
 /// Gateway across a partition: a windowed [`TimeSeries`] of request
 /// success dips while the gateway's region is cut and recovers after
 /// heal. The series is exported as `chaos_gateway_timeseries.csv` when
@@ -470,6 +577,7 @@ pub fn run_all(cfg: &ChaosConfig, master_seed: u64, jobs: usize) -> Vec<CellOutp
         scenario_crash_wave,
         scenario_dial_spike,
         scenario_degraded_links,
+        scenario_provider_crash,
         scenario_gateway_dip,
     ];
     run_cells_with_jobs(jobs, scenarios.len(), |i| {
@@ -513,5 +621,30 @@ mod tests {
             (render_report(&outputs), render_json(&outputs, 99))
         };
         assert_eq!(render(1), render(4), "jobs=1 vs jobs=4 must be byte-identical");
+    }
+
+    /// A provider crash mid-fetch must not kill the transfer: the session
+    /// re-routes the victim's wants onto the surviving swarm members.
+    #[test]
+    fn provider_crash_completes_with_reroutes() {
+        let cell = scenario_provider_crash(&ChaosConfig::smoke(), 2022);
+        assert!(cell.json.contains("\"baseline_ok\": true"), "{}", cell.report);
+        assert!(cell.json.contains("\"crash_ok\": true"), "{}", cell.report);
+        let reroutes: u64 = cell
+            .json
+            .split("\"reroutes\": ")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("reroutes field present");
+        assert!(reroutes > 0, "crash must force at least one re-routed want:\n{}", cell.report);
+        let survivors: u64 = cell
+            .json
+            .split("\"survivor_blocks\": ")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("survivor_blocks field present");
+        assert!(survivors > 0, "survivors must serve the re-routed blocks:\n{}", cell.report);
     }
 }

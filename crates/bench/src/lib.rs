@@ -37,6 +37,7 @@ pub mod gateway_fleet;
 pub mod latency;
 pub mod runner;
 pub mod stats;
+pub mod swarm;
 
 pub use export::{
     fault_report, metrics_report, to_csv, write_csv, write_json, write_metrics,

@@ -1,18 +1,30 @@
 //! The sans-io Bitswap engine: serves inbound wants and runs client
 //! sessions that fetch whole DAGs.
 //!
-//! A *session* fetches the DAG rooted at one CID from a set of candidate
-//! peers. For every missing block it performs the three-step exchange of
-//! §3.2 (WANT-HAVE → HAVE → WANT-BLOCK → BLOCK), discovering new wants as
-//! branch nodes arrive and their links decode. Every received block is
-//! verified against its CID before it is stored — the self-certification
-//! property (§2.1) means no provider needs to be trusted.
+//! A *session* ([`crate::session::Session`]) fetches the DAG rooted at one
+//! CID from a set of candidate peers. For every missing block it performs
+//! the three-step exchange of §3.2 (WANT-HAVE → HAVE → WANT-BLOCK →
+//! BLOCK), discovering new wants as branch nodes arrive and their links
+//! decode, splitting live wants across the best-scoring peers, and
+//! re-queueing wants when a peer reneges or crashes. Every received block
+//! is verified against its CID before it is stored — the
+//! self-certification property (§2.1) means no provider needs to be
+//! trusted.
+//!
+//! The engine is the session's stateful shell: it owns the sessions,
+//! stamps every outbound message into the ledgers and per-type counters,
+//! answers the server side of the protocol, and routes inbound client
+//! messages to the owning session. A driver feeds it a clock
+//! ([`BitswapEngine::set_clock`]) so sessions can score per-peer response
+//! latency; without one, all samples read zero and peer selection falls
+//! back to join-shortest-queue order.
 
 use crate::ledger::Ledger;
 use crate::message::Message;
+use crate::session::{Session, SessionConfig, SessionStats};
 use merkledag::{BlockStore, DagNode};
 use multiformats::{Cid, Multicodec, PeerId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// Handle for a client fetch session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -35,6 +47,13 @@ pub enum EngineOutput {
         /// The block's CID.
         cid: Cid,
     },
+    /// A session received a block it had already fetched (e.g. the slower
+    /// target of a duplicate-factor race, or a re-routed want whose
+    /// original target delivered after all).
+    DuplicateBlock {
+        /// The session the duplicate is attributed to.
+        session: SessionHandle,
+    },
     /// A session has every block of its DAG.
     SessionComplete {
         /// The finished session.
@@ -50,33 +69,6 @@ pub enum EngineOutput {
     },
 }
 
-/// Progress of one wanted block.
-#[derive(Debug, Clone)]
-enum WantState {
-    /// WANT-HAVE broadcast; waiting on answers from these peers.
-    Probing { pending: HashSet<PeerId>, havers: Vec<PeerId> },
-    /// WANT-BLOCK sent to this peer.
-    Fetching { from: PeerId, fallback: Vec<PeerId> },
-    /// All session peers answered DONT-HAVE.
-    Stalled,
-}
-
-/// One client fetch session.
-#[derive(Debug, Clone)]
-struct Session {
-    peers: Vec<PeerId>,
-    /// Peers that have already delivered blocks in this session — new
-    /// wants go straight to them with WANT-BLOCK (go-bitswap's session
-    /// peer tracking).
-    live: Vec<PeerId>,
-    wants: HashMap<Cid, WantState>,
-    /// Blocks received and verified in this session.
-    received: u64,
-    /// Duplicate/unsolicited blocks discarded.
-    duplicates: u64,
-    complete: bool,
-}
-
 /// Public snapshot of a session's progress.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionState {
@@ -88,6 +80,12 @@ pub struct SessionState {
     pub duplicates: u64,
     /// Whether the DAG is fully fetched.
     pub complete: bool,
+    /// WANT-BLOCK requests sent.
+    pub wants_sent: u64,
+    /// Wants re-queued to another peer after a renege or crash.
+    pub reroutes: u64,
+    /// Candidate peers the session knows (including crashed ones).
+    pub peers: usize,
 }
 
 /// Per-message-type counters kept by the engine, one direction each
@@ -145,6 +143,8 @@ impl MessageCounts {
 pub struct BitswapEngine {
     sessions: HashMap<SessionHandle, Session>,
     next_session: u64,
+    /// Driver-supplied clock in nanoseconds, for per-peer latency scoring.
+    clock_nanos: u64,
     /// Exchange ledgers (public for inspection by stats code).
     pub ledger: Ledger,
     /// Messages this engine has emitted, by type.
@@ -159,35 +159,46 @@ impl BitswapEngine {
         BitswapEngine::default()
     }
 
-    /// Starts a session fetching the DAG rooted at `root` from `peers`.
-    /// Blocks already present locally are walked without network traffic.
+    /// Advances the engine's clock (nanoseconds of the driver's choice of
+    /// epoch). Sessions stamp WANT-BLOCKs with it and score each peer's
+    /// response latency on delivery.
+    pub fn set_clock(&mut self, now_nanos: u64) {
+        self.clock_nanos = now_nanos;
+    }
+
+    /// Starts a session fetching the DAG rooted at `root` from `peers`
+    /// with the default [`SessionConfig`]. Blocks already present locally
+    /// are walked without network traffic.
     pub fn start_session<S: BlockStore>(
         &mut self,
         root: Cid,
         peers: Vec<PeerId>,
         store: &mut S,
     ) -> (SessionHandle, Vec<EngineOutput>) {
+        self.start_session_with(root, peers, SessionConfig::default(), store)
+    }
+
+    /// [`BitswapEngine::start_session`] with explicit session tuning
+    /// (duplicate factor, broadcast limit, score decay).
+    pub fn start_session_with<S: BlockStore>(
+        &mut self,
+        root: Cid,
+        peers: Vec<PeerId>,
+        cfg: SessionConfig,
+        store: &mut S,
+    ) -> (SessionHandle, Vec<EngineOutput>) {
         let handle = SessionHandle(self.next_session);
         self.next_session += 1;
-        self.sessions.insert(
-            handle,
-            Session {
-                peers,
-                live: Vec::new(),
-                wants: HashMap::new(),
-                received: 0,
-                duplicates: 0,
-                complete: false,
-            },
-        );
+        self.sessions.insert(handle, Session::new(peers, cfg));
         let mut out = Vec::new();
         self.want(handle, root, store, &mut out);
         self.check_complete(handle, &mut out);
         (handle, out)
     }
 
-    /// Adds a peer (e.g. a provider discovered via the DHT) to a session
-    /// and re-probes any stalled wants through it.
+    /// Adds a peer (e.g. a provider discovered via the DHT, or a probe
+    /// candidate carried over) to a session and re-probes any stalled
+    /// wants through it.
     pub fn add_session_peer<S: BlockStore>(
         &mut self,
         handle: SessionHandle,
@@ -198,44 +209,43 @@ impl BitswapEngine {
         let Some(session) = self.sessions.get_mut(&handle) else {
             return out;
         };
-        if !session.peers.contains(&peer) {
-            session.peers.push(peer.clone());
-        }
-        for (cid, state) in session.wants.iter_mut() {
-            match state {
-                WantState::Stalled => {
-                    *state = WantState::Probing {
-                        pending: HashSet::from([peer.clone()]),
-                        havers: Vec::new(),
-                    };
-                    self.counts_sent.bump(&Message::WantHave(cid.clone()));
-                    out.push(EngineOutput::Send {
-                        to: peer.clone(),
-                        message: Message::WantHave(cid.clone()),
-                    });
-                }
-                WantState::Probing { pending, .. } => {
-                    pending.insert(peer.clone());
-                    self.counts_sent.bump(&Message::WantHave(cid.clone()));
-                    out.push(EngineOutput::Send {
-                        to: peer.clone(),
-                        message: Message::WantHave(cid.clone()),
-                    });
-                }
-                WantState::Fetching { .. } => {}
-            }
+        for (to, msg) in session.add_peer(peer) {
+            out.extend(self.send(to, msg));
         }
         out
     }
 
     /// Progress snapshot for a session.
     pub fn session_state(&self, handle: SessionHandle) -> Option<SessionState> {
-        self.sessions.get(&handle).map(|s| SessionState {
-            outstanding: s.wants.len(),
-            received: s.received,
-            duplicates: s.duplicates,
-            complete: s.complete,
+        self.sessions.get(&handle).map(|s| {
+            let stats = s.stats();
+            SessionState {
+                outstanding: s.outstanding(),
+                received: stats.blocks_received,
+                duplicates: stats.duplicate_blocks,
+                complete: s.is_complete(),
+                wants_sent: stats.wants_sent,
+                reroutes: stats.reroutes,
+                peers: s.peer_count(),
+            }
         })
+    }
+
+    /// Exportable counters for a session.
+    pub fn session_stats(&self, handle: SessionHandle) -> Option<SessionStats> {
+        self.sessions.get(&handle).map(|s| s.stats())
+    }
+
+    /// Peers of `handle` that answered HAVE or delivered blocks — worth
+    /// carrying into a follow-up session instead of discarding with the
+    /// probe (§3.2's opportunistic phase feeding the DHT phase).
+    pub fn responsive_session_peers(&self, handle: SessionHandle) -> Vec<PeerId> {
+        self.sessions.get(&handle).map(|s| s.responsive_peers()).unwrap_or_default()
+    }
+
+    /// Drains a session's `(peer, latency_nanos)` response samples.
+    pub fn take_latency_samples(&mut self, handle: SessionHandle) -> Vec<(PeerId, u64)> {
+        self.sessions.get_mut(&handle).map(|s| s.take_latency_samples()).unwrap_or_default()
     }
 
     /// Drops a session (e.g. the opportunistic phase timed out, §3.2) and
@@ -243,23 +253,30 @@ impl BitswapEngine {
     pub fn cancel_session(&mut self, handle: SessionHandle) -> Vec<EngineOutput> {
         let mut out = Vec::new();
         if let Some(session) = self.sessions.remove(&handle) {
-            for (cid, state) in session.wants {
-                match state {
-                    WantState::Probing { pending, .. } => {
-                        for p in pending {
-                            self.counts_sent.bump(&Message::Cancel(cid.clone()));
-                            out.push(EngineOutput::Send {
-                                to: p,
-                                message: Message::Cancel(cid.clone()),
-                            });
-                        }
-                    }
-                    WantState::Fetching { from, .. } => {
-                        self.counts_sent.bump(&Message::Cancel(cid.clone()));
-                        out.push(EngineOutput::Send { to: from, message: Message::Cancel(cid) });
-                    }
-                    WantState::Stalled => {}
-                }
+            for (to, msg) in session.cancel() {
+                out.extend(self.send(to, msg));
+            }
+        }
+        out
+    }
+
+    /// A connection dropped (crash, churn, eviction): every session
+    /// re-queues the wants it had in flight at `peer` on its surviving
+    /// candidates. Wants that cannot be re-routed surface as
+    /// [`EngineOutput::WantFailed`].
+    pub fn peer_disconnected(&mut self, peer: &PeerId) -> Vec<EngineOutput> {
+        let mut out = Vec::new();
+        for handle in self.session_handles() {
+            let now = self.clock_nanos;
+            let Some(session) = self.sessions.get_mut(&handle) else {
+                continue;
+            };
+            let (msgs, failed) = session.remove_peer(peer, now);
+            for (to, msg) in msgs {
+                out.extend(self.send(to, msg));
+            }
+            for cid in failed {
+                out.push(EngineOutput::WantFailed { session: handle, cid });
             }
         }
         out
@@ -305,6 +322,15 @@ impl BitswapEngine {
         vec![EngineOutput::Send { to, message }]
     }
 
+    /// Session handles in creation order — the deterministic scan order
+    /// for inbound client messages (a `HashMap` walk would leak hash-seed
+    /// order into the message sequence and break replay determinism).
+    fn session_handles(&self) -> Vec<SessionHandle> {
+        let mut handles: Vec<SessionHandle> = self.sessions.keys().copied().collect();
+        handles.sort_unstable();
+        handles
+    }
+
     /// Registers a want for `cid` in `handle`'s session, walking local
     /// blocks (and their children) without network traffic.
     fn want<S: BlockStore>(
@@ -314,14 +340,16 @@ impl BitswapEngine {
         store: &mut S,
         out: &mut Vec<EngineOutput>,
     ) {
+        let now = self.clock_nanos;
         let mut queue = VecDeque::from([root]);
         let mut sends = Vec::new();
+        let mut failures = Vec::new();
         {
             let Some(session) = self.sessions.get_mut(&handle) else {
                 return;
             };
             while let Some(cid) = queue.pop_front() {
-                if session.wants.contains_key(&cid) {
+                if session.has_want(&cid) {
                     continue;
                 }
                 if let Some(bytes) = store.get(&cid) {
@@ -334,124 +362,76 @@ impl BitswapEngine {
                     }
                     continue;
                 }
-                if session.peers.is_empty() {
-                    session.wants.insert(cid, WantState::Stalled);
-                    continue;
+                let mut stalled = false;
+                sends.extend(session.want_block(cid.clone(), now, &mut stalled));
+                if stalled {
+                    failures.push(cid);
                 }
-                if session.peers.len() == 1 || !session.live.is_empty() {
-                    // A single known provider, or a peer that has already
-                    // delivered blocks in this session: skip the WANT-HAVE
-                    // round trip and request directly, as go-bitswap does.
-                    let (p, fallback) = if session.live.is_empty() {
-                        (session.peers[0].clone(), Vec::new())
-                    } else {
-                        (session.live[0].clone(), session.live[1..].to_vec())
-                    };
-                    sends.push((p.clone(), Message::WantBlock(cid.clone())));
-                    session.wants.insert(cid, WantState::Fetching { from: p, fallback });
-                    continue;
-                }
-                let pending: HashSet<PeerId> = session.peers.iter().cloned().collect();
-                for p in &session.peers {
-                    sends.push((p.clone(), Message::WantHave(cid.clone())));
-                }
-                session.wants.insert(cid, WantState::Probing { pending, havers: Vec::new() });
             }
         }
         for (to, msg) in sends {
             out.extend(self.send(to, msg));
         }
         // Stalled wants with no peers at all must surface immediately.
-        let stalled: Vec<Cid> = self.sessions[&handle]
-            .wants
-            .iter()
-            .filter(|(_, s)| matches!(s, WantState::Stalled))
-            .map(|(c, _)| c.clone())
-            .collect();
-        for cid in stalled {
+        for cid in failures {
             out.push(EngineOutput::WantFailed { session: handle, cid });
         }
     }
 
     fn on_have(&mut self, from: &PeerId, cid: &Cid) -> Vec<EngineOutput> {
         let mut out = Vec::new();
-        let mut request: Option<PeerId> = None;
-        for session in self.sessions.values_mut() {
-            let Some(state) = session.wants.get_mut(cid) else {
-                continue;
-            };
-            match state {
-                WantState::Probing { .. } => {
-                    // First HAVE wins: request the block right away (§3.2's
-                    // three-step exchange).
-                    *state = WantState::Fetching { from: from.clone(), fallback: Vec::new() };
-                    request = Some(from.clone());
-                }
-                WantState::Fetching { from: fetching, fallback } => {
-                    // A later HAVE becomes a fail-over candidate.
-                    if fetching != from && !fallback.contains(from) {
-                        fallback.push(from.clone());
-                    }
-                }
-                WantState::Stalled => {
-                    *state = WantState::Fetching { from: from.clone(), fallback: Vec::new() };
-                    request = Some(from.clone());
+        let handles = self.session_handles();
+        let owner = handles
+            .iter()
+            .copied()
+            .find(|h| self.sessions.get(h).is_some_and(|s| s.has_want(cid)))
+            // A HAVE landing after its want resolved still proves the
+            // sender holds this DAG: route it to the session that fetched
+            // the CID, so the peer becomes ready and backlogged wants can
+            // engage it (otherwise slow HAVE responders are locked out of
+            // the whole transfer).
+            .or_else(|| {
+                handles
+                    .iter()
+                    .copied()
+                    .find(|h| self.sessions.get(h).is_some_and(|s| s.was_delivered(cid)))
+            });
+        if let Some(handle) = owner {
+            let now = self.clock_nanos;
+            if let Some(session) = self.sessions.get_mut(&handle) {
+                for (to, msg) in session.on_have(from, cid, now) {
+                    out.extend(self.send(to, msg));
                 }
             }
-            break;
-        }
-        if let Some(to) = request {
-            out.extend(self.send(to, Message::WantBlock(cid.clone())));
         }
         out
     }
 
     fn on_dont_have(&mut self, from: &PeerId, cid: &Cid) -> Vec<EngineOutput> {
         let mut out = Vec::new();
-        let mut failures: Vec<(SessionHandle, Cid)> = Vec::new();
-        let mut refetch: Option<(PeerId, Cid)> = None;
-        for (handle, session) in self.sessions.iter_mut() {
-            let Some(state) = session.wants.get_mut(cid) else {
+        for handle in self.session_handles() {
+            let now = self.clock_nanos;
+            let Some(session) = self.sessions.get_mut(&handle) else {
                 continue;
             };
-            match state {
-                WantState::Probing { pending, havers } => {
-                    pending.remove(from);
-                    if pending.is_empty() && havers.is_empty() {
-                        *state = WantState::Stalled;
-                        failures.push((*handle, cid.clone()));
-                    }
-                }
-                WantState::Fetching { from: fetching_from, fallback } => {
-                    // The chosen peer reneged (e.g. GC'd the block between
-                    // HAVE and WANT-BLOCK): fail over to the next haver.
-                    if fetching_from == from {
-                        if let Some(next) = fallback.first().cloned() {
-                            let rest = fallback[1..].to_vec();
-                            *state = WantState::Fetching { from: next.clone(), fallback: rest };
-                            refetch = Some((next, cid.clone()));
-                        } else {
-                            *state = WantState::Stalled;
-                            failures.push((*handle, cid.clone()));
-                        }
-                    }
-                }
-                WantState::Stalled => {}
+            if !session.has_want(cid) {
+                continue;
+            }
+            let (msgs, stalled) = session.on_dont_have(from, cid, now);
+            for (to, msg) in msgs {
+                out.extend(self.send(to, msg));
+            }
+            if stalled {
+                out.push(EngineOutput::WantFailed { session: handle, cid: cid.clone() });
             }
             break;
-        }
-        if let Some((to, c)) = refetch {
-            out.extend(self.send(to, Message::WantBlock(c)));
-        }
-        for (session, c) in failures {
-            out.push(EngineOutput::WantFailed { session, cid: c });
         }
         out
     }
 
     fn on_block<S: BlockStore>(
         &mut self,
-        _from: &PeerId,
+        from: &PeerId,
         cid: Cid,
         data: bytes::Bytes,
         store: &mut S,
@@ -464,24 +444,33 @@ impl BitswapEngine {
             // will fail over / stall rather than accept bad data).
             return out;
         }
-        let mut owner: Option<SessionHandle> = None;
-        for (handle, session) in self.sessions.iter_mut() {
-            if session.wants.remove(&cid).is_some() {
-                session.received += 1;
-                if !session.live.contains(_from) {
-                    session.live.insert(0, _from.clone());
-                }
-                owner = Some(*handle);
-                break;
-            }
-        }
+        let handles = self.session_handles();
+        let owner = handles
+            .iter()
+            .copied()
+            .find(|h| self.sessions.get(h).is_some_and(|s| s.has_want(&cid)));
         let Some(handle) = owner else {
-            // Unsolicited or duplicate block.
-            if let Some(s) = self.sessions.values_mut().next() {
-                s.duplicates += 1;
+            // Unsolicited or duplicate block: attribute it to the session
+            // that fetched this CID, falling back to the oldest session.
+            let dup = handles
+                .iter()
+                .copied()
+                .find(|h| self.sessions.get(h).is_some_and(|s| s.was_delivered(&cid)))
+                .or(handles.first().copied());
+            if let Some(h) = dup {
+                if let Some(s) = self.sessions.get_mut(&h) {
+                    s.count_duplicate();
+                    out.push(EngineOutput::DuplicateBlock { session: h });
+                }
             }
             return out;
         };
+        let now = self.clock_nanos;
+        let cancels =
+            self.sessions.get_mut(&handle).map(|s| s.on_block(from, &cid, now)).unwrap_or_default();
+        for (to, msg) in cancels {
+            out.extend(self.send(to, msg));
+        }
         store.put(cid.clone(), data.clone());
         out.push(EngineOutput::BlockStored { session: handle, cid: cid.clone() });
         // Discover child wants from branch nodes.
@@ -498,8 +487,8 @@ impl BitswapEngine {
 
     fn check_complete(&mut self, handle: SessionHandle, out: &mut Vec<EngineOutput>) {
         if let Some(session) = self.sessions.get_mut(&handle) {
-            if session.wants.is_empty() && !session.complete {
-                session.complete = true;
+            if session.outstanding() == 0 && !session.is_complete() {
+                session.set_complete();
                 out.push(EngineOutput::SessionComplete { session: handle });
             }
         }
@@ -540,7 +529,7 @@ mod tests {
                     }
                     EngineOutput::SessionComplete { .. } => *complete = true,
                     EngineOutput::BlockStored { cid, .. } => stored(cid),
-                    EngineOutput::WantFailed { .. } => {}
+                    EngineOutput::WantFailed { .. } | EngineOutput::DuplicateBlock { .. } => {}
                 }
             }
         };
@@ -593,6 +582,36 @@ mod tests {
         assert!(st.complete);
         assert_eq!(st.outstanding, 0);
         assert!(st.received >= 8, "expected 8 leaves + branches, got {}", st.received);
+    }
+
+    #[test]
+    fn swarm_fetch_spreads_load_over_servers() {
+        // Three seeded servers: the session's splitter must pull blocks
+        // from every one of them, not hammer the first.
+        let data = Bytes::from((0..4000u32).map(|i| (i % 251) as u8).collect::<Vec<_>>());
+        let (s1, root) = seeded_server(10, &data);
+        let (s2, _) = seeded_server(11, &data);
+        let (s3, _) = seeded_server(12, &data);
+        let mut servers = vec![s1, s2, s3];
+        let mut client = BitswapEngine::new();
+        let mut client_store = MemoryBlockStore::new();
+        let me = peer(1);
+        let (handle, init) = client.start_session(
+            root.clone(),
+            vec![peer(10), peer(11), peer(12)],
+            &mut client_store,
+        );
+        let (complete, _) = run_exchange(&mut client, &mut client_store, &mut servers, init, &me);
+        assert!(complete);
+        assert_eq!(merkledag::Resolver::new(&mut client_store).read_file(&root).unwrap(), data);
+        let st = client.session_state(handle).unwrap();
+        assert_eq!(st.duplicates, 0, "duplicate factor 1 must fetch each block once");
+        for (id, engine, _) in &servers {
+            assert!(
+                engine.counts_sent.block > 0,
+                "server {id:?} served no blocks — splitter did not spread"
+            );
+        }
     }
 
     #[test]
@@ -762,6 +781,49 @@ mod tests {
             client.handle_inbound(&peer(11), Message::Block { cid: cid.clone(), data }, &mut store);
         assert!(o4.iter().any(|o| matches!(o, EngineOutput::SessionComplete { .. })));
         assert!(store.has(&cid));
+    }
+
+    #[test]
+    fn crashed_peer_reroutes_inflight_wants() {
+        // Peer A wins the WANT-BLOCK and crashes; peer_disconnected must
+        // re-queue the want to peer B, and B's block completes the fetch.
+        let data = Bytes::from_static(b"survivor");
+        let cid = Cid::from_raw_data(&data);
+        let mut client = BitswapEngine::new();
+        let mut store = MemoryBlockStore::new();
+        let (handle, _) = client.start_session(cid.clone(), vec![peer(10), peer(11)], &mut store);
+        client.handle_inbound(&peer(10), Message::Have(cid.clone()), &mut store);
+        client.handle_inbound(&peer(11), Message::Have(cid.clone()), &mut store);
+        let outs = client.peer_disconnected(&peer(10));
+        assert_eq!(
+            outs,
+            vec![EngineOutput::Send { to: peer(11), message: Message::WantBlock(cid.clone()) }]
+        );
+        let o =
+            client.handle_inbound(&peer(11), Message::Block { cid: cid.clone(), data }, &mut store);
+        assert!(o.iter().any(|o| matches!(o, EngineOutput::SessionComplete { .. })));
+        let st = client.session_state(handle).unwrap();
+        assert_eq!(st.reroutes, 1);
+        assert!(st.complete);
+    }
+
+    #[test]
+    fn duplicate_blocks_surface_as_outputs() {
+        let data = Bytes::from_static(b"twice");
+        let cid = Cid::from_raw_data(&data);
+        let mut client = BitswapEngine::new();
+        let mut store = MemoryBlockStore::new();
+        let (handle, _) = client.start_session(cid.clone(), vec![peer(10)], &mut store);
+        client.handle_inbound(
+            &peer(10),
+            Message::Block { cid: cid.clone(), data: data.clone() },
+            &mut store,
+        );
+        // The same block arrives again (e.g. a slower duplicate target).
+        let outs = client.handle_inbound(&peer(11), Message::Block { cid, data }, &mut store);
+        assert_eq!(outs, vec![EngineOutput::DuplicateBlock { session: handle }]);
+        let st = client.session_state(handle).unwrap();
+        assert_eq!((st.received, st.duplicates), (1, 1));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! - [`engine`] — the sans-io engine: serves inbound wants from a
 //!   blockstore and runs client sessions that fetch whole DAGs
 //!   block-by-block, discovering child links as branch nodes arrive.
+//! - [`session`] — the per-transfer session layer (à la go-bitswap /
+//!   iroh): candidate-peer scoring, want splitting with a configurable
+//!   duplicate factor, renege/crash re-routing, duplicate accounting.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,10 +28,12 @@
 pub mod engine;
 pub mod ledger;
 pub mod message;
+pub mod session;
 
 pub use engine::{BitswapEngine, EngineOutput, MessageCounts, SessionHandle, SessionState};
 pub use ledger::Ledger;
 pub use message::Message;
+pub use session::{Session, SessionConfig, SessionStats};
 
 /// Errors surfaced by the Bitswap engine.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -72,7 +72,8 @@ impl FaultOracle {
 
     /// Folds a topology event into the active state. Returns `true` when
     /// the event was consumed here; `false` for node-scoped events the
-    /// driver must execute (currently only [`FaultEvent::CrashWave`]).
+    /// driver must execute ([`FaultEvent::CrashWave`],
+    /// [`FaultEvent::CrashNodes`]).
     pub fn apply(&mut self, event: &FaultEvent) -> bool {
         match event {
             FaultEvent::PartitionStart { id, regions } => {
@@ -99,7 +100,7 @@ impl FaultOracle {
                 self.dial_spikes.retain(|(sid, _)| sid != id);
                 true
             }
-            FaultEvent::CrashWave { .. } => false,
+            FaultEvent::CrashWave { .. } | FaultEvent::CrashNodes { .. } => false,
         }
     }
 

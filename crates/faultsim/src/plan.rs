@@ -91,6 +91,16 @@ pub enum FaultEvent {
         /// Downtime before each victim restarts.
         restart_after: SimDuration,
     },
+    /// Crash a specific set of nodes (by driver node id); each restarts
+    /// after `restart_after`. Unlike [`FaultEvent::CrashWave`], victim
+    /// selection draws no randomness — the scenario names its targets,
+    /// e.g. "the provider serving this transfer dies mid-DAG".
+    CrashNodes {
+        /// Driver node ids to take down (offline ids are skipped).
+        ids: Vec<usize>,
+        /// Downtime before each victim restarts.
+        restart_after: SimDuration,
+    },
 }
 
 impl FaultEvent {
@@ -104,6 +114,7 @@ impl FaultEvent {
             FaultEvent::DialFailSpikeStart { .. } => "dial_fail_spike_start",
             FaultEvent::DialFailSpikeEnd { .. } => "dial_fail_spike_end",
             FaultEvent::CrashWave { .. } => "crash_wave",
+            FaultEvent::CrashNodes { .. } => "crash_nodes",
         }
     }
 }
@@ -222,6 +233,12 @@ impl FaultPlan {
     pub fn crash_wave(&mut self, at: SimTime, fraction: f64, restart_after: SimDuration) {
         assert!((0.0..=1.0).contains(&fraction), "fraction is a probability");
         self.at(at, FaultEvent::CrashWave { fraction, restart_after });
+    }
+
+    /// Scripts a crash-restart of specific nodes (targeted fault, e.g.
+    /// "this transfer's provider dies mid-DAG").
+    pub fn crash_nodes(&mut self, at: SimTime, ids: Vec<usize>, restart_after: SimDuration) {
+        self.at(at, FaultEvent::CrashNodes { ids, restart_after });
     }
 }
 

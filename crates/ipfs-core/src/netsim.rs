@@ -23,7 +23,7 @@ use crate::ops::{
     IpnsPublishReport, IpnsResolveReport, OpId, PublishPhase, PublishReport, RetrievePhase,
     RetrieveReport,
 };
-use bitswap::{EngineOutput, Message, SessionHandle};
+use bitswap::{EngineOutput, Message, SessionConfig, SessionHandle};
 use bytes::Bytes;
 use faultsim::{FaultEvent, FaultOracle, FaultPlan};
 use kademlia::behaviour::{DhtMode, DhtOutput, QueryId, QueryStats};
@@ -80,6 +80,18 @@ pub struct NetworkConfig {
     pub clients_in_routing_tables: bool,
     /// Guard timeout for a content fetch.
     pub fetch_timeout: SimDuration,
+    /// The opportunistic-Bitswap probe window (§3.2's 1 s timeout before
+    /// falling back to the DHT). A knob rather than a constant so the
+    /// probe/DHT trade-off is explorable.
+    pub bitswap_probe_timeout: SimDuration,
+    /// Session duplicate factor: how many peers a live want is raced
+    /// across as WANT-BLOCK. 1 fetches each block exactly once (no
+    /// redundancy, go-bitswap's default posture); higher trades duplicate
+    /// bytes for tail-latency resilience.
+    pub duplicate_factor: usize,
+    /// How many provider records from the DHT walk seed the fetch swarm
+    /// (go-bitswap dials a handful of providers, not just the first).
+    pub max_fetch_providers: usize,
     /// Probability that the connection to a walk-discovered peer is gone
     /// by the time the ADD_PROVIDER batch fires, forcing a fresh dial that
     /// fails with a transport timeout. This models what §6.1 observed:
@@ -136,6 +148,9 @@ impl Default for NetworkConfig {
             auto_republish: false,
             clients_in_routing_tables: false,
             fetch_timeout: SimDuration::from_secs(120),
+            bitswap_probe_timeout: SimDuration::from_secs(1),
+            duplicate_factor: 1,
+            max_fetch_providers: 8,
             stale_dial_prob: 0.045,
             max_connections: 900,
             conn_idle_timeout: SimDuration::from_secs(120),
@@ -169,6 +184,15 @@ struct SimNode {
     /// (timers are cancelled at churn-off); the next rejoin re-announces
     /// them, mirroring go-ipfs's reprovide-on-startup sweep.
     republish_deferred: Vec<Cid>,
+    /// When this node's uplink finishes serializing the blocks it has
+    /// already committed to send. Concurrent BLOCK transfers from one
+    /// sender queue behind each other here (`sample_transfer` prices each
+    /// message in isolation), so a swarm's aggregate goodput scales with
+    /// the number of uplinks it draws from — the physics the swarm bench
+    /// measures. Control messages are negligible and skip the queue, and
+    /// an isolated single block sees zero wait, keeping the
+    /// single-provider path's timing (and RNG stream) unchanged.
+    uplink_free_at: SimTime,
 }
 
 /// Events flowing through the simulation.
@@ -240,6 +264,20 @@ enum OpState {
         fetch_session: Option<SessionHandle>,
         via_bitswap: bool,
         addrbook_hit: bool,
+        /// Peers that answered the opportunistic probe with HAVE (or
+        /// blocks) but didn't finish the transfer in the window: they
+        /// short-circuit into the fetch session's candidate set instead of
+        /// being discarded with the probe.
+        probe_havers: Vec<PeerId>,
+        /// Every swarm member whose dial is under way: the fetch session
+        /// is seeded with all of them at the first connect, so the
+        /// WANT-HAVE round runs while the remaining connects finish
+        /// (go-bitswap feeds discovered providers to the session the same
+        /// way, ahead of their connections).
+        fetch_candidates: Vec<PeerId>,
+        /// Outstanding peer-record walks for secondary providers. The op
+        /// fails on a failed walk only when nothing else is in flight.
+        walks_outstanding: usize,
     },
     PublishIpns {
         node: NodeId,
@@ -264,8 +302,9 @@ enum Action {
     IpnsFail,
     IpnsResolved { value: Vec<u8> },
     PublishFail,
-    PeerWalk { node: NodeId, provider: PeerId },
-    Fetch { node: NodeId, provider: Arc<PeerInfo> },
+    PeerWalk { node: NodeId, providers: Vec<PeerId> },
+    Fetch { node: NodeId, providers: Vec<Arc<PeerInfo>> },
+    JoinFetch { node: NodeId, provider: Arc<PeerInfo> },
     RetrieveFail,
     CancelProbe { node: NodeId, session: SessionHandle },
     Nothing,
@@ -330,6 +369,16 @@ struct HotMetrics {
     conn_prunes: CounterHandle,
     provider_records_stored: CounterHandle,
     dht_walk_rpcs: HistogramHandle,
+    /// Blocks received and verified by client sessions.
+    session_blocks_received: CounterHandle,
+    /// Duplicate blocks attributed to client sessions.
+    session_dup_blocks: CounterHandle,
+    /// WANT-BLOCKs issued by client sessions (added at op completion).
+    session_wants_sent: CounterHandle,
+    /// Re-routed wants after a renege/crash (added at op completion).
+    session_reroutes: CounterHandle,
+    /// Per-peer WANT-BLOCK→BLOCK latency in ms.
+    peer_latency_ms: HistogramHandle,
 }
 
 impl HotMetrics {
@@ -383,6 +432,11 @@ impl HotMetrics {
             conn_prunes: c(m, names::CONN_PRUNES),
             provider_records_stored: c(m, names::PROVIDER_RECORDS_STORED),
             dht_walk_rpcs: m.histogram_handle(names::DHT_WALK_RPCS),
+            session_blocks_received: c(m, names::BITSWAP_SESSION_BLOCKS_RECEIVED),
+            session_dup_blocks: c(m, names::BITSWAP_SESSION_DUP_BLOCKS),
+            session_wants_sent: c(m, names::BITSWAP_SESSION_WANTS_SENT),
+            session_reroutes: c(m, names::BITSWAP_SESSION_REROUTES),
+            peer_latency_ms: m.histogram_handle(names::BITSWAP_PEER_LATENCY_MS),
         }
     }
 }
@@ -469,6 +523,7 @@ impl IpfsNetwork {
                 refresh_timer: None,
                 republish: Vec::new(),
                 republish_deferred: Vec::new(),
+                uplink_free_at: SimTime::ZERO,
             });
         }
 
@@ -490,6 +545,7 @@ impl IpfsNetwork {
                 refresh_timer: None,
                 republish: Vec::new(),
                 republish_deferred: Vec::new(),
+                uplink_free_at: SimTime::ZERO,
             });
         }
 
@@ -508,6 +564,7 @@ impl IpfsNetwork {
                 refresh_timer: None,
                 republish: Vec::new(),
                 republish_deferred: Vec::new(),
+                uplink_free_at: SimTime::ZERO,
             });
         }
 
@@ -1117,6 +1174,9 @@ impl IpfsNetwork {
                 fetch_session: None,
                 via_bitswap: false,
                 addrbook_hit: false,
+                probe_havers: Vec::new(),
+                fetch_candidates: Vec::new(),
+                walks_outstanding: 0,
             },
         );
         self.metrics.incr(names::RETRIEVE_OPS);
@@ -1132,9 +1192,15 @@ impl IpfsNetwork {
             .peers()
             .map(|c| self.nodes[c].node.peer_id().clone())
             .collect();
+        let session_cfg = self.session_config();
         let sim_node = &mut self.nodes[id];
-        let (session, outputs) =
-            sim_node.node.bitswap.start_session(cid, connected, &mut sim_node.node.store);
+        sim_node.node.bitswap.set_clock(t0.as_nanos());
+        let (session, outputs) = sim_node.node.bitswap.start_session_with(
+            cid,
+            connected,
+            session_cfg,
+            &mut sim_node.node.store,
+        );
         self.session_owner.insert((id, session), op);
         if let Some(OpState::Retrieve { probe_session, .. }) = self.ops.get_mut(&op) {
             *probe_session = Some(session);
@@ -1148,7 +1214,7 @@ impl IpfsNetwork {
         );
         if still_probing {
             self.queue
-                .schedule(self.cfg.node.bitswap_timeout, NetEvent::BitswapProbeTimeout { op });
+                .schedule(self.cfg.bitswap_probe_timeout, NetEvent::BitswapProbeTimeout { op });
             self.tracer
                 .record_with(op, t0, || TraceEventKind::TimerArmed { timer: "bitswap_probe" });
             if self.cfg.parallel_dht_and_bitswap {
@@ -1238,8 +1304,14 @@ impl IpfsNetwork {
             let new_partition = matches!(event, FaultEvent::PartitionStart { .. });
             if !self.faults.apply(&event) {
                 // Node-scoped event the oracle hands back to the driver.
-                if let FaultEvent::CrashWave { fraction, restart_after } = event {
-                    self.crash_wave(now, fraction, restart_after);
+                match event {
+                    FaultEvent::CrashWave { fraction, restart_after } => {
+                        self.crash_wave(now, fraction, restart_after);
+                    }
+                    FaultEvent::CrashNodes { ids, restart_after } => {
+                        self.crash_nodes(now, &ids, restart_after);
+                    }
+                    _ => {}
                 }
             } else if new_partition {
                 // A partition just came up: tear down every warm connection
@@ -1285,6 +1357,19 @@ impl IpfsNetwork {
             online.swap(k, j);
         }
         for &id in &online[..count] {
+            self.on_churn(id, false);
+            self.metrics.incr(names::FAULT_NODES_CRASHED);
+            self.queue.schedule_at(now + restart_after, NetEvent::Churn { node: id, online: true });
+        }
+    }
+
+    /// Crashes the named nodes (targeted fault, e.g. a transfer's provider
+    /// dying mid-DAG). No randomness: the scenario picked its victims.
+    fn crash_nodes(&mut self, now: SimTime, ids: &[usize], restart_after: SimDuration) {
+        for &id in ids {
+            if id >= self.nodes.len() || !self.nodes[id].online {
+                continue;
+            }
             self.on_churn(id, false);
             self.metrics.incr(names::FAULT_NODES_CRASHED);
             self.queue.schedule_at(now + restart_after, NetEvent::Churn { node: id, online: true });
@@ -1396,6 +1481,7 @@ impl IpfsNetwork {
                 self.metrics.incr_handle(self.hot.bitswap_recv[bitswap_kind(&message)]);
                 let from_peer = self.nodes[from].node.peer_id().clone();
                 let n = &mut self.nodes[to];
+                n.node.bitswap.set_clock(now.as_nanos());
                 let outputs =
                     n.node.bitswap.handle_inbound(&from_peer, *message, &mut n.node.store);
                 self.process_bitswap_outputs(to, outputs);
@@ -1568,8 +1654,21 @@ impl IpfsNetwork {
                 self.metrics.incr(names::PROVIDER_REPUBLISH_DEFERRED);
                 self.nodes[id].republish_deferred.push(cid);
             }
+            // Dropped connections surface to Bitswap: each neighbour's
+            // sessions re-queue wants that were in flight at the dead peer
+            // onto their surviving candidates (§3.2 swarm resilience).
+            // A no-op (zero messages, zero RNG draws) for neighbours with
+            // no live session touching this peer, so runs without
+            // fetch-phase faults are byte-identical.
+            let dead_peer = self.nodes[id].node.peer_id().clone();
+            let now = self.now();
             for p in self.nodes[id].connections.drain() {
                 self.nodes[p].connections.remove(id);
+                self.nodes[p].node.bitswap.set_clock(now.as_nanos());
+                let outputs = self.nodes[p].node.bitswap.peer_disconnected(&dead_peer);
+                if !outputs.is_empty() {
+                    self.process_bitswap_outputs(p, outputs);
+                }
             }
         }
     }
@@ -1648,20 +1747,33 @@ impl IpfsNetwork {
         self.tracer
             .record_with(op, now, || TraceEventKind::PhaseEntered { phase: "provider_walk" });
         let action = {
-            let Some(OpState::Retrieve { node, phase, probe_session, t_bitswap_end, .. }) =
-                self.ops.get_mut(&op)
+            let Some(OpState::Retrieve {
+                node,
+                phase,
+                probe_session,
+                t_bitswap_end,
+                probe_havers,
+                ..
+            }) = self.ops.get_mut(&op)
             else {
                 return;
             };
             *t_bitswap_end = Some(now);
             *phase = RetrievePhase::ProviderWalk;
             match probe_session.take() {
-                Some(session) => Action::CancelProbe { node: *node, session },
+                Some(session) => {
+                    // Don't discard what the probe learned: peers that
+                    // answered HAVE seed the fetch session's candidate set.
+                    *probe_havers =
+                        self.nodes[*node].node.bitswap.responsive_session_peers(session);
+                    Action::CancelProbe { node: *node, session }
+                }
                 None => Action::Nothing,
             }
         };
         if let Action::CancelProbe { node, session } = action {
             self.session_owner.remove(&(node, session));
+            self.drain_session_obs(node, session);
             let outputs = self.nodes[node].node.bitswap.cancel_session(session);
             self.process_bitswap_outputs(node, outputs);
         }
@@ -1806,7 +1918,8 @@ impl IpfsNetwork {
                     t_provider_end,
                     t_peer_end,
                     probe_session,
-                    addrbook_hit,
+                    probe_havers,
+                    walks_outstanding,
                     ..
                 } => match (&*phase, outcome) {
                     // A provider-walk result can arrive while still in the
@@ -1821,38 +1934,73 @@ impl IpfsNetwork {
                             t_bitswap_end.get_or_insert(now);
                             if let Some(session) = probe_session.take() {
                                 // Cancelled out-of-band below (phase 2 needs
-                                // fresh borrows); stash in the fetch path.
+                                // fresh borrows); stash in the fetch path,
+                                // carrying any peers the probe turned up.
+                                *probe_havers = self.nodes[*node]
+                                    .node
+                                    .bitswap
+                                    .responsive_session_peers(session);
                                 self_probe_cancel.push((*node, session));
                             }
                         }
                         *t_provider_end = Some(now);
-                        let record = &records[0];
-                        let carried_addrs = if self.cfg.provider_records_carry_addrs {
-                            record.addrs.clone()
-                        } else {
-                            Vec::new()
-                        };
-                        if !carried_addrs.is_empty() {
+                        // The whole provider set seeds the fetch swarm
+                        // (deduped, order-preserving, capped) instead of
+                        // just the first record.
+                        let mut unique: Vec<&kademlia::ProviderRecord> = Vec::new();
+                        for r in &records {
+                            if !unique.iter().any(|u| u.provider == r.provider) {
+                                unique.push(r);
+                            }
+                        }
+                        unique.truncate(self.cfg.max_fetch_providers.max(1));
+                        let primary_carries =
+                            self.cfg.provider_records_carry_addrs && !unique[0].addrs.is_empty();
+                        if primary_carries {
                             *t_peer_end = Some(now);
                             *phase = RetrievePhase::Fetch;
                             Action::Fetch {
                                 node: *node,
-                                provider: Arc::new(PeerInfo::new(
-                                    record.provider.clone(),
-                                    carried_addrs,
-                                )),
+                                providers: unique
+                                    .iter()
+                                    .filter(|r| !r.addrs.is_empty())
+                                    .map(|r| {
+                                        Arc::new(PeerInfo::new(r.provider.clone(), r.addrs.clone()))
+                                    })
+                                    .collect(),
                             }
                         } else {
-                            // Defer the address-book lookup to phase 2 (it
-                            // needs a different borrow); stash intent.
-                            let _ = addrbook_hit;
-                            Action::PeerWalk { node: *node, provider: record.provider.clone() }
+                            // Defer the address-book lookups to phase 2
+                            // (they need a different borrow); stash intent.
+                            Action::PeerWalk {
+                                node: *node,
+                                providers: unique.iter().map(|r| r.provider.clone()).collect(),
+                            }
                         }
                     }
                     (RetrievePhase::PeerWalk, QueryOutcome::Peer(Some(info))) => {
+                        *walks_outstanding = walks_outstanding.saturating_sub(1);
                         *t_peer_end = Some(now);
                         *phase = RetrievePhase::Fetch;
-                        Action::Fetch { node: *node, provider: info }
+                        Action::Fetch { node: *node, providers: vec![info] }
+                    }
+                    // A secondary provider's walk resolved after the swarm
+                    // started: dial it into the running session.
+                    (RetrievePhase::Fetch, QueryOutcome::Peer(Some(info))) => {
+                        *walks_outstanding = walks_outstanding.saturating_sub(1);
+                        Action::JoinFetch { node: *node, provider: info }
+                    }
+                    (RetrievePhase::PeerWalk, QueryOutcome::Peer(None)) => {
+                        *walks_outstanding = walks_outstanding.saturating_sub(1);
+                        if *walks_outstanding == 0 {
+                            Action::RetrieveFail
+                        } else {
+                            Action::Nothing
+                        }
+                    }
+                    (RetrievePhase::Fetch, QueryOutcome::Peer(None)) => {
+                        *walks_outstanding = walks_outstanding.saturating_sub(1);
+                        Action::Nothing
                     }
                     _ => Action::RetrieveFail,
                 },
@@ -1861,6 +2009,7 @@ impl IpfsNetwork {
         // Phase 2: perform the action with fresh borrows.
         for (node, session) in self_probe_cancel {
             self.session_owner.remove(&(node, session));
+            self.drain_session_obs(node, session);
             let outputs = self.nodes[node].node.bitswap.cancel_session(session);
             self.process_bitswap_outputs(node, outputs);
         }
@@ -1888,26 +2037,53 @@ impl IpfsNetwork {
                 _ => {}
             },
             Action::IpnsResolved { value } => self.finish_ipns_resolve(now, op, Some(value)),
-            Action::PeerWalk { node, provider } => {
-                // §3.2: check the address book before the second walk.
-                if let Some(addrs) = self.nodes[node].node.addr_book.lookup(&provider) {
-                    if let Some(OpState::Retrieve { phase, t_peer_end, addrbook_hit, .. }) =
-                        self.ops.get_mut(&op)
+            Action::PeerWalk { node, providers } => {
+                // §3.2: check the address book before the second walk —
+                // for every provider in the swarm. Book hits dial now;
+                // misses get their own peer-record walks and join the
+                // fetch as they resolve.
+                let mut dial_now: Vec<Arc<PeerInfo>> = Vec::new();
+                let mut to_walk: Vec<PeerId> = Vec::new();
+                let mut primary_hit = false;
+                for (i, provider) in providers.into_iter().enumerate() {
+                    if let Some(addrs) = self.nodes[node].node.addr_book.lookup(&provider) {
+                        if i == 0 {
+                            primary_hit = true;
+                        }
+                        dial_now.push(Arc::new(PeerInfo::new(provider, addrs)));
+                    } else {
+                        to_walk.push(provider);
+                    }
+                }
+                if !dial_now.is_empty() {
+                    if let Some(OpState::Retrieve {
+                        phase,
+                        t_peer_end,
+                        addrbook_hit,
+                        walks_outstanding,
+                        ..
+                    }) = self.ops.get_mut(&op)
                     {
                         *t_peer_end = Some(now);
                         *phase = RetrievePhase::Fetch;
-                        *addrbook_hit = true;
+                        *addrbook_hit = primary_hit;
+                        *walks_outstanding = to_walk.len();
                     }
                     self.metrics.incr(names::ADDR_BOOK_HITS);
                     self.tracer.record_with(op, now, || TraceEventKind::AddrBookHit);
-                    self.start_fetch(op, node, Arc::new(PeerInfo::new(provider, addrs)));
+                    self.start_fetch(op, node, dial_now);
                 } else {
-                    if let Some(OpState::Retrieve { phase, .. }) = self.ops.get_mut(&op) {
+                    if let Some(OpState::Retrieve { phase, walks_outstanding, .. }) =
+                        self.ops.get_mut(&op)
+                    {
                         *phase = RetrievePhase::PeerWalk;
+                        *walks_outstanding = to_walk.len();
                     }
                     self.tracer.record_with(op, now, || TraceEventKind::PhaseEntered {
                         phase: "peer_walk",
                     });
+                }
+                for provider in to_walk {
                     let key = Key::from_peer(&provider);
                     let (qid, outputs) =
                         self.nodes[node].node.dht.start_query(key, QueryTarget::Peer(provider));
@@ -1915,9 +2091,15 @@ impl IpfsNetwork {
                     self.process_dht_outputs(node, outputs);
                 }
             }
-            Action::Fetch { node, provider } => {
+            Action::Fetch { node, providers } => {
+                for provider in &providers {
+                    self.nodes[node].node.addr_book.insert(&provider.peer, &provider.addrs);
+                }
+                self.start_fetch(op, node, providers);
+            }
+            Action::JoinFetch { node, provider } => {
                 self.nodes[node].node.addr_book.insert(&provider.peer, &provider.addrs);
-                self.start_fetch(op, node, provider);
+                self.join_fetch(op, node, provider);
             }
             Action::RetrieveFail => self.finish_retrieve(now, op, false),
             Action::CancelProbe { .. } | Action::Nothing => {}
@@ -1989,52 +2171,152 @@ impl IpfsNetwork {
     // Bitswap plumbing
     // ------------------------------------------------------------------
 
-    fn start_fetch(&mut self, op: OpId, node: NodeId, provider: Arc<PeerInfo>) {
+    /// Exports a session's counters and per-peer latency samples into the
+    /// metrics registry through pre-resolved handles. Called exactly once
+    /// per session, right before it is cancelled or its op finishes.
+    fn drain_session_obs(&mut self, node: NodeId, session: SessionHandle) {
+        if let Some(stats) = self.nodes[node].node.bitswap.session_stats(session) {
+            self.metrics.add_handle(self.hot.session_wants_sent, stats.wants_sent);
+            self.metrics.add_handle(self.hot.session_reroutes, stats.reroutes);
+        }
+        let samples = self.nodes[node].node.bitswap.take_latency_samples(session);
+        for (_peer, nanos) in samples {
+            self.metrics.observe_handle(self.hot.peer_latency_ms, nanos as f64 / 1e6);
+        }
+    }
+
+    /// Session tuning derived from the network config.
+    fn session_config(&self) -> SessionConfig {
+        SessionConfig { duplicate_factor: self.cfg.duplicate_factor, ..SessionConfig::default() }
+    }
+
+    /// Dials every provider of the swarm concurrently. The first
+    /// connection to come up creates the fetch session; later ones join it
+    /// ([`IpfsNetwork::on_fetch_connected`]). One guard timer covers the
+    /// whole fetch; with a single unreachable provider the op fails after
+    /// the dial timeout exactly as the old single-provider path did.
+    fn start_fetch(&mut self, op: OpId, node: NodeId, providers: Vec<Arc<PeerInfo>>) {
         let now = self.now();
         if let Some(OpState::Retrieve { t_fetch_start, .. }) = self.ops.get_mut(&op) {
             *t_fetch_start = Some(now);
         }
-        let peer = self.resolve(&provider.peer).unwrap_or(usize::MAX);
         self.tracer.record_with(op, now, || TraceEventKind::PhaseEntered { phase: "fetch" });
+        let mut guard_armed = false;
+        let mut fail_delays: Vec<SimDuration> = Vec::new();
+        for provider in providers {
+            let peer = self.resolve(&provider.peer).unwrap_or(usize::MAX);
+            self.tracer.record_with(op, now, || TraceEventKind::DialStarted { peer });
+            match self.dial(node, &provider.peer) {
+                Some((_, connect_delay)) => {
+                    let warm = connect_delay == SimDuration::ZERO;
+                    self.tracer.record_with(op, now, || TraceEventKind::DialOk { peer, warm });
+                    if let Some(OpState::Retrieve { fetch_candidates, .. }) = self.ops.get_mut(&op)
+                    {
+                        if !fetch_candidates.contains(&provider.peer) {
+                            fetch_candidates.push(provider.peer.clone());
+                        }
+                    }
+                    self.queue.schedule(
+                        connect_delay,
+                        NetEvent::FetchConnected { op, provider: provider.peer.clone() },
+                    );
+                    if !guard_armed {
+                        self.queue.schedule(self.cfg.fetch_timeout, NetEvent::FetchTimeout { op });
+                        self.tracer.record_with(op, now, || TraceEventKind::TimerArmed {
+                            timer: "fetch_guard",
+                        });
+                        guard_armed = true;
+                    }
+                }
+                None => {
+                    let (delay, class) = self.sample_fail_delay();
+                    self.tracer.record_with(op, now, || TraceEventKind::DialFailed { peer, class });
+                    fail_delays.push(delay);
+                }
+            }
+        }
+        if !guard_armed {
+            // Every provider unreachable: the retrieval fails once the
+            // slowest dial timeout has burned.
+            let delay = fail_delays.into_iter().max().unwrap_or(self.cfg.fetch_timeout);
+            self.queue.schedule(delay, NetEvent::FetchTimeout { op });
+        }
+    }
+
+    /// Dials one extra provider for an already-running fetch (a secondary
+    /// peer-record walk resolved after the swarm started). Dial failures
+    /// are simply dropped — the running session carries the transfer.
+    fn join_fetch(&mut self, op: OpId, node: NodeId, provider: Arc<PeerInfo>) {
+        let now = self.now();
+        let peer = self.resolve(&provider.peer).unwrap_or(usize::MAX);
         self.tracer.record_with(op, now, || TraceEventKind::DialStarted { peer });
         match self.dial(node, &provider.peer) {
             Some((_, connect_delay)) => {
                 let warm = connect_delay == SimDuration::ZERO;
                 self.tracer.record_with(op, now, || TraceEventKind::DialOk { peer, warm });
+                if let Some(OpState::Retrieve { fetch_candidates, .. }) = self.ops.get_mut(&op) {
+                    if !fetch_candidates.contains(&provider.peer) {
+                        fetch_candidates.push(provider.peer.clone());
+                    }
+                }
                 self.queue.schedule(
                     connect_delay,
                     NetEvent::FetchConnected { op, provider: provider.peer.clone() },
                 );
-                self.queue.schedule(self.cfg.fetch_timeout, NetEvent::FetchTimeout { op });
-                self.tracer
-                    .record_with(op, now, || TraceEventKind::TimerArmed { timer: "fetch_guard" });
             }
             None => {
-                // Provider unreachable: the retrieval fails after the dial
-                // timeout.
-                let (delay, class) = self.sample_fail_delay();
+                let (_, class) = self.sample_fail_delay();
                 self.tracer.record_with(op, now, || TraceEventKind::DialFailed { peer, class });
-                self.queue.schedule(delay, NetEvent::FetchTimeout { op });
             }
         }
     }
 
     fn on_fetch_connected(&mut self, op: OpId, provider: PeerId) {
-        let Some(OpState::Retrieve { node, cid, .. }) = self.ops.get(&op) else {
+        let Some(OpState::Retrieve {
+            node,
+            cid,
+            fetch_session,
+            probe_havers,
+            fetch_candidates,
+            ..
+        }) = self.ops.get(&op)
+        else {
             return;
         };
-        let (node, cid) = (*node, cid.clone());
+        let (node, cid, existing, havers, candidates) =
+            (*node, cid.clone(), *fetch_session, probe_havers.clone(), fetch_candidates.clone());
+        let now = self.now();
         if self.tracer.is_enabled() {
             // The dial component of the §6.2 split ends here: the
             // connection to the provider is up (instantly for warm
             // reuse) and the Bitswap exchange begins.
-            let now = self.now();
             let peer = self.resolve(&provider).unwrap_or(usize::MAX);
             self.tracer.record_with(op, now, || TraceEventKind::DialCompleted { peer });
         }
+        if let Some(session) = existing {
+            // A later swarm member came up: join the running session.
+            let n = &mut self.nodes[node];
+            n.node.bitswap.set_clock(now.as_nanos());
+            let outputs = n.node.bitswap.add_session_peer(session, provider, &mut n.node.store);
+            self.process_bitswap_outputs(node, outputs);
+            return;
+        }
+        // First connection up: create the session. Every swarm member
+        // whose dial is still completing joins the candidate set now (the
+        // WANT-HAVE round overlaps their connects), and peers that
+        // answered the opportunistic probe with HAVE short-circuit in —
+        // they already proved they hold (part of) the content.
+        let mut peers = vec![provider];
+        for candidate in candidates.into_iter().chain(havers) {
+            if !peers.contains(&candidate) {
+                peers.push(candidate);
+            }
+        }
+        let session_cfg = self.session_config();
         let n = &mut self.nodes[node];
+        n.node.bitswap.set_clock(now.as_nanos());
         let (session, outputs) =
-            n.node.bitswap.start_session(cid, vec![provider], &mut n.node.store);
+            n.node.bitswap.start_session_with(cid, peers, session_cfg, &mut n.node.store);
         if let Some(OpState::Retrieve { fetch_session, .. }) = self.ops.get_mut(&op) {
             *fetch_session = Some(session);
         }
@@ -2068,6 +2350,23 @@ impl IpfsNetwork {
                         to_bw,
                     );
                     let delay = self.inflate_latency(delay, from_region, to_region);
+                    // BLOCK payloads serialize at the sender's uplink:
+                    // concurrent transfers queue behind each other (zero
+                    // wait for an isolated block, so single-provider
+                    // timings are untouched). `sample_transfer` already
+                    // prices this block's own serialization; the queue
+                    // adds only the wait for earlier committed blocks.
+                    let delay = if let Message::Block { data, .. } = &message {
+                        let now = self.now();
+                        let start = self.nodes[id].uplink_free_at.max(now);
+                        let tx = SimDuration::from_secs_f64(
+                            (data.len() as f64 * 8.0) / from_bw.up_bps() as f64,
+                        );
+                        self.nodes[id].uplink_free_at = start + tx;
+                        delay + start.since(now)
+                    } else {
+                        delay
+                    };
                     self.queue.schedule(
                         delay,
                         NetEvent::BitswapArrive {
@@ -2084,12 +2383,18 @@ impl IpfsNetwork {
                 }
                 EngineOutput::BlockStored { session, .. } => {
                     self.metrics.incr(names::BITSWAP_BLOCKS_STORED);
+                    self.metrics.incr_handle(self.hot.session_blocks_received);
                     if self.tracer.is_enabled() {
                         if let Some(&op) = self.session_owner.get(&(id, session)) {
                             let now = self.now();
                             self.tracer.record_with(op, now, || TraceEventKind::BlockReceived);
                         }
                     }
+                }
+                EngineOutput::DuplicateBlock { .. } => {
+                    // A duplicate-factor race (or re-routed want) delivered
+                    // the same block twice: wasted bytes, counted.
+                    self.metrics.incr_handle(self.hot.session_dup_blocks);
                 }
                 EngineOutput::WantFailed { session, .. } => {
                     // Expected during the probe phase (neighbours lack the
@@ -2200,6 +2505,14 @@ impl IpfsNetwork {
         };
         for s in [probe_session, fetch_session].into_iter().flatten() {
             self.session_owner.remove(&(node, s));
+            self.drain_session_obs(node, s);
+            if !success {
+                // Abort the transfer: CANCEL everything still in flight
+                // and drop the session, so a later disconnect can't
+                // resurrect a dead op's wants.
+                let outputs = self.nodes[node].node.bitswap.cancel_session(s);
+                self.process_bitswap_outputs(node, outputs);
+            }
         }
         let t_bs = t_bitswap_end.unwrap_or(now);
         let t_prov = t_provider_end.unwrap_or(t_bs);
@@ -2994,5 +3307,117 @@ mod tests {
         assert!(net.retrieve_reports[0].success);
         // The requester now holds the content and has (silently) published.
         assert!(net.node_mut(requester).has_content(&cid));
+    }
+
+    #[test]
+    fn single_provider_fetch_identical_across_session_knobs() {
+        // Regression guard (fig10 shape): with exactly one provider the
+        // session must degrade to the legacy single-provider message
+        // sequence, so cranking the swarm knobs cannot move any phase
+        // timing — or the event count — at all.
+        let run = |cfg: NetworkConfig| {
+            let pop = Population::generate(
+                PopulationConfig {
+                    size: 300,
+                    nat_fraction: 0.3,
+                    horizon: SimDuration::from_hours(6),
+                    ..Default::default()
+                },
+                31,
+            );
+            let mut net = IpfsNetwork::from_population(
+                &pop,
+                &[VantagePoint::EuCentral1, VantagePoint::UsWest1],
+                cfg,
+                31,
+            );
+            let [provider, requester] = net.vantage_ids(2)[..] else { panic!() };
+            let data = Bytes::from(vec![0x42; 700_000]);
+            let cid = net.import_content(provider, &data);
+            net.publish(provider, cid.clone());
+            net.run_until_quiet();
+            net.retrieve(requester, cid);
+            net.run_until_quiet();
+            let rr = net.retrieve_reports[0].clone();
+            assert!(rr.success, "retrieve must succeed: {rr:?}");
+            (
+                rr.total,
+                rr.bitswap_probe,
+                rr.provider_walk,
+                rr.peer_walk,
+                rr.fetch,
+                net.events_processed,
+            )
+        };
+        let base = run(NetworkConfig::default());
+        let tuned = run(NetworkConfig {
+            duplicate_factor: 4,
+            max_fetch_providers: 1,
+            ..NetworkConfig::default()
+        });
+        assert_eq!(base, tuned, "session knobs must be inert with a single provider");
+    }
+
+    #[test]
+    fn swarm_fetch_draws_blocks_from_multiple_providers() {
+        // Five providers announce the same 2 MiB DAG; the requester's
+        // session must fan the fetch out instead of draining one uplink.
+        let pop = Population::generate(
+            PopulationConfig {
+                size: 300,
+                nat_fraction: 0.3,
+                horizon: SimDuration::from_hours(6),
+                ..Default::default()
+            },
+            33,
+        );
+        // Records carry multiaddrs so every discovered provider is dialed
+        // up front — the swarm assembles before the transfer finishes.
+        let cfg = NetworkConfig { provider_records_carry_addrs: true, ..Default::default() };
+        let mut net = IpfsNetwork::from_population(&pop, &VantagePoint::ALL, cfg, 33);
+        let vs = net.vantage_ids(6);
+        let (requester, providers) = (vs[0], &vs[1..]);
+        // Non-repeating bytes (xorshift64): uniform fill would dedup every
+        // 256 KiB leaf into a single CID and collapse the DAG to 2 blocks.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let data = Bytes::from(
+            (0..2 * 1024 * 1024)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x as u8
+                })
+                .collect::<Vec<u8>>(),
+        );
+        let mut cid = None;
+        for &p in providers {
+            let c = net.import_content(p, &data);
+            net.publish(p, c.clone());
+            cid = Some(c);
+        }
+        let cid = cid.unwrap();
+        net.run_until_quiet();
+        assert!(net.publish_reports.iter().all(|r| r.success));
+
+        net.retrieve(requester, cid.clone());
+        net.run_until_quiet();
+        let rr = net.retrieve_reports[0].clone();
+        assert!(rr.success, "swarm retrieve must succeed: {rr:?}");
+        assert_eq!(net.node_mut(requester).read_content(&cid).unwrap(), data);
+        // 8 × 256 KiB leaves + root, all through the session layer.
+        assert!(
+            net.metrics.get(names::BITSWAP_SESSION_BLOCKS_RECEIVED) >= 9,
+            "session counters must see the whole DAG: blocks={} wants={} via_bitswap={} fetch={:?}",
+            net.metrics.get(names::BITSWAP_SESSION_BLOCKS_RECEIVED),
+            net.metrics.get(names::BITSWAP_SESSION_WANTS_SENT),
+            rr.via_bitswap,
+            rr.fetch,
+        );
+        let serving =
+            providers.iter().filter(|&&p| net.nodes[p].node.bitswap.counts_sent.block > 0).count();
+        assert!(serving >= 2, "blocks must come from a swarm, not one uplink ({serving} served)");
+        // Duplicate factor 1: nothing should be fetched twice.
+        assert_eq!(net.metrics.get(names::BITSWAP_SESSION_DUP_BLOCKS), 0);
     }
 }

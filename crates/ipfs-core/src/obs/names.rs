@@ -93,6 +93,20 @@ metric_names! {
     /// Opportunistic 1 s probes that expired without the content.
     BITSWAP_PROBE_TIMEOUTS = "bitswap_probe_timeouts";
 
+    // -- Bitswap session layer (swarm transfer) -----------------------
+    /// Blocks received and verified by client sessions.
+    BITSWAP_SESSION_BLOCKS_RECEIVED = "bitswap_session_blocks_received";
+    /// Duplicate blocks received by client sessions (duplicate-factor
+    /// races, re-routed wants whose original target delivered late).
+    BITSWAP_SESSION_DUP_BLOCKS = "bitswap_session_duplicate_blocks";
+    /// WANT-BLOCK requests issued by client sessions.
+    BITSWAP_SESSION_WANTS_SENT = "bitswap_session_wants_sent";
+    /// Wants re-queued to another peer after a renege or crash.
+    BITSWAP_SESSION_REROUTES = "bitswap_session_reroutes";
+    /// Per-peer WANT-BLOCK→BLOCK response latency (ms), drained from
+    /// sessions at retrieval completion.
+    BITSWAP_PEER_LATENCY_MS = "bitswap_peer_latency_ms";
+
     // -- Operations ---------------------------------------------------
     /// Publish operations submitted.
     PUBLISH_OPS = "publish_ops";

@@ -1,0 +1,109 @@
+//! Property test: build → chunk → reassemble round-trip (paper §2.1).
+//!
+//! Any file from 1 byte to 4 MiB — spanning the 256 KiB chunk boundary —
+//! must chunk into exactly `ceil(size / 256 KiB)` leaves, reassemble
+//! byte-identically through the resolver, and produce a root CID that
+//! depends only on the content (stable across fresh stores).
+
+use bytes::Bytes;
+use merkledag::{BuildReport, DagBuilder, MemoryBlockStore, Resolver, DEFAULT_CHUNK_SIZE};
+use proptest::prelude::*;
+
+/// Deterministic non-repeating payload (xorshift64). A short-period
+/// pattern would collapse distinct 256 KiB chunks into one CID via
+/// content-addressed dedup and break the block-count arithmetic below.
+fn gen_bytes(len: u64, seed: u64) -> Bytes {
+    let mut x = seed | 1;
+    Bytes::from(
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect::<Vec<u8>>(),
+    )
+}
+
+fn build(data: &Bytes) -> (MemoryBlockStore, BuildReport) {
+    let mut store = MemoryBlockStore::new();
+    let report = DagBuilder::new(&mut store).add(data).expect("build succeeds");
+    (store, report)
+}
+
+/// The full round-trip contract for one (size, seed) input.
+fn check_roundtrip(size: u64, seed: u64) {
+    let data = gen_bytes(size, seed);
+    let (mut store, report) = build(&data);
+
+    // Chunk-count arithmetic: fixed-size chunking is exact.
+    let expected_chunks = (size as usize).div_ceil(DEFAULT_CHUNK_SIZE);
+    assert_eq!(report.chunks, expected_chunks, "size {size}");
+    assert_eq!(report.file_size, size);
+    assert_eq!(
+        report.new_leaves + report.deduplicated_leaves,
+        report.chunks,
+        "every chunk is either written or deduplicated"
+    );
+    // xorshift payloads make chunks pairwise distinct in practice; the
+    // builder must not invent duplicates on a fresh store.
+    assert_eq!(report.deduplicated_leaves, 0, "fresh store, distinct chunks");
+    // 4 MiB is at most 16 chunks — one branch level (fanout 174) or a
+    // bare leaf root.
+    if report.chunks == 1 {
+        assert_eq!(report.depth, 0);
+        assert_eq!(report.branch_nodes, 0);
+    } else {
+        assert_eq!(report.depth, 1);
+        assert_eq!(report.branch_nodes, 1);
+    }
+
+    // Reassembly: the resolver must return the original bytes, verified
+    // block-by-block against their CIDs.
+    let out = Resolver::new(&mut store).read_file(&report.root).expect("read_file succeeds");
+    assert_eq!(out, data, "round-trip must be byte-identical (size {size})");
+
+    // CID stability: the root depends only on content + layout, never on
+    // store history (paper §2.1).
+    let (_, again) = build(&data);
+    assert_eq!(again.root, report.root, "root CID must be stable across fresh stores");
+    assert_eq!(again.chunks, report.chunks);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random sizes across the whole 1 B – 4 MiB range.
+    #[test]
+    fn roundtrip_any_size(size in 1u64..=4 * 1024 * 1024, seed in any::<u64>()) {
+        check_roundtrip(size, seed);
+    }
+
+    /// Sizes clustered around multiples of the 256 KiB chunk boundary,
+    /// where off-by-one chunk-count bugs live.
+    #[test]
+    fn roundtrip_near_chunk_boundaries(
+        multiple in 1u64..=16,
+        offset in -2i64..=2,
+        seed in any::<u64>(),
+    ) {
+        let size = (multiple * DEFAULT_CHUNK_SIZE as u64).saturating_add_signed(offset).max(1);
+        check_roundtrip(size, seed);
+    }
+}
+
+/// Pinned boundary cases: exactly one byte, and one chunk ± one byte.
+#[test]
+fn roundtrip_exact_boundaries() {
+    let chunk = DEFAULT_CHUNK_SIZE as u64;
+    for (size, want_chunks) in
+        [(1, 1), (chunk - 1, 1), (chunk, 1), (chunk + 1, 2), (2 * chunk, 2), (4 * chunk + 1, 5)]
+    {
+        let data = gen_bytes(size, 0xB0DA ^ size);
+        let (mut store, report) = build(&data);
+        assert_eq!(report.chunks, want_chunks, "size {size}");
+        let out = Resolver::new(&mut store).read_file(&report.root).unwrap();
+        assert_eq!(out, data, "size {size}");
+    }
+}

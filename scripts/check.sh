@@ -90,6 +90,23 @@ if ! cmp -s "$FLEET_DIR/j1.txt" "$FLEET_DIR/j4.txt"; then
 fi
 rm -rf "$FLEET_DIR"
 
+echo "== swarm smoke (determinism + goodput regression gate) =="
+# The swarm-transfer harness must exit 0, stay byte-identical on stdout
+# whether its cells run serially or on 4 workers, and hold the headline
+# cell's events/sec within 0.7x of the recorded smoke baseline.
+cargo build --release -q -p bench --bin swarm
+SWARM_DIR="$(mktemp -d)"
+IPFS_REPRO_JOBS=1 ./target/release/swarm --smoke > "$SWARM_DIR/j1.txt" 2> /dev/null
+IPFS_REPRO_JOBS=4 ./target/release/swarm --smoke \
+    --check-against results/BENCH_swarm_smoke_baseline.json > "$SWARM_DIR/j4.txt"
+if ! cmp -s "$SWARM_DIR/j1.txt" "$SWARM_DIR/j4.txt"; then
+    echo "swarm --smoke output differs between IPFS_REPRO_JOBS=1 and =4" >&2
+    diff "$SWARM_DIR/j1.txt" "$SWARM_DIR/j4.txt" >&2 || true
+    rm -rf "$SWARM_DIR"
+    exit 1
+fi
+rm -rf "$SWARM_DIR"
+
 echo "== latency smoke (span-attribution determinism gate) =="
 # The latency-attribution harness must exit 0, emit its table + JSON, and
 # print byte-identical artifacts whether cells run serially or on 4
