@@ -15,10 +15,16 @@
 //! Flags:
 //! * `--smoke` — tiny fixed-size run for the CI determinism gate.
 //! * `--out <dir>` — where the table and JSON land (default `results`).
+//! * `--trace-out <path>` — additionally collect distributed traces and
+//!   dump the slowest ops' stitched trees (cross-node spans + critical
+//!   path) as JSON exemplars; measured tables are unchanged.
 
-use bench::latency::{render_json, render_table, run_all, LatencyConfig};
+use bench::latency::{render_json, render_table, render_trace_out, run_all_traced, LatencyConfig};
 use bench::runner::{banner, jobs_from_env, seed_from_env, Scale};
 use std::path::Path;
+
+/// Slowest ops kept in the `--trace-out` exemplar dump.
+const TRACE_OUT_SLOWEST: usize = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +35,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "results".to_string());
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::from);
 
     banner("Latency", "per-phase retrieval latency attribution (span trees)");
     let seed = seed_from_env();
@@ -36,7 +47,7 @@ fn main() {
     let cfg =
         if smoke { LatencyConfig::smoke() } else { LatencyConfig::at_scale(Scale::from_env()) };
 
-    let results = run_all(&cfg, seed, jobs);
+    let results = run_all_traced(&cfg, seed, jobs, trace_out.is_some());
     let table = render_table(&results);
     print!("{table}");
     let json = render_json(&results, seed);
@@ -56,5 +67,13 @@ fn main() {
     }
     if let Some(path) = bench::write_json("BENCH_latency", &json) {
         println!("wrote {}", path.display());
+    }
+    if let Some(path) = trace_out {
+        let doc = render_trace_out(&results, seed, TRACE_OUT_SLOWEST);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("latency: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
     }
 }

@@ -18,9 +18,17 @@
 //! * `--check-against <path>` — compare the headline cell's wall-clock
 //!   events/sec against a previously recorded JSON (same mode); exit
 //!   non-zero on a >30 % regression.
+//! * `--trace-out <path>` — additionally collect distributed traces and
+//!   dump the slowest retrievals' stitched trees (cross-node spans +
+//!   critical path) as JSON exemplars; the report is unchanged.
 
 use bench::runner::{banner, jobs_from_env, seed_from_env, Scale};
-use bench::swarm::{headline_label, render_json, render_report, run_all, SwarmBenchConfig};
+use bench::swarm::{
+    headline_label, render_json, render_report, render_trace_out, run_all_traced, SwarmBenchConfig,
+};
+
+/// Slowest retrievals kept in the `--trace-out` exemplar dump.
+const TRACE_OUT_SLOWEST: usize = 8;
 
 /// Pulls `"events_per_sec": <x>` for the entry `"label": "<label>"` out of
 /// an exported JSON (scanning, no parser dependency).
@@ -45,6 +53,11 @@ fn main() {
         .position(|a| a == "--check-against")
         .and_then(|i| args.get(i + 1))
         .map(String::from);
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::from);
 
     banner("Swarm transfer", "multi-provider Bitswap sessions over chunked DAGs");
     let seed = seed_from_env();
@@ -55,8 +68,16 @@ fn main() {
         SwarmBenchConfig::at_scale(Scale::from_env())
     };
 
-    let outputs = run_all(&cfg, seed, smoke, jobs);
+    let outputs = run_all_traced(&cfg, seed, smoke, jobs, trace_out.is_some());
     print!("{}", render_report(&outputs));
+    if let Some(path) = &trace_out {
+        let doc = render_trace_out(&outputs, seed, TRACE_OUT_SLOWEST);
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("swarm: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
+    }
 
     // Wall-clock headline to stderr: stdout must stay byte-identical
     // across job counts and machines.

@@ -41,6 +41,15 @@
 //! * `--check-against <path>` — compare this run's sim events/sec against
 //!   a previously recorded JSON (same mode); exit non-zero on a >30%
 //!   regression.
+//! * `--overhead-check` — run the smoke sim cell twice, distributed
+//!   tracing off then on; assert the deterministic outputs are identical
+//!   and exit non-zero if the traced run falls under 0.8× the untraced
+//!   throughput (the tracing overhead budget).
+//!
+//! The `IPFS_REPRO_DTRACE=1` environment knob arms distributed tracing +
+//! the flight recorder inside the sim section; every deterministic output
+//! (digest lines included) must be byte-identical with the knob on or off
+//! — `scripts/check.sh` diffs both.
 
 use bench::runner::{banner, seed_from_env, shards_from_env, Scale, ScaleConfig};
 use bytes::Bytes;
@@ -105,8 +114,17 @@ struct SimResult {
     walks_per_sec: f64,
 }
 
-/// Simulation section: publish/retrieve rounds on a live network.
-fn run_sim(cell: &Cell, seed: u64) -> SimResult {
+/// Whether the `IPFS_REPRO_DTRACE=1` knob arms distributed tracing in the
+/// sim section.
+fn dtrace_from_env() -> bool {
+    std::env::var("IPFS_REPRO_DTRACE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Simulation section: publish/retrieve rounds on a live network. With
+/// `dtrace` on, the op tracer, distributed-trace collection, and the
+/// flight recorder all run — observation only, so every deterministic
+/// field must match the untraced run exactly.
+fn run_sim(cell: &Cell, seed: u64, dtrace: bool) -> SimResult {
     let pop = Population::generate(
         PopulationConfig {
             size: cell.population,
@@ -123,6 +141,10 @@ fn run_sim(cell: &Cell, seed: u64) -> SimResult {
         seed,
     );
     let [provider, requester] = net.vantage_ids(2)[..] else { unreachable!() };
+    if dtrace {
+        net.set_trace_config(ipfs_core::TraceConfig::enabled());
+        net.set_dtrace(ipfs_core::obs::dtrace::DtraceConfig::full(None));
+    }
 
     let events_before = net.events_processed;
     let walks_before = net.metrics().samples(ipfs_core::obs::names::DHT_WALK_RPCS).len();
@@ -335,15 +357,16 @@ fn measure(cell: &Cell, seed: u64, digest: bool, reps: usize) -> String {
     // reported (the usual noisy-box benchmarking discipline). The
     // deterministic fields double as a free reproducibility check: every
     // repetition must agree on them exactly.
+    let dtrace = dtrace_from_env();
     let (table_size, touched, mut r_elapsed, mut calls_per_sec) = run_routing(cell, seed);
-    let mut sim = run_sim(cell, seed);
+    let mut sim = run_sim(cell, seed, dtrace);
     for _ in 1..reps.max(1) {
         let (ts, t, re, cps) = run_routing(cell, seed);
         assert_eq!((ts, t), (table_size, touched), "routing section must be deterministic");
         if re < r_elapsed {
             (r_elapsed, calls_per_sec) = (re, cps);
         }
-        let rep = run_sim(cell, seed);
+        let rep = run_sim(cell, seed, dtrace);
         assert_eq!(
             (rep.events, rep.walks, rep.metrics_fnv, rep.bytes_per_node),
             (sim.events, sim.walks, sim.metrics_fnv, sim.bytes_per_node),
@@ -438,6 +461,41 @@ fn baseline_events_per_sec(json: &str, label: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// Tracing overhead budget gate: the smoke sim cell with tracing + the
+/// flight recorder armed must keep ≥ 0.8× the untraced events/sec, and
+/// every deterministic output must be identical (tracing observes, never
+/// perturbs). Best-of-3 each to shed co-tenant noise.
+fn run_overhead_check(seed: u64) {
+    const REPS: usize = 3;
+    let cell = Cell { label: "smoke", population: 500, closest_calls: 0, rounds: 40 };
+    let best = |dtrace: bool| {
+        let mut best = run_sim(&cell, seed, dtrace);
+        for _ in 1..REPS {
+            let rep = run_sim(&cell, seed, dtrace);
+            if rep.elapsed < best.elapsed {
+                best = rep;
+            }
+        }
+        best
+    };
+    let off = best(false);
+    let on = best(true);
+    assert_eq!(
+        (on.events, on.walks, on.metrics_fnv, on.bytes_per_node),
+        (off.events, off.walks, off.metrics_fnv, off.bytes_per_node),
+        "tracing must not change any deterministic output"
+    );
+    let ratio = on.events_per_sec / off.events_per_sec.max(1e-9);
+    println!(
+        "overhead gate: traced {:.0} events/s vs untraced {:.0} events/s (ratio {ratio:.2})",
+        on.events_per_sec, off.events_per_sec
+    );
+    if ratio < 0.8 {
+        eprintln!("throughput: tracing overhead exceeds the 20% budget (ratio {ratio:.2})");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -448,8 +506,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::from);
 
+    let overhead_check = args.iter().any(|a| a == "--overhead-check");
+
     banner("Throughput", "simulator events/sec and DHT walks/sec (perf trajectory)");
     let seed = seed_from_env();
+    if overhead_check {
+        run_overhead_check(seed);
+        return;
+    }
     if digest {
         // To stderr: stdout must be byte-identical across scheduler
         // implementations, and this line names the one in use.

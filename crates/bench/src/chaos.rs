@@ -447,12 +447,16 @@ fn scenario_provider_crash(cfg: &ChaosConfig, seed: u64) -> CellOutput {
 
     // Pass 2: identical workload, but the victim dies mid-fetch. The plan
     // draws no randomness, so both passes share a timeline up to the crash.
+    // The flight recorder runs in post-mortem mode: the crash flags the op
+    // and the finish dumps the causal trail of every re-routed want.
     let (mut net, requester, providers, cid) = setup(seed);
     let mut plan = FaultPlan::new();
     plan.crash_nodes(crash_at, vec![victim], SimDuration::from_secs(600));
     net.install_fault_plan(plan);
+    net.set_dtrace(ipfs_core::obs::dtrace::DtraceConfig::full(None));
     net.retrieve(requester, cid);
     net.run_until_quiet();
+    let postmortems = net.drain_postmortems();
     let rr = net.retrieve_reports.last().expect("retrieve ran").clone();
     let reroutes = net.metrics().get(names::BITSWAP_SESSION_REROUTES);
     let crashed = net.metrics().get(names::FAULT_NODES_CRASHED);
@@ -463,12 +467,18 @@ fn scenario_provider_crash(cfg: &ChaosConfig, seed: u64) -> CellOutput {
         .map(|&p| net.node_mut(p).bitswap.counts_sent.block)
         .sum();
 
+    let pm_text = if postmortems.is_empty() {
+        "flight recorder: no post-mortem emitted (crash missed the fetch window)".to_string()
+    } else {
+        postmortems.iter().map(|(_, t)| t.trim_end()).collect::<Vec<_>>().join("\n")
+    };
     let report = format!(
         "{SWARM}-provider swarm fetch of a 2.0 MiB DAG; busiest provider crashes mid-fetch\n\
          fault-free fetch: ok={} {:.3}s sim; crash scheduled 50% into that window\n\
          with crash: ok={} {:.3}s sim (must complete), {crashed} node crashed\n\
          session reroutes: {reroutes} (must be nonzero)\n\
-         blocks served: victim {victim_blocks} (pre-crash), survivors {survivor_blocks}\n{}",
+         blocks served: victim {victim_blocks} (pre-crash), survivors {survivor_blocks}\n\
+         {pm_text}\n{}",
         baseline.success,
         baseline.fetch.as_secs_f64(),
         rr.success,
@@ -646,5 +656,10 @@ mod tests {
             .and_then(|s| s.trim().parse().ok())
             .expect("survivor_blocks field present");
         assert!(survivors > 0, "survivors must serve the re-routed blocks:\n{}", cell.report);
+        // The flight recorder must dump the causal trail: a post-mortem
+        // naming the crashed peer and the re-routed wants.
+        assert!(cell.report.contains("post-mortem op="), "no post-mortem:\n{}", cell.report);
+        assert!(cell.report.contains("peers lost mid-op: n"), "{}", cell.report);
+        assert!(cell.report.contains("bs:reroute"), "no re-routed wants listed:\n{}", cell.report);
     }
 }

@@ -54,6 +54,45 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> Option<P
     }
 }
 
+/// One stitched distributed trace collected by a harness cell, ready for
+/// the `--trace-out` exemplar dump.
+#[derive(Debug, Clone)]
+pub struct TraceExemplar {
+    /// End-to-end op duration in integer nanoseconds (the sort key).
+    pub dur_nanos: u64,
+    /// The op's id (deterministic tie-break).
+    pub op: u64,
+    /// The rendered exemplar object
+    /// ([`ipfs_core::obs::dtrace::exemplar_json`]).
+    pub json: String,
+}
+
+/// Picks the `n` slowest ops across all cells — sorted by duration
+/// descending, then cell index, then op id, so the selection is
+/// byte-identical at any job count — and renders the `--trace-out`
+/// JSON document.
+pub fn render_trace_exemplars(
+    harness: &str,
+    seed: u64,
+    cells: &[&[TraceExemplar]],
+    n: usize,
+) -> String {
+    let mut all: Vec<(u64, usize, u64, &str)> = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        for e in cell.iter() {
+            all.push((e.dur_nanos, ci, e.op, e.json.as_str()));
+        }
+    }
+    all.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    all.truncate(n);
+    let entries: Vec<String> = all.iter().map(|(_, _, _, j)| format!("    {j}")).collect();
+    format!(
+        "{{\n  \"harness\": \"{harness}\",\n  \"seed\": {seed},\n  \"slowest\": {},\n  \"traces\": [\n{}\n  ]\n}}\n",
+        entries.len(),
+        entries.join(",\n")
+    )
+}
+
 /// Convenience: exports a series of (x, y) points.
 pub fn write_series_csv(
     name: &str,

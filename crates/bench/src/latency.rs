@@ -20,10 +20,12 @@
 //! master seed) and run on [`run_cells_with_jobs`], so output is
 //! byte-identical at any `IPFS_REPRO_JOBS` value.
 
+use crate::export::TraceExemplar;
 use crate::runner::{run_cells_with_jobs, Scale};
 use crate::stats::percentile;
 use bytes::Bytes;
 use faultsim::FaultPlan;
+use ipfs_core::obs::dtrace::{exemplar_json, DtraceConfig};
 use ipfs_core::{IpfsNetwork, LatencyBreakdown, NetworkConfig, SpanTree, TraceConfig};
 use multiformats::Cid;
 use simnet::latency::VantagePoint;
@@ -140,6 +142,9 @@ pub struct CellResult {
     pub sum_mismatches: usize,
     /// Traces whose critical path exceeded the op duration (must be 0).
     pub critical_path_violations: usize,
+    /// Stitched distributed traces of this cell's ops, in op order
+    /// (empty unless the cell ran with exemplar collection on).
+    pub exemplars: Vec<TraceExemplar>,
 }
 
 impl CellResult {
@@ -169,8 +174,17 @@ fn check_critical_path(trace: &ipfs_core::OpTrace, result: &mut CellResult) {
     }
 }
 
-/// Runs one (region, faulted) cell.
-fn run_cell(cfg: &LatencyConfig, region: VantagePoint, faulted: bool, seed: u64) -> CellResult {
+/// Runs one (region, faulted) cell. With `trace` on, distributed trace
+/// fragments are collected and every op's stitched tree is kept as an
+/// exemplar (observation only — the measured tables are byte-identical
+/// either way).
+fn run_cell(
+    cfg: &LatencyConfig,
+    region: VantagePoint,
+    faulted: bool,
+    seed: u64,
+    trace: bool,
+) -> CellResult {
     let pop = Population::generate(
         PopulationConfig {
             size: cfg.population,
@@ -185,6 +199,9 @@ fn run_cell(cfg: &LatencyConfig, region: VantagePoint, faulted: bool, seed: u64)
     let [publisher, requester] = net.vantage_ids(2)[..] else { unreachable!() };
     let publisher_peer = net.peer_id(publisher).clone();
     net.set_trace_config(TraceConfig::enabled());
+    if trace {
+        net.set_dtrace(DtraceConfig::collecting());
+    }
 
     // Age the network before measuring: §4.3 ran against the live DHT,
     // where churn leaves stale routing entries that walks must dial and
@@ -215,7 +232,10 @@ fn run_cell(cfg: &LatencyConfig, region: VantagePoint, faulted: bool, seed: u64)
         publish: PhaseSamples::default(),
         sum_mismatches: 0,
         critical_path_violations: 0,
+        exemplars: Vec::new(),
     };
+    let cell_tag =
+        |op: &str| format!("{}/{}/{op}", region.label(), if faulted { "faulted" } else { "clean" });
 
     for i in 0..cfg.iterations {
         let mut payload = vec![0x5A; cfg.object_kib * 1024];
@@ -235,6 +255,15 @@ fn run_cell(cfg: &LatencyConfig, region: VantagePoint, faulted: bool, seed: u64)
             result.sum_mismatches += 1;
         }
         check_critical_path(&pub_trace, &mut result);
+        if trace {
+            if let Some(tree) = net.stitched_trace(pub_op, &pub_trace) {
+                result.exemplars.push(TraceExemplar {
+                    dur_nanos: pub_bd.total().as_nanos(),
+                    op: pub_op.0,
+                    json: exemplar_json(&cell_tag("publish"), pub_op, &tree),
+                });
+            }
+        }
         if pr.success {
             result.publish_ok += 1;
             result.publish.push(&pub_bd);
@@ -261,6 +290,15 @@ fn run_cell(cfg: &LatencyConfig, region: VantagePoint, faulted: bool, seed: u64)
             result.sum_mismatches += 1;
         }
         check_critical_path(&ret_trace, &mut result);
+        if trace {
+            if let Some(tree) = net.stitched_trace(ret_op, &ret_trace) {
+                result.exemplars.push(TraceExemplar {
+                    dur_nanos: ret_bd.total().as_nanos(),
+                    op: ret_op.0,
+                    json: exemplar_json(&cell_tag("retrieve"), ret_op, &tree),
+                });
+            }
+        }
         if rr.success {
             result.retrieve_ok += 1;
             result.retrieve.push(&ret_bd);
@@ -279,6 +317,18 @@ fn run_cell(cfg: &LatencyConfig, region: VantagePoint, faulted: bool, seed: u64)
 /// Runs every (region × clean/faulted) cell on `jobs` workers; output
 /// order and bytes are independent of the job count.
 pub fn run_all(cfg: &LatencyConfig, master_seed: u64, jobs: usize) -> Vec<CellResult> {
+    run_all_traced(cfg, master_seed, jobs, false)
+}
+
+/// [`run_all`] with distributed-trace exemplar collection switched on
+/// (the `--trace-out` path). Exemplars are pure observations, so every
+/// rendered surface stays byte-identical to the untraced run.
+pub fn run_all_traced(
+    cfg: &LatencyConfig,
+    master_seed: u64,
+    jobs: usize,
+    trace: bool,
+) -> Vec<CellResult> {
     let cells: Vec<(VantagePoint, bool)> =
         cfg.regions.iter().flat_map(|&r| [(r, false), (r, true)]).collect();
     run_cells_with_jobs(jobs, cells.len(), |i| {
@@ -289,8 +339,16 @@ pub fn run_all(cfg: &LatencyConfig, master_seed: u64, jobs: usize) -> Vec<CellRe
             region,
             faulted,
             master_seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            trace,
         )
     })
+}
+
+/// Renders the `--trace-out` document: the `n` slowest ops' stitched
+/// distributed traces across all cells.
+pub fn render_trace_out(results: &[CellResult], seed: u64, n: usize) -> String {
+    let cells: Vec<&[TraceExemplar]> = results.iter().map(|r| r.exemplars.as_slice()).collect();
+    crate::export::render_trace_exemplars("latency", seed, &cells, n)
 }
 
 fn mean(v: &[f64]) -> f64 {
@@ -482,5 +540,23 @@ mod tests {
             (render_table(&r), render_json(&r, 7))
         };
         assert_eq!(render(1), render(4), "jobs=1 vs jobs=4 must be byte-identical");
+    }
+
+    #[test]
+    fn trace_exemplar_dump_is_byte_identical_across_job_counts() {
+        let cfg = LatencyConfig {
+            population: 400,
+            iterations: 2,
+            object_kib: 16,
+            regions: vec![VantagePoint::EuCentral1],
+        };
+        let dump = |jobs: usize| {
+            let results = run_all_traced(&cfg, 7, jobs, true);
+            (render_table(&results), render_trace_out(&results, 7, 4))
+        };
+        let (table1, dump1) = dump(1);
+        assert!(dump1.contains("\"critical_path\""), "dump must hold stitched traces:\n{dump1}");
+        assert!(dump1.contains("srv:"), "remote-side spans must be stitched in:\n{dump1}");
+        assert_eq!((table1, dump1), dump(4), "jobs=1 vs jobs=4 trace dumps must be identical");
     }
 }

@@ -23,10 +23,12 @@
 
 use std::time::Instant;
 
+use crate::export::TraceExemplar;
 use crate::runner::{run_cells_with_jobs, Scale};
 use bytes::Bytes;
+use ipfs_core::obs::dtrace::{exemplar_json, DtraceConfig};
 use ipfs_core::obs::names;
-use ipfs_core::{IpfsNetwork, NetworkConfig, NodeId};
+use ipfs_core::{IpfsNetwork, NetworkConfig, NodeId, TraceConfig};
 use simnet::latency::VantagePoint;
 use simnet::{Population, PopulationConfig, SimDuration};
 
@@ -68,6 +70,9 @@ pub struct CellOutput {
     /// Wall-clock simulator events/sec of the cell (NOT part of the
     /// deterministic report).
     pub events_per_sec: f64,
+    /// Stitched distributed trace of the cell's swarm retrieval (empty
+    /// unless the cell ran with `--trace-out` collection on).
+    pub exemplars: Vec<TraceExemplar>,
 }
 
 /// What a cell varies.
@@ -106,7 +111,7 @@ fn mib_label(bytes: u64) -> String {
     }
 }
 
-fn run_cell(spec: &CellSpec, cfg: &SwarmBenchConfig, seed: u64) -> CellOutput {
+fn run_cell(spec: &CellSpec, cfg: &SwarmBenchConfig, seed: u64, trace: bool) -> CellOutput {
     let pop = Population::generate(
         PopulationConfig {
             size: cfg.population,
@@ -154,12 +159,31 @@ fn run_cell(spec: &CellSpec, cfg: &SwarmBenchConfig, seed: u64) -> CellOutput {
     // measured over an honest DHT walk + swarm fetch.
     net.disconnect_all(requester);
 
+    // Distributed tracing is armed only for the measured retrieval (and
+    // only under `--trace-out`): pure observation, the deterministic
+    // report is byte-identical either way.
+    if trace {
+        net.set_trace_config(TraceConfig::enabled());
+        net.set_dtrace(DtraceConfig::collecting());
+    }
     let wall = Instant::now();
     let events_before = net.events_processed;
-    net.retrieve(requester, cid);
+    let ret_op = net.retrieve(requester, cid);
     net.run_until_quiet();
     let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
     let events_per_sec = (net.events_processed - events_before) as f64 / elapsed;
+    let mut exemplars = Vec::new();
+    if trace {
+        if let Some(tr) = net.take_trace(ret_op) {
+            if let Some(tree) = net.stitched_trace(ret_op, &tr) {
+                exemplars.push(TraceExemplar {
+                    dur_nanos: tree.duration().as_nanos(),
+                    op: ret_op.0,
+                    json: exemplar_json(&format!("{}/retrieve", spec.label), ret_op, &tree),
+                });
+            }
+        }
+    }
 
     let rr = net.retrieve_reports[0].clone();
     let fetch_secs = rr.fetch.as_secs_f64().max(1e-9);
@@ -195,7 +219,15 @@ fn run_cell(spec: &CellSpec, cfg: &SwarmBenchConfig, seed: u64) -> CellOutput {
           \"wants_sent\": {wants}, \"reroutes\": {reroutes}, \"providers_serving\": {serving}}}",
         spec.dag_bytes, spec.swarm, spec.duplicate_factor, rr.success,
     );
-    CellOutput { label: spec.label, report, json, goodput_mbps, dup_share, events_per_sec }
+    CellOutput {
+        label: spec.label,
+        report,
+        json,
+        goodput_mbps,
+        dup_share,
+        events_per_sec,
+        exemplars,
+    }
 }
 
 fn cell_specs(smoke: bool) -> Vec<CellSpec> {
@@ -278,6 +310,18 @@ pub fn run_all(
     smoke: bool,
     jobs: usize,
 ) -> Vec<CellOutput> {
+    run_all_traced(cfg, master_seed, smoke, jobs, false)
+}
+
+/// [`run_all`] with distributed-trace exemplar collection switched on
+/// (the `--trace-out` path).
+pub fn run_all_traced(
+    cfg: &SwarmBenchConfig,
+    master_seed: u64,
+    smoke: bool,
+    jobs: usize,
+    trace: bool,
+) -> Vec<CellOutput> {
     let specs = cell_specs(smoke);
     run_cells_with_jobs(jobs, specs.len(), |i| {
         // Cells of the same DAG size share one seed — identical population,
@@ -286,8 +330,15 @@ pub fn run_all(
         // pure function of the spec: stdout stays byte-identical at any
         // job count.
         let seed = master_seed ^ specs[i].dag_bytes.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        run_cell(&specs[i], cfg, seed)
+        run_cell(&specs[i], cfg, seed, trace)
     })
+}
+
+/// Renders the `--trace-out` document: the `n` slowest retrievals'
+/// stitched distributed traces across all cells.
+pub fn render_trace_out(outputs: &[CellOutput], seed: u64, n: usize) -> String {
+    let cells: Vec<&[TraceExemplar]> = outputs.iter().map(|c| c.exemplars.as_slice()).collect();
+    crate::export::render_trace_exemplars("swarm", seed, &cells, n)
 }
 
 /// Renders the deterministic stdout report (no wall-clock content).

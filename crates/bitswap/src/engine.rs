@@ -265,21 +265,37 @@ impl BitswapEngine {
     /// candidates. Wants that cannot be re-routed surface as
     /// [`EngineOutput::WantFailed`].
     pub fn peer_disconnected(&mut self, peer: &PeerId) -> Vec<EngineOutput> {
-        let mut out = Vec::new();
+        self.peer_disconnected_by_session(peer).into_iter().flat_map(|(_, outs)| outs).collect()
+    }
+
+    /// [`BitswapEngine::peer_disconnected`], keeping each session's
+    /// outputs attributed to its handle (in creation order, so callers
+    /// that map sessions back to operations — e.g. for per-op re-route
+    /// tracing — stay deterministic). Flattening the groups reproduces
+    /// `peer_disconnected` exactly.
+    pub fn peer_disconnected_by_session(
+        &mut self,
+        peer: &PeerId,
+    ) -> Vec<(SessionHandle, Vec<EngineOutput>)> {
+        let mut grouped = Vec::new();
         for handle in self.session_handles() {
             let now = self.clock_nanos;
             let Some(session) = self.sessions.get_mut(&handle) else {
                 continue;
             };
             let (msgs, failed) = session.remove_peer(peer, now);
+            let mut out = Vec::new();
             for (to, msg) in msgs {
                 out.extend(self.send(to, msg));
             }
             for cid in failed {
                 out.push(EngineOutput::WantFailed { session: handle, cid });
             }
+            if !out.is_empty() {
+                grouped.push((handle, out));
+            }
         }
-        out
+        grouped
     }
 
     /// Handles any inbound message — server wants and client responses —
@@ -805,6 +821,45 @@ mod tests {
         let st = client.session_state(handle).unwrap();
         assert_eq!(st.reroutes, 1);
         assert!(st.complete);
+    }
+
+    #[test]
+    fn disconnect_by_session_groups_without_changing_the_flat_view() {
+        // Two sessions both in flight at the crashing peer: the grouped
+        // API attributes each re-route to its session, and flattening it
+        // reproduces peer_disconnected's exact output stream.
+        let d1 = Bytes::from_static(b"first");
+        let d2 = Bytes::from_static(b"second");
+        let c1 = Cid::from_raw_data(&d1);
+        let c2 = Cid::from_raw_data(&d2);
+        let mut a = BitswapEngine::new();
+        let mut b = BitswapEngine::new();
+        let mut store_a = MemoryBlockStore::new();
+        let mut store_b = MemoryBlockStore::new();
+        let (h1, _) = a.start_session(c1.clone(), vec![peer(10), peer(11)], &mut store_a);
+        let (h2, _) = a.start_session(c2.clone(), vec![peer(10)], &mut store_a);
+        let (_, _) = b.start_session(c1.clone(), vec![peer(10), peer(11)], &mut store_b);
+        let (_, _) = b.start_session(c2.clone(), vec![peer(10)], &mut store_b);
+        for eng in [&mut a, &mut b] {
+            let store = &mut MemoryBlockStore::new();
+            eng.handle_inbound(&peer(10), Message::Have(c1.clone()), store);
+            eng.handle_inbound(&peer(11), Message::Have(c1.clone()), store);
+            eng.handle_inbound(&peer(10), Message::Have(c2.clone()), store);
+        }
+        let grouped = a.peer_disconnected_by_session(&peer(10));
+        let flat = b.peer_disconnected(&peer(10));
+        assert_eq!(grouped.len(), 2, "both sessions produced outputs: {grouped:?}");
+        assert_eq!(grouped[0].0, h1);
+        assert_eq!(grouped[1].0, h2);
+        // Session 1 re-routes to the surviving fallback; session 2 had no
+        // survivor and fails the want.
+        assert!(matches!(
+            grouped[0].1[0],
+            EngineOutput::Send { ref to, message: Message::WantBlock(_) } if *to == peer(11)
+        ));
+        assert!(grouped[1].1.iter().any(|o| matches!(o, EngineOutput::WantFailed { .. })));
+        let flattened: Vec<EngineOutput> = grouped.into_iter().flat_map(|(_, outs)| outs).collect();
+        assert_eq!(flattened, flat);
     }
 
     #[test]

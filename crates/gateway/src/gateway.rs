@@ -292,6 +292,27 @@ impl Gateway {
             SimDuration::from_secs_f64(size as f64 * 8.0 / self.cfg.edge_bandwidth_bps as f64);
         let latency = report.total + ser;
         let completed_at = start + latency;
+        // The gateway's own tiers join the op's distributed trace (no-ops
+        // when the sink is off): the end-to-end serve window, the bridge
+        // node's P2P fetch inside it, and the edge serialization tail.
+        let t_fetch_end = report.started_at + report.total;
+        net.record_gateway_span(report.op, self.node, "serve", size, start, completed_at);
+        net.record_gateway_span(
+            report.op,
+            self.node,
+            "bridge_fetch",
+            report.bytes,
+            report.started_at,
+            t_fetch_end,
+        );
+        net.record_gateway_span(
+            report.op,
+            self.node,
+            "edge_serialize",
+            size,
+            t_fetch_end,
+            t_fetch_end + ser,
+        );
         if report.success {
             self.promote(cid, size);
         } else {
@@ -458,6 +479,27 @@ mod tests {
         assert_eq!(gw.metrics.get(names::GATEWAY_NEGATIVE_HITS), negative as u64);
         assert_eq!(gw.metrics.get(names::GATEWAY_NGINX_MISSES), (node + network + negative) as u64);
         assert_eq!(gw.metrics.get(names::GATEWAY_NGINX_EVICTIONS), gw.nginx.evictions);
+    }
+
+    #[test]
+    fn network_fetches_record_gateway_spans_in_the_distributed_trace() {
+        use ipfs_core::obs::dtrace::DtraceConfig;
+        let (mut net, mut gw, workload) = setup(120, 40);
+        net.set_dtrace(DtraceConfig::collecting());
+        gw.serve_all(&mut net, &workload);
+        assert!(gw.metrics.get(names::GATEWAY_NETWORK_FETCHES) > 0);
+        let frags = net.dtrace_fragments();
+        let has = |d: &str| frags.iter().any(|f| f.label == "gw" && f.detail == d);
+        assert!(has("serve"), "gateway serve spans missing");
+        assert!(has("bridge_fetch"), "bridge-node fetch spans missing");
+        assert!(has("edge_serialize"), "edge serialization spans missing");
+        // Every gateway span is recorded at the bridge node and joined to
+        // a real trace (the op's root), never orphaned at trace id 0.
+        for f in frags.iter().filter(|f| f.label == "gw") {
+            assert_eq!(f.node as usize, gw.node);
+            assert_ne!(f.trace_id, 0);
+            assert!(f.end >= f.start);
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@ use crate::config::{NodeConfig, TimeoutModel};
 use crate::conn::ConnSet;
 use crate::ipns::IpnsRecord;
 use crate::node::IpfsNode;
+use crate::obs::dtrace::{self, DtraceConfig, DtraceSink, SpanFragment, TraceCtx};
+use crate::obs::span::SpanTree;
 use crate::obs::{
     names, CounterHandle, DialClass, HistogramHandle, MetricsRegistry, OpTrace, TraceConfig,
     TraceEventKind, Tracer,
@@ -198,8 +200,9 @@ struct SimNode {
 /// Events flowing through the simulation.
 #[derive(Debug, Clone)]
 enum NetEvent {
-    /// A DHT query RPC arrives at its target.
-    RpcArrive { from: NodeId, to: NodeId, query: QueryId, request: Box<Request> },
+    /// A DHT query RPC arrives at its target. Carries the sender's causal
+    /// context so the server's handler span joins the requester's trace.
+    RpcArrive { from: NodeId, to: NodeId, query: QueryId, request: Box<Request>, ctx: TraceCtx },
     /// A DHT response arrives back at the requester.
     RpcResponse { to: NodeId, query: QueryId, from_peer: PeerId, response: Box<Response> },
     /// A query RPC failed (dial timeout / no response within deadline).
@@ -208,8 +211,9 @@ enum NetEvent {
     ProviderStoreArrive { from: NodeId, to: NodeId, key: Key, provider: Arc<PeerInfo> },
     /// One item of a publish RPC batch settled at the publisher.
     ProviderStoreSettled { op: OpId, ok: bool },
-    /// A Bitswap message arrives.
-    BitswapArrive { from: NodeId, to: NodeId, message: Box<Message> },
+    /// A Bitswap message arrives. Carries the causal context of the
+    /// session's op; responders echo it back on their replies.
+    BitswapArrive { from: NodeId, to: NodeId, message: Box<Message>, ctx: TraceCtx },
     /// The 1 s opportunistic-Bitswap window expired (§3.2).
     BitswapProbeTimeout { op: OpId },
     /// The dial to a content provider completed; start the fetch session.
@@ -334,6 +338,13 @@ fn bitswap_kind(message: &Message) -> usize {
     }
 }
 
+/// The first eight bytes of a CID's DHT key, big-endian — a compact,
+/// deterministic identifier for naming a want in flight-recorder lines.
+fn cid_low64(cid: &Cid) -> u64 {
+    let key = cid.dht_key();
+    u64::from_be_bytes(key[..8].try_into().unwrap())
+}
+
 /// Index of a dial-failure class into [`HotMetrics::dial_fail`].
 fn dial_class_kind(class: DialClass) -> usize {
     match class {
@@ -436,7 +447,10 @@ impl HotMetrics {
             session_dup_blocks: c(m, names::BITSWAP_SESSION_DUP_BLOCKS),
             session_wants_sent: c(m, names::BITSWAP_SESSION_WANTS_SENT),
             session_reroutes: c(m, names::BITSWAP_SESSION_REROUTES),
-            peer_latency_ms: m.histogram_handle(names::BITSWAP_PEER_LATENCY_MS),
+            // Per-peer transfer latencies are high-volume and only read as
+            // percentiles: streaming buckets bound the footprint at a
+            // ≤2.5% relative error instead of retaining every sample.
+            peer_latency_ms: m.histogram_handle_streaming(names::BITSWAP_PEER_LATENCY_MS),
         }
     }
 }
@@ -477,6 +491,11 @@ pub struct IpfsNetwork {
     hot: HotMetrics,
     /// Per-operation trace collector (off by default).
     tracer: Tracer,
+    /// Distributed-trace storage: per-node flight rings (always on), the
+    /// stitching collection, and per-op context bookkeeping.
+    dtrace: DtraceSink,
+    /// Rendered flight-recorder post-mortems, drained by experiments.
+    postmortems: Vec<(OpId, String)>,
     /// Scripted-fault state; idle (and cost-free) unless a plan is
     /// installed with [`IpfsNetwork::install_fault_plan`].
     faults: FaultOracle,
@@ -586,6 +605,7 @@ impl IpfsNetwork {
             }
         }
 
+        let node_count = nodes.len();
         let mut metrics = MetricsRegistry::new();
         let hot = HotMetrics::resolve(&mut metrics);
         let mut net = IpfsNetwork {
@@ -608,6 +628,8 @@ impl IpfsNetwork {
             metrics,
             hot,
             tracer: Tracer::default(),
+            dtrace: DtraceSink::new(node_count),
+            postmortems: Vec::new(),
             faults: FaultOracle::idle(),
             crashable: pop.peers.len(),
         };
@@ -858,6 +880,66 @@ impl IpfsNetwork {
         self.tracer.drain_sorted()
     }
 
+    /// Configures the distributed-trace sink: fragment collection for
+    /// stitching, the always-on flight recorder, and its post-mortem
+    /// deadline.
+    pub fn set_dtrace(&mut self, cfg: DtraceConfig) {
+        self.dtrace.set_config(cfg);
+    }
+
+    /// The remote span fragments collected so far (record order).
+    pub fn dtrace_fragments(&self) -> &[SpanFragment] {
+        self.dtrace.fragments()
+    }
+
+    /// Stitches an op's requester-side trace with every remote fragment
+    /// its trace id produced, yielding one distributed [`SpanTree`]. The
+    /// op must have been started while the sink was active (its origin
+    /// node is re-derived from the sink's registry).
+    pub fn stitched_trace(&self, op: OpId, trace: &OpTrace) -> Option<SpanTree> {
+        let node = self.dtrace.op_node(op)?;
+        dtrace::stitch(node, op, trace, self.dtrace.fragments())
+    }
+
+    /// Removes and returns every rendered flight-recorder post-mortem, in
+    /// op-completion order (deterministic: completion is simulation
+    /// order).
+    pub fn drain_postmortems(&mut self) -> Vec<(OpId, String)> {
+        std::mem::take(&mut self.postmortems)
+    }
+
+    /// Records a gateway-side span (serve, bridge, fetch tiers) into an
+    /// op's distributed trace, parented at the op root. The gateway layer
+    /// sits above the simulator, so it reports its spans through this
+    /// hook instead of carrying a [`TraceCtx`] of its own.
+    pub fn record_gateway_span(
+        &mut self,
+        op: OpId,
+        gateway_node: NodeId,
+        detail: &'static str,
+        bytes: u64,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if !self.dtrace.active() {
+            return;
+        }
+        let Some(origin) = self.dtrace.op_node(op) else { return };
+        let tid = dtrace::trace_id(origin, op);
+        self.dtrace.record_span(
+            tid,
+            dtrace::root_span(tid),
+            gateway_node,
+            None,
+            "gw",
+            detail,
+            bytes,
+            0,
+            start,
+            end,
+        );
+    }
+
     /// Sweeps every node's provider store, dropping records past the 24 h
     /// expiry (§3.1) and metering them; returns how many were removed.
     /// The periodic table-refresh tick does this automatically when
@@ -1085,6 +1167,7 @@ impl IpfsNetwork {
         let t0 = self.now();
         self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "ipns_publish" });
         self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "walk" });
+        self.dtrace.note_op(op, id);
         let key = Key::from_peer(&record.name);
         let (qid, outputs) = self.nodes[id].node.dht.start_query(key, QueryTarget::Closest);
         self.query_owner.insert((id, qid), op);
@@ -1103,6 +1186,7 @@ impl IpfsNetwork {
         let t0 = self.now();
         self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "ipns_resolve" });
         self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "walk" });
+        self.dtrace.note_op(op, id);
         let key = Key::from_peer(name);
         let (qid, outputs) = self.nodes[id].node.dht.start_query(key, QueryTarget::Value);
         self.query_owner.insert((id, qid), op);
@@ -1132,6 +1216,7 @@ impl IpfsNetwork {
         }
         self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "publish" });
         self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "walk" });
+        self.dtrace.note_op(op, id);
         let key = Key::from_cid(&cid);
         let (qid, outputs) = self.nodes[id].node.dht.start_query(key, QueryTarget::Closest);
         self.query_owner.insert((id, qid), op);
@@ -1182,6 +1267,7 @@ impl IpfsNetwork {
         self.metrics.incr(names::RETRIEVE_OPS);
         self.tracer.record_with(op, t0, || TraceEventKind::OpStarted { kind: "retrieve" });
         self.tracer.record_with(op, t0, || TraceEventKind::PhaseEntered { phase: "bitswap_probe" });
+        self.dtrace.note_op(op, id);
         // Opportunistic Bitswap: broadcast WANT-HAVE to connected peers
         // (§3.2, Figure 3 step 4). Idle connections expired first: the
         // connection manager would have closed them long ago, so they must
@@ -1205,7 +1291,8 @@ impl IpfsNetwork {
         if let Some(OpState::Retrieve { probe_session, .. }) = self.ops.get_mut(&op) {
             *probe_session = Some(session);
         }
-        self.process_bitswap_outputs(id, outputs);
+        let ctx = self.op_ctx(id, op);
+        self.process_bitswap_outputs(id, outputs, ctx);
         // The probe either already completed (content local) or runs
         // against the 1 s deadline.
         let still_probing = matches!(
@@ -1412,11 +1499,11 @@ impl IpfsNetwork {
     fn handle(&mut self, now: SimTime, event: NetEvent) {
         match event {
             NetEvent::Churn { node, online } => self.on_churn(node, online),
-            NetEvent::RpcArrive { from, to, query, request } => {
+            NetEvent::RpcArrive { from, to, query, request, ctx } => {
                 if self.cut_in_flight(from, to) {
                     return; // requester's guard timeout will fire
                 }
-                self.on_rpc_arrive(now, from, to, query, *request)
+                self.on_rpc_arrive(now, from, to, query, *request, ctx)
             }
             NetEvent::RpcResponse { to, query, from_peer, response } => {
                 if let Some(responder) = self.resolve(&from_peer) {
@@ -1474,7 +1561,7 @@ impl IpfsNetwork {
                 }
             }
             NetEvent::ProviderStoreSettled { op, ok } => self.on_provider_settled(now, op, ok),
-            NetEvent::BitswapArrive { from, to, message } => {
+            NetEvent::BitswapArrive { from, to, message, ctx } => {
                 if !self.nodes[to].online || self.cut_in_flight(from, to) {
                     return; // dropped; guard timers handle the fallout
                 }
@@ -1484,7 +1571,10 @@ impl IpfsNetwork {
                 n.node.bitswap.set_clock(now.as_nanos());
                 let outputs =
                     n.node.bitswap.handle_inbound(&from_peer, *message, &mut n.node.store);
-                self.process_bitswap_outputs(to, outputs);
+                // Replies echo the inbound causal context: a responder's
+                // BLOCK carries the op's trace id even though the responder
+                // owns no session for it.
+                self.process_bitswap_outputs(to, outputs, ctx);
             }
             NetEvent::BitswapProbeTimeout { op } => self.on_probe_timeout(now, op),
             NetEvent::FetchConnected { op, provider } => self.on_fetch_connected(op, provider),
@@ -1588,6 +1678,7 @@ impl IpfsNetwork {
             records_stored: stored,
             success: ok,
         });
+        self.dtrace.finish_op(op);
     }
 
     fn finish_ipns_resolve(&mut self, now: SimTime, op: OpId, value: Option<Vec<u8>>) {
@@ -1617,6 +1708,7 @@ impl IpfsNetwork {
             record,
             success,
         });
+        self.dtrace.finish_op(op);
     }
 
     fn on_churn(&mut self, id: NodeId, online: bool) {
@@ -1665,9 +1757,20 @@ impl IpfsNetwork {
             for p in self.nodes[id].connections.drain() {
                 self.nodes[p].connections.remove(id);
                 self.nodes[p].node.bitswap.set_clock(now.as_nanos());
-                let outputs = self.nodes[p].node.bitswap.peer_disconnected(&dead_peer);
-                if !outputs.is_empty() {
-                    self.process_bitswap_outputs(p, outputs);
+                // Per-session grouping keeps each re-routed want attributed
+                // to the op that owns the session, so the flight recorder
+                // can name exactly which wants moved where and why.
+                let grouped = self.nodes[p].node.bitswap.peer_disconnected_by_session(&dead_peer);
+                for (session, outputs) in grouped {
+                    let op = self.session_owner.get(&(p, session)).copied();
+                    let ctx = op.map(|o| self.op_ctx(p, o)).unwrap_or(TraceCtx::NONE);
+                    if self.dtrace.active() {
+                        if let Some(op) = op {
+                            self.dtrace.flag(op);
+                            self.record_reroute_fragments(op, p, id, &outputs, now);
+                        }
+                    }
+                    self.process_bitswap_outputs(p, outputs, ctx);
                 }
             }
         }
@@ -1680,6 +1783,7 @@ impl IpfsNetwork {
         to: NodeId,
         query: QueryId,
         request: Request,
+        ctx: TraceCtx,
     ) {
         if !self.nodes[to].online {
             return; // requester's guard timeout will fire
@@ -1687,9 +1791,27 @@ impl IpfsNetwork {
         self.metrics.incr_handle(self.hot.rpc_recv[request_kind(&request)]);
         let from_info = self.nodes[from].node.info().clone();
         let from_is_server = self.nodes[from].is_server;
+        let req_name = request.name();
         let response =
             self.nodes[to].node.dht.handle_request(&from_info, from_is_server, request, now);
         if let Some(response) = response {
+            if self.dtrace.active() && !ctx.is_none() {
+                // The server's own view of the request — handler time plus
+                // the walk fan-out it computed — recorded as a child of the
+                // requester's rpc span, even if the response is later lost.
+                self.dtrace.record_span(
+                    ctx.trace_id,
+                    ctx.parent_span,
+                    to,
+                    Some(from),
+                    "srv",
+                    req_name,
+                    response.forwarded_hops(),
+                    0,
+                    now,
+                    now + self.cfg.server_processing,
+                );
+            }
             let delay = self.cfg.server_processing + self.one_way(to, from);
             if self.degraded_loss(to, from) {
                 return; // requester's guard timeout will fire
@@ -1775,7 +1897,8 @@ impl IpfsNetwork {
             self.session_owner.remove(&(node, session));
             self.drain_session_obs(node, session);
             let outputs = self.nodes[node].node.bitswap.cancel_session(session);
-            self.process_bitswap_outputs(node, outputs);
+            let ctx = self.op_ctx(node, op);
+            self.process_bitswap_outputs(node, outputs, ctx);
         }
         if !self.cfg.parallel_dht_and_bitswap {
             self.begin_provider_walk(op);
@@ -1821,12 +1944,21 @@ impl IpfsNetwork {
     ) {
         self.pending_rpcs.insert((from, query, to.peer.clone()));
         self.metrics.incr_handle(self.hot.rpc_sent[request_kind(&request)]);
+        let mut ctx = TraceCtx::NONE;
         if self.tracer.is_enabled() {
             if let Some(&op) = self.query_owner.get(&(from, query)) {
                 let now = self.now();
                 let peer = self.resolve(&to.peer).unwrap_or(usize::MAX);
                 let kind = request.name();
                 self.tracer.record_with(op, now, || TraceEventKind::RpcSent { kind, peer });
+                // The context numbering MUST advance in lockstep with the
+                // `RpcSent` records just written: the stitcher re-derives
+                // rpc span ids by counting those events on the requester.
+                let tid = dtrace::trace_id(from, op);
+                ctx = TraceCtx {
+                    trace_id: tid,
+                    parent_span: dtrace::rpc_span(tid, self.dtrace.next_rpc_seq(op)),
+                };
             }
         }
         match self.dial(from, &to.peer) {
@@ -1835,7 +1967,13 @@ impl IpfsNetwork {
                 if !self.degraded_loss(from, target) {
                     self.queue.schedule(
                         delay,
-                        NetEvent::RpcArrive { from, to: target, query, request: Box::new(request) },
+                        NetEvent::RpcArrive {
+                            from,
+                            to: target,
+                            query,
+                            request: Box::new(request),
+                            ctx,
+                        },
                     );
                 }
                 // Guard in case the target churns offline before arrival
@@ -2011,7 +2149,8 @@ impl IpfsNetwork {
             self.session_owner.remove(&(node, session));
             self.drain_session_obs(node, session);
             let outputs = self.nodes[node].node.bitswap.cancel_session(session);
-            self.process_bitswap_outputs(node, outputs);
+            let ctx = self.op_ctx(node, op);
+            self.process_bitswap_outputs(node, outputs, ctx);
         }
         match action {
             Action::PublishBatch { node, cid, peers } => {
@@ -2298,7 +2437,8 @@ impl IpfsNetwork {
             let n = &mut self.nodes[node];
             n.node.bitswap.set_clock(now.as_nanos());
             let outputs = n.node.bitswap.add_session_peer(session, provider, &mut n.node.store);
-            self.process_bitswap_outputs(node, outputs);
+            let ctx = self.op_ctx(node, op);
+            self.process_bitswap_outputs(node, outputs, ctx);
             return;
         }
         // First connection up: create the session. Every swarm member
@@ -2321,10 +2461,86 @@ impl IpfsNetwork {
             *fetch_session = Some(session);
         }
         self.session_owner.insert((node, session), op);
-        self.process_bitswap_outputs(node, outputs);
+        let ctx = self.op_ctx(node, op);
+        self.process_bitswap_outputs(node, outputs, ctx);
     }
 
-    fn process_bitswap_outputs(&mut self, id: NodeId, outputs: Vec<EngineOutput>) {
+    /// The causal context of an op's current activity: trace id from the
+    /// op's identity, parent span from its active retrieval phase (the op
+    /// root for non-retrieve ops or ops already finalized). Returns
+    /// [`TraceCtx::NONE`] when the sink is off, so the disabled path costs
+    /// one branch and carries zeroes.
+    fn op_ctx(&self, node: NodeId, op: OpId) -> TraceCtx {
+        if !self.dtrace.active() {
+            return TraceCtx::NONE;
+        }
+        let tid = dtrace::trace_id(node, op);
+        let parent = match self.ops.get(&op) {
+            Some(OpState::Retrieve { phase, .. }) => {
+                let label = match phase {
+                    RetrievePhase::BitswapProbe => "bitswap_probe",
+                    RetrievePhase::ProviderWalk => "provider_walk",
+                    RetrievePhase::PeerWalk => "peer_walk",
+                    RetrievePhase::Fetch => "fetch",
+                };
+                dtrace::phase_span(tid, label)
+            }
+            _ => dtrace::root_span(tid),
+        };
+        TraceCtx { trace_id: tid, parent_span: parent }
+    }
+
+    /// Records the causal trail of a mid-fetch peer loss: one
+    /// `bs:reroute` fragment per want re-sent to a surviving candidate
+    /// and one `bs:want_failed` per want with nowhere left to go. `b`
+    /// carries the dead node's id so post-mortems can name the lost peer.
+    fn record_reroute_fragments(
+        &mut self,
+        op: OpId,
+        node: NodeId,
+        dead: NodeId,
+        outputs: &[EngineOutput],
+        now: SimTime,
+    ) {
+        let tid = dtrace::trace_id(node, op);
+        let parent = dtrace::root_span(tid);
+        for out in outputs {
+            match out {
+                EngineOutput::Send { to, message: Message::WantBlock(cid) } => {
+                    let target = self.resolve(to);
+                    self.dtrace.record_span(
+                        tid,
+                        parent,
+                        node,
+                        target,
+                        "bs",
+                        "reroute",
+                        cid_low64(cid),
+                        dead as u64,
+                        now,
+                        now,
+                    );
+                }
+                EngineOutput::WantFailed { cid, .. } => {
+                    self.dtrace.record_span(
+                        tid,
+                        parent,
+                        node,
+                        None,
+                        "bs",
+                        "want_failed",
+                        cid_low64(cid),
+                        dead as u64,
+                        now,
+                        now,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn process_bitswap_outputs(&mut self, id: NodeId, outputs: Vec<EngineOutput>, ctx: TraceCtx) {
         for output in outputs {
             match output {
                 EngineOutput::Send { to, message } => {
@@ -2363,6 +2579,24 @@ impl IpfsNetwork {
                             (data.len() as f64 * 8.0) / from_bw.up_bps() as f64,
                         );
                         self.nodes[id].uplink_free_at = start + tx;
+                        if self.dtrace.active() {
+                            // The serve span a remote peer contributes to the
+                            // requester's trace: this block's serialization
+                            // at the sender's uplink, with the queue wait
+                            // behind earlier blocks kept in `b`.
+                            self.dtrace.record_span(
+                                ctx.trace_id,
+                                ctx.parent_span,
+                                id,
+                                Some(target),
+                                "bs",
+                                "block_serve",
+                                data.len() as u64,
+                                start.since(now).as_nanos(),
+                                start,
+                                start + tx,
+                            );
+                        }
                         delay + start.since(now)
                     } else {
                         delay
@@ -2373,6 +2607,7 @@ impl IpfsNetwork {
                             from: id,
                             to: target,
                             message: Box::new(message),
+                            ctx,
                         },
                     );
                 }
@@ -2483,6 +2718,7 @@ impl IpfsNetwork {
             walk_failures,
             success: ok,
         });
+        self.dtrace.finish_op(op);
     }
 
     fn finish_retrieve(&mut self, now: SimTime, op: OpId, success: bool) {
@@ -2511,7 +2747,8 @@ impl IpfsNetwork {
                 // and drop the session, so a later disconnect can't
                 // resurrect a dead op's wants.
                 let outputs = self.nodes[node].node.bitswap.cancel_session(s);
-                self.process_bitswap_outputs(node, outputs);
+                let ctx = self.op_ctx(node, op);
+                self.process_bitswap_outputs(node, outputs, ctx);
             }
         }
         let t_bs = t_bitswap_end.unwrap_or(now);
@@ -2539,6 +2776,28 @@ impl IpfsNetwork {
             via_bitswap,
             addrbook_hit,
         });
+        // Flight recorder: a failed, flagged (mid-fetch re-route), or
+        // deadline-breaching op dumps its full causal trail — every ring
+        // fragment its trace id touched on any node.
+        if self.dtrace.config().postmortem {
+            let breached =
+                self.dtrace.config().deadline.map(|d| now.since(t0) > d).unwrap_or(false);
+            if !success || breached || self.dtrace.is_flagged(op) {
+                let tid = dtrace::trace_id(node, op);
+                let entries = self.dtrace.ring_entries_for(tid);
+                let outcome = if !success {
+                    "failed"
+                } else if breached {
+                    "deadline_breached"
+                } else {
+                    "rerouted"
+                };
+                let text =
+                    dtrace::render_postmortem(op, node, "retrieve", outcome, t0, now, &entries);
+                self.postmortems.push((op, text));
+            }
+        }
+        self.dtrace.finish_op(op);
         // §3.1: "any peer that later retrieves the data becomes a
         // temporary ... content provider themselves by publishing a
         // provider record".
@@ -3419,5 +3678,113 @@ mod tests {
         assert!(serving >= 2, "blocks must come from a swarm, not one uplink ({serving} served)");
         // Duplicate factor 1: nothing should be fetched twice.
         assert_eq!(net.metrics.get(names::BITSWAP_SESSION_DUP_BLOCKS), 0);
+    }
+
+    #[test]
+    fn stitched_retrieval_trace_reconciles_with_its_report() {
+        let mut net = small_net(400, 7);
+        net.set_trace_config(TraceConfig::enabled());
+        net.set_dtrace(DtraceConfig::collecting());
+        let [provider, requester] = net.vantage_ids(2)[..] else { panic!() };
+        let data = Bytes::from(vec![0xAB; 512 * 1024]);
+        let cid = net.import_content(provider, &data);
+        net.publish(provider, cid.clone());
+        net.run_until_quiet();
+        let op = net.retrieve(requester, cid);
+        net.run_until_quiet();
+        let rr = net.retrieve_reports[0].clone();
+        assert!(rr.success, "retrieve must succeed: {rr:?}");
+
+        let trace = net.take_trace(op).expect("tracing was on");
+        let tree = net.stitched_trace(op, &trace).expect("op origin registered");
+        // The distributed tree reconciles with the op report: same
+        // envelope, and a critical path that never exceeds it (integer
+        // nanoseconds, no tolerance).
+        assert_eq!(tree.duration(), rr.total);
+        assert!(tree.critical_path_duration() <= tree.duration());
+        assert!(tree.critical_path_duration() > SimDuration::ZERO);
+
+        fn collect(s: &crate::obs::span::Span, out: &mut Vec<String>) {
+            out.push(s.label.clone());
+            for c in &s.children {
+                collect(c, out);
+            }
+        }
+        let mut labels = Vec::new();
+        collect(&tree.root, &mut labels);
+        // Remote nodes contributed their own spans: DHT handler time for
+        // the provider walk's RPCs and the provider's BLOCK serves.
+        assert!(
+            labels.iter().any(|l| l.starts_with("srv:GET_PROVIDERS@n")),
+            "provider-walk handler spans missing: {labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.starts_with("bs:block_serve@n")),
+            "remote BLOCK serve spans missing: {labels:?}"
+        );
+        // Remote spans sit under requester-side causes, not at the root.
+        let top_level: Vec<&String> = tree.root.children.iter().map(|c| &c.label).collect();
+        assert!(
+            top_level.iter().all(|l| !l.starts_with("srv:")),
+            "handler spans must nest inside rpc spans: {top_level:?}"
+        );
+    }
+
+    #[test]
+    fn crashed_session_peer_triggers_a_reroute_postmortem() {
+        let mut net = small_net(300, 8);
+        net.set_trace_config(TraceConfig::enabled());
+        net.set_dtrace(DtraceConfig::full(None));
+        let [a, b, requester] = net.vantage_ids(3)[..] else { panic!() };
+        // Non-repeating payload: a uniform fill would dedup every leaf
+        // into one CID and leave too few wants to observe a re-route.
+        let mut x = 0x0FEE_DFAC_EDEA_D123u64;
+        let data = Bytes::from(
+            (0..2 * 1024 * 1024)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x as u8
+                })
+                .collect::<Vec<u8>>(),
+        );
+        let cid = net.import_content(a, &data);
+        let cid_b = net.import_content(b, &data);
+        assert_eq!(cid, cid_b, "chunking is deterministic");
+        net.connect(requester, a);
+        net.connect(requester, b);
+        let op = net.retrieve(requester, cid);
+        // Crash peer `a` once the transfer is demonstrably under way but
+        // unfinished: its outstanding wants must re-route to `b`.
+        let mut crashed = false;
+        let mut t = SimTime::ZERO;
+        while net.retrieve_reports.is_empty() {
+            t += SimDuration::from_millis(5);
+            assert!(t < SimTime::ZERO + SimDuration::from_mins(5), "retrieval livelocked");
+            net.run_until(t);
+            // Crash once leaf transfers are under way (root plus at least
+            // one leaf landed): leaf wants are past their WANT-HAVE probe
+            // and in flight, which is what a mid-fetch loss re-routes.
+            if !crashed
+                && net.retrieve_reports.is_empty()
+                && net.metrics.get(names::BITSWAP_BLOCKS_STORED) >= 2
+            {
+                net.on_churn(a, false);
+                crashed = true;
+            }
+        }
+        assert!(crashed, "op completed before the first leaf landed");
+        let rr = net.retrieve_reports[0].clone();
+        assert!(rr.success, "surviving peer must complete the swarm: {rr:?}");
+        let pms = net.drain_postmortems();
+        assert_eq!(pms.len(), 1, "one flagged op, one post-mortem");
+        let (pm_op, text) = &pms[0];
+        assert_eq!(*pm_op, op);
+        assert!(text.contains("outcome=rerouted"), "{text}");
+        assert!(text.contains(&format!("peers lost mid-op: n{a}")), "{text}");
+        assert!(text.contains("bs:reroute"), "{text}");
+        assert!(text.contains(&format!("-> n{b}")), "{text}");
+        assert!(net.drain_postmortems().is_empty(), "drain removes what it returns");
     }
 }

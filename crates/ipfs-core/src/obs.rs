@@ -34,6 +34,7 @@ use crate::ops::OpId;
 use simnet::SimTime;
 use std::collections::{BTreeMap, HashMap};
 
+pub mod dtrace;
 pub mod names;
 pub mod span;
 pub mod timeseries;
@@ -326,6 +327,25 @@ impl MetricsRegistry {
     /// [`MetricsRegistry::counter_handle`]).
     pub fn histogram_handle(&mut self, name: &'static str) -> HistogramHandle {
         HistogramHandle(self.hist_slot(name))
+    }
+
+    /// Resolves a dense handle for histogram `name`, forcing that one
+    /// histogram into [`HistogramMode::Streaming`] regardless of the
+    /// registry-wide mode. Right for per-event hot-path histograms whose
+    /// exact storage would grow with the sample count (e.g. per-peer
+    /// Bitswap latencies). Samples already recorded in exact mode are
+    /// re-observed into buckets, so the conversion loses no counts.
+    pub fn histogram_handle_streaming(&mut self, name: &'static str) -> HistogramHandle {
+        let i = self.hist_slot(name);
+        let slot = &mut self.hist_slots[i];
+        if let Hist::Exact(samples) = &slot.hist {
+            let mut h = StreamingHistogram::default();
+            for &s in samples {
+                h.observe(s);
+            }
+            slot.hist = Hist::Streaming(h);
+        }
+        HistogramHandle(i)
     }
 
     /// Increments the counter behind `h` by one (no name lookup).
@@ -1114,6 +1134,57 @@ mod tests {
             let rel = (truth - est).abs() / truth;
             assert!(rel < 0.05, "{q}: exact={truth} streaming={est} rel_err={rel}");
         }
+    }
+
+    #[test]
+    fn per_histogram_streaming_override_bounds_memory_and_error() {
+        // The override targets hot-path histograms like
+        // `bitswap_peer_latency_ms` in an otherwise-exact registry.
+        let mut exact = MetricsRegistry::new();
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.histogram_mode(), HistogramMode::Exact);
+        let h = reg.histogram_handle_streaming(names::BITSWAP_PEER_LATENCY_MS);
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..50_000 {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let u = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            // Plausible per-peer latency range: 1 ms .. 10 s.
+            let v = 10f64.powf(u * 4.0);
+            reg.observe_handle(h, v);
+            exact.observe(names::BITSWAP_PEER_LATENCY_MS, v);
+        }
+        // Memory is bucket-bounded, not sample-bounded…
+        assert!(
+            reg.histogram_footprint(names::BITSWAP_PEER_LATENCY_MS) <= 250,
+            "override must stream: footprint {}",
+            reg.histogram_footprint(names::BITSWAP_PEER_LATENCY_MS)
+        );
+        assert_eq!(exact.histogram_footprint(names::BITSWAP_PEER_LATENCY_MS), 50_000);
+        // …and percentiles stay within the γ-bucket error bound
+        // (≤ ½·(γ−1) = 2.5 %, asserted with slack at 5 %).
+        let e = exact.stats(names::BITSWAP_PEER_LATENCY_MS).unwrap();
+        let s = reg.stats(names::BITSWAP_PEER_LATENCY_MS).unwrap();
+        assert_eq!(e.n, s.n);
+        for (truth, est, q) in [(e.p50, s.p50, "p50"), (e.p90, s.p90, "p90"), (e.p99, s.p99, "p99")]
+        {
+            let rel = (truth - est).abs() / truth;
+            assert!(rel < 0.05, "{q}: exact={truth} streaming={est} rel_err={rel}");
+        }
+        // Converting after exact samples were recorded keeps every count.
+        let mut late = MetricsRegistry::new();
+        late.observe("h", 1.0);
+        late.observe("h", 2.0);
+        let lh = late.histogram_handle_streaming("h");
+        late.observe_handle(lh, 3.0);
+        assert_eq!(late.stats("h").unwrap().n, 3);
+        assert_eq!(late.samples("h"), &[] as &[f64], "storage switched to streaming");
+        // Idempotent under the registry-wide streaming mode.
+        let mut wide = MetricsRegistry::with_histogram_mode(HistogramMode::Streaming);
+        wide.observe("h", 1.0);
+        let _ = wide.histogram_handle_streaming("h");
+        assert_eq!(wide.stats("h").unwrap().n, 1);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! changes nothing across shard counts. The result's order/metrics
 //! fingerprints are therefore byte-identical for any `shards` in 1..=10.
 
+use crate::obs::dtrace::{fragment_span, FlightRing, SpanFragment, NO_PEER};
 use faultsim::{FaultEvent, FaultPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,6 +63,8 @@ const NEAR_WINDOW: usize = 64;
 const RPC_TIMEOUT: SimDuration = SimDuration::from_secs(3);
 /// Empty slot sentinel in the u32 arenas.
 const NONE32: u32 = u32::MAX;
+/// Flight-recorder ring capacity per region (walk-completion fragments).
+const FLIGHT_CAP: usize = 64;
 
 /// FNV-1a offset basis / prime (64-bit).
 const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
@@ -275,6 +278,9 @@ struct Walk {
     node: u32,
     target: u64,
     t0: SimTime,
+    /// Shard-invariant trace key ([`ShardCtx::trace_key`] of the event
+    /// that started the walk) — the walk's flight-recorder trace id.
+    tkey: u64,
     /// `true` = publish (stop after the lookup + provider stores).
     publish: bool,
     /// 0 lookup, 1 get-providers, 2 fetch.
@@ -321,6 +327,11 @@ struct RegionState {
     free_walks: Vec<u32>,
     /// FNV-1a chain over this region's dispatch order `(at, key)`.
     order_fnv: u64,
+    /// Flight recorder: the last [`FLIGHT_CAP`] walk-completion span
+    /// fragments dispatched in this region. Fixed capacity, `Copy`
+    /// payloads, shard-invariant ids — recording never allocates in
+    /// steady state and never perturbs event order.
+    flight: FlightRing,
     /// Tick rounds completed.
     round: u64,
 }
@@ -340,8 +351,44 @@ impl RegionState {
             walks: Vec::new(),
             free_walks: Vec::new(),
             order_fnv: FNV_BASIS,
+            flight: FlightRing::default(),
             round: 0,
         }
+    }
+
+    /// Records one walk-completion fragment into the flight ring. Every
+    /// completion dispatches in the walk's home region, so the record
+    /// order (and thus the ring contents) is identical at any shard
+    /// count.
+    #[allow(clippy::too_many_arguments)]
+    fn record_flight(
+        &mut self,
+        tkey: u64,
+        node: u32,
+        peer: u32,
+        detail: &'static str,
+        rpcs: u8,
+        t0: SimTime,
+        at: SimTime,
+    ) {
+        let seq = self.flight.take_seq();
+        self.flight.push(
+            FLIGHT_CAP,
+            SpanFragment {
+                trace_id: tkey,
+                span_id: fragment_span(tkey, node as usize, seq),
+                parent: tkey,
+                node,
+                peer,
+                label: "walk",
+                detail,
+                a: at.since(t0).as_nanos(),
+                b: rpcs as u64,
+                start: t0,
+                end: at,
+                seq,
+            },
+        );
     }
 
     /// Whether `peer` is in node `local`'s ring (warm conn or addr book).
@@ -439,6 +486,11 @@ pub struct ShardSimResult {
     /// combined in region order — byte-equal iff the serial total order
     /// was reproduced exactly.
     pub order_fnv: u64,
+    /// FNV-1a fingerprint of every region's flight-recorder ring
+    /// (trace ids, span ids, peers, detail words, timestamps), combined
+    /// in region order — byte-equal iff the crash flight recorder
+    /// captured the identical causal trail at every shard count.
+    pub flight_fnv: u64,
     /// Mean logical bytes of per-node state (arenas + rings + slabs).
     pub bytes_per_node: u64,
 }
@@ -618,10 +670,24 @@ impl ShardSim {
 
         let shards = self.engine.shards();
         let mut order_fnv = FNV_BASIS;
+        let mut flight_fnv = FNV_BASIS;
         let mut state_bytes = 0u64;
         for r in 0..Region::COUNT {
             if let Some(rs) = &self.states[r % shards].regions[r] {
                 order_fnv = fnv_u64(order_fnv, rs.order_fnv);
+                for f in rs.flight.iter() {
+                    for v in [
+                        f.trace_id,
+                        f.span_id,
+                        f.peer as u64,
+                        f.a,
+                        f.b,
+                        f.start.as_nanos(),
+                        f.end.as_nanos(),
+                    ] {
+                        flight_fnv = fnv_u64(flight_fnv, v);
+                    }
+                }
                 state_bytes += rs.bytes();
             }
         }
@@ -632,6 +698,7 @@ impl ShardSim {
             counters: CTR_NAMES.iter().copied().zip(counters).collect(),
             metrics_fnv,
             order_fnv,
+            flight_fnv,
             bytes_per_node,
         }
     }
@@ -766,6 +833,8 @@ fn handle(world: &World, st: &mut ShardState, ctx: &mut ShardCtx<'_, Ev>, at: Si
                     let provider = found[0];
                     if provider == NONE32 {
                         counters[Ctr::RetrieveMiss as usize] += 1;
+                        let (tkey, node, t0, rpcs) = (w.tkey, w.node, w.t0, w.rpc_no);
+                        rs.record_flight(tkey, node, from, "retrieve_miss", rpcs, t0, at);
                         free_walk(rs, slot);
                         return;
                     }
@@ -774,6 +843,7 @@ fn handle(world: &World, st: &mut ShardState, ctx: &mut ShardCtx<'_, Ev>, at: Si
                 _ => {
                     // KIND_FETCH: content verified, retrieval complete.
                     let (node, t0) = (w.node, w.t0);
+                    let (tkey, rpcs) = (w.tkey, w.rpc_no);
                     counters[Ctr::RetrieveDone as usize] += 1;
                     counters[Ctr::RetrieveNanos as usize] += at.since(t0).as_nanos();
                     let local = (node - rs.start) as usize;
@@ -791,6 +861,7 @@ fn handle(world: &World, st: &mut ShardState, ctx: &mut ShardCtx<'_, Ev>, at: Si
                         ADDR_SLOTS,
                         from,
                     );
+                    rs.record_flight(tkey, node, from, "retrieve_done", rpcs, t0, at);
                     free_walk(rs, slot);
                 }
             }
@@ -807,6 +878,8 @@ fn handle(world: &World, st: &mut ShardState, ctx: &mut ShardCtx<'_, Ev>, at: Si
                 walk_step(world, rs, counters, ctx, at, slot);
             } else {
                 counters[Ctr::RetrieveMiss as usize] += 1;
+                let (tkey, node, t0, rpcs) = (w.tkey, w.node, w.t0, w.rpc_no);
+                rs.record_flight(tkey, node, NO_PEER, "retrieve_miss", rpcs, t0, at);
                 free_walk(rs, slot);
             }
         }
@@ -839,6 +912,7 @@ fn start_walk(
                 node: 0,
                 target: 0,
                 t0: SimTime::ZERO,
+                tkey: 0,
                 publish: false,
                 phase: 0,
                 rpc_no: 0,
@@ -859,6 +933,9 @@ fn start_walk(
     w.node = node;
     w.target = target;
     w.t0 = at;
+    // One tick starts several walks; mix node+target into the event's
+    // trace key so each walk gets a distinct, shard-invariant trace id.
+    w.tkey = splitmix64(ctx.trace_key() ^ ((node as u64) << 32) ^ target) | 1;
     w.publish = publish;
     w.phase = 0;
     w.rpc_no = 0;
@@ -983,6 +1060,7 @@ fn finish_lookup(
 ) {
     let w = &rs.walks[slot as usize];
     let (node, target, t0, publish) = (w.node, w.target, w.t0, w.publish);
+    let (tkey, rpcs) = (w.tkey, w.rpc_no);
     let closest: Vec<u32> = w.closest[..w.closest_len as usize].iter().map(|&(_, p)| p).collect();
     if publish {
         let wregion = ctx.region();
@@ -1004,12 +1082,14 @@ fn finish_lookup(
         }
         counters[Ctr::PublishDone as usize] += 1;
         counters[Ctr::PublishNanos as usize] += at.since(t0).as_nanos();
+        rs.record_flight(tkey, node, NO_PEER, "publish_done", rpcs, t0, at);
         free_walk(rs, slot);
         return;
     }
     match closest.first() {
         None => {
             counters[Ctr::RetrieveMiss as usize] += 1;
+            rs.record_flight(tkey, node, NO_PEER, "retrieve_miss", rpcs, t0, at);
             free_walk(rs, slot);
         }
         Some(&peer) => {
@@ -1189,6 +1269,16 @@ mod tests {
     }
 
     #[test]
+    fn flight_recorder_captures_walk_completions_identically_across_shards() {
+        let serial = run(&small_cfg(1200, 15, 1, 42));
+        assert_ne!(serial.flight_fnv, FNV_BASIS, "flight rings stayed empty");
+        for shards in [2, 6] {
+            let sharded = run(&small_cfg(1200, 15, shards, 42));
+            assert_eq!(sharded.flight_fnv, serial.flight_fnv, "shards={shards} flight diverged");
+        }
+    }
+
+    #[test]
     fn rerun_is_reproducible() {
         let cfg = small_cfg(1000, 10, 3, 123);
         assert_eq!(run(&cfg), run(&cfg));
@@ -1218,6 +1308,7 @@ mod tests {
                 let r = run(&cfg);
                 prop_assert_eq!(r.order_fnv, serial.order_fnv, "order diverged");
                 prop_assert_eq!(r.metrics_fnv, serial.metrics_fnv, "metrics diverged");
+                prop_assert_eq!(r.flight_fnv, serial.flight_fnv, "flight recorder diverged");
                 prop_assert_eq!(r.events, serial.events);
                 prop_assert_eq!(r.bytes_per_node, serial.bytes_per_node);
             }

@@ -112,6 +112,18 @@ impl Response {
             Response::Ack => &[],
         }
     }
+
+    /// How many onward references the handler computed: closer peers plus
+    /// any provider records. This is the walk fan-out a server-side trace
+    /// span records — the remote work hidden inside the requester's RPC
+    /// round trip.
+    pub fn forwarded_hops(&self) -> u64 {
+        let providers = match self {
+            Response::Providers { providers, .. } => providers.len(),
+            _ => 0,
+        };
+        (self.closer().len() + providers) as u64
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +154,22 @@ mod tests {
         assert_eq!(Response::Nodes { closer: vec![p.clone()] }.closer().len(), 1);
         assert_eq!(Response::Providers { providers: vec![], closer: vec![p] }.closer().len(), 1);
         assert!(Response::Ack.closer().is_empty());
+    }
+
+    #[test]
+    fn forwarded_hops_counts_closer_peers_and_providers() {
+        let p = Arc::new(PeerInfo::new(multiformats::Keypair::from_seed(3).peer_id(), vec![]));
+        let rec = ProviderRecord {
+            key: Key::ZERO,
+            provider: multiformats::Keypair::from_seed(4).peer_id(),
+            addrs: vec![],
+            received_at: simnet::SimTime::ZERO,
+        };
+        assert_eq!(Response::Nodes { closer: vec![p.clone(), p.clone()] }.forwarded_hops(), 2);
+        assert_eq!(
+            Response::Providers { providers: vec![rec], closer: vec![p] }.forwarded_hops(),
+            2
+        );
+        assert_eq!(Response::Ack.forwarded_hops(), 0);
     }
 }

@@ -127,6 +127,17 @@ impl<E: RegionEvent> ShardCtx<'_, E> {
         self.key
     }
 
+    /// A nonzero, well-mixed trace id for the event being handled: the
+    /// dispatch key through a splitmix64 finalizer. Stable across shard
+    /// counts like [`ShardCtx::event_key`], but usable directly as a
+    /// trace/span identifier (high bits populated, never zero).
+    pub fn trace_key(&self) -> u64 {
+        let mut x = self.key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (x ^ (x >> 31)) | 1
+    }
+
     /// Region of the event being handled.
     pub fn region(&self) -> usize {
         self.region

@@ -58,6 +58,26 @@ if ! cmp -s "$PDES_DIR/serial.txt" "$PDES_DIR/sharded.txt"; then
 fi
 rm -rf "$PDES_DIR"
 
+echo "== dtrace equivalence (tracing on/off digest gate) =="
+# Distributed tracing + the flight recorder observe, never perturb: a
+# digest run must be byte-identical with IPFS_REPRO_DTRACE unset and =1.
+DT_DIR="$(mktemp -d)"
+./target/release/throughput --smoke --digest > "$DT_DIR/off.txt" 2> /dev/null
+IPFS_REPRO_DTRACE=1 ./target/release/throughput --smoke --digest \
+    > "$DT_DIR/on.txt" 2> /dev/null
+if ! cmp -s "$DT_DIR/off.txt" "$DT_DIR/on.txt"; then
+    echo "throughput --smoke --digest differs between IPFS_REPRO_DTRACE unset and =1" >&2
+    diff "$DT_DIR/off.txt" "$DT_DIR/on.txt" >&2 || true
+    rm -rf "$DT_DIR"
+    exit 1
+fi
+rm -rf "$DT_DIR"
+
+echo "== dtrace overhead (tracing throughput budget gate) =="
+# The always-on flight recorder plus full tracing must keep the smoke sim
+# cell at >= 0.8x the untraced events/sec (exit 1 inside the bin if not).
+./target/release/throughput --overhead-check
+
 echo "== chaos smoke (fault-injection determinism gate) =="
 # The chaos harness must exit 0 and print byte-identical output whether
 # its scenario cells run serially or on 4 worker threads.
@@ -113,9 +133,11 @@ echo "== latency smoke (span-attribution determinism gate) =="
 # workers (stdout and both written files are compared).
 cargo build --release -q -p bench --bin latency
 LAT_DIR="$(mktemp -d)"
-IPFS_REPRO_JOBS=1 ./target/release/latency --smoke --out "$LAT_DIR/j1" > /dev/null
-IPFS_REPRO_JOBS=4 ./target/release/latency --smoke --out "$LAT_DIR/j4" > /dev/null
-for f in tab_latency_attribution.txt BENCH_latency.json; do
+IPFS_REPRO_JOBS=1 ./target/release/latency --smoke --out "$LAT_DIR/j1" \
+    --trace-out "$LAT_DIR/j1/traces.json" > /dev/null
+IPFS_REPRO_JOBS=4 ./target/release/latency --smoke --out "$LAT_DIR/j4" \
+    --trace-out "$LAT_DIR/j4/traces.json" > /dev/null
+for f in tab_latency_attribution.txt BENCH_latency.json traces.json; do
     if ! cmp -s "$LAT_DIR/j1/$f" "$LAT_DIR/j4/$f"; then
         echo "latency --smoke $f differs between IPFS_REPRO_JOBS=1 and =4" >&2
         diff "$LAT_DIR/j1/$f" "$LAT_DIR/j4/$f" >&2 || true
