@@ -573,6 +573,130 @@ fn scenario_gateway_dip(cfg: &ChaosConfig, seed: u64) -> CellOutput {
     CellOutput { label: "gateway_dip", report, json }
 }
 
+/// Reprovider under churn: a pinning node maintains a catalog through the
+/// keyspace-ordered reprovide sweep (short cadence, short record expiry);
+/// a targeted crash takes the pinner down one second into a sweep — batch
+/// walks and stores cut in flight — and a simultaneous wave removes a
+/// quarter of the DHT servers holding its records. The downtime spans a
+/// republish boundary and outlives the record expiry, so by heal time the
+/// catalog has vanished from the DHT: only the deferred sweep resuming at
+/// rejoin brings it back. Per-CID time-to-first-retrieval from the heal
+/// instant feeds the `fault_recovery_secs` histogram.
+fn scenario_reprovider_churn(cfg: &ChaosConfig, seed: u64) -> CellOutput {
+    use ipfs_core::NodeConfig;
+    let interval = SimDuration::from_secs(600);
+    let pop = Population::generate(
+        PopulationConfig {
+            size: cfg.population,
+            nat_fraction: 0.455,
+            horizon: SimDuration::from_hours(12),
+            ..Default::default()
+        },
+        seed,
+    );
+    let net_cfg = NetworkConfig {
+        auto_republish: true,
+        reprovide_sweep: true,
+        table_refresh_interval: Some(SimDuration::from_secs(120)),
+        node: NodeConfig {
+            republish_interval: interval,
+            // 2.5 sweep periods: records the parked sweep cannot refresh
+            // die during the outage below.
+            expiry_interval: SimDuration::from_secs(1500),
+            ..NodeConfig::default()
+        },
+        ..NetworkConfig::default()
+    };
+    let mut net = IpfsNetwork::from_population(
+        &pop,
+        &[VantagePoint::EuCentral1, VantagePoint::UsWest1],
+        net_cfg,
+        seed,
+    );
+    let [pinner, requester] = net.vantage_ids(2)[..] else { unreachable!() };
+    let pinner_peer = net.peer_id(pinner).clone();
+
+    // All publishes are scheduled at the same instant, so the single sweep
+    // timer arms now and sweep #1 fires exactly one interval later.
+    let armed_at = net.now();
+    let mut cids = Vec::new();
+    for i in 0..cfg.catalog {
+        let mut payload = vec![0x5Cu8; 16 * 1024];
+        payload[..8].copy_from_slice(&(i as u64).to_be_bytes());
+        let cid = net.import_content(pinner, &Bytes::from(payload));
+        net.publish(pinner, cid.clone());
+        cids.push(cid);
+    }
+    net.run_until_quiet();
+
+    // Crash one second into sweep #1. The generous downtime both spans a
+    // republish boundary and leaves room for the during-outage
+    // reachability probes below (failed walks ride their timeouts).
+    let crash_at = armed_at + interval + SimDuration::from_secs(1);
+    let downtime = interval + SimDuration::from_secs(1800);
+    let heal = crash_at + downtime;
+    let mut plan = FaultPlan::new();
+    plan.crash_nodes(crash_at, vec![pinner], downtime);
+    plan.crash_wave(crash_at, 0.25, downtime);
+    net.install_fault_plan(plan);
+    net.run_until(crash_at + SimDuration::from_secs(5));
+
+    let sweeps_before = net.metrics().get(names::PROVIDER_SWEEP_RUNS);
+    let deferred = net.metrics().get(names::PROVIDER_REPUBLISH_DEFERRED);
+    let crashed = net.metrics().get(names::FAULT_NODES_CRASHED);
+    // Availability while the wave holds: records may linger on surviving
+    // servers but the only data holder is down.
+    let mut ok_during = 0usize;
+    for cid in &cids {
+        ok_during += try_retrieve(&mut net, requester, cid, &pinner_peer) as usize;
+    }
+
+    // Per-CID recovery from the heal instant: the pinner rejoins, the
+    // deferred sweep resumes immediately and re-stores the whole catalog
+    // in keyspace-ordered batches.
+    let recoveries: Vec<Option<f64>> = cids
+        .iter()
+        .map(|cid| measure_recovery(&mut net, requester, cid, &pinner_peer, heal))
+        .collect();
+    let recovered = recoveries.iter().filter(|r| r.is_some()).count();
+    let resumed = net.metrics().get(names::PROVIDER_REPUBLISH_RESUMED);
+    let sweep_runs = net.metrics().get(names::PROVIDER_SWEEP_RUNS);
+    let sweep_batches = net.metrics().get(names::PROVIDER_SWEEP_BATCHES);
+    let expired = net.metrics().get(names::PROVIDER_RECORDS_EXPIRED);
+    let recovery_str = recoveries.iter().map(|r| fmt_recovery(*r)).collect::<Vec<_>>().join(" ");
+
+    let report = format!(
+        "pinning node maintains {} CIDs via the reprovide sweep (cadence {interval}, \
+         expiry 1500s)\n\
+         crash 1s into sweep #1 plus a 25% server wave ({crashed} peers down, \
+         back after {downtime})\n\
+         sweeps before crash: {sweeps_before}, republishes parked at crash: {deferred}\n\
+         catalog reachable during outage: {ok_during}/{} (pinner is the only data holder)\n\
+         records expired during outage: {expired}\n\
+         sweep resumed at rejoin: {resumed} resumption(s), {sweep_runs} sweep runs, \
+         {sweep_batches} batches total\n\
+         recovered after heal: {recovered}/{} — per-CID recovery: {recovery_str}\n{}",
+        cids.len(),
+        cids.len(),
+        cids.len(),
+        crate::export::fault_report(net.metrics()),
+    );
+    let recovery_json = recoveries
+        .iter()
+        .map(|r| r.map(|s| format!("{s:.3}")).unwrap_or_else(|| "null".into()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\"catalog\": {}, \"crashed\": {crashed}, \"deferred\": {deferred}, \
+          \"ok_during\": {ok_during}, \"records_expired\": {expired}, \
+          \"resumed\": {resumed}, \"sweep_runs\": {sweep_runs}, \
+          \"sweep_batches\": {sweep_batches}, \"recovered\": {recovered}, \
+          \"recovery_secs\": [{recovery_json}]}}",
+        cids.len(),
+    );
+    CellOutput { label: "reprovider_churn", report, json }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -589,6 +713,7 @@ pub fn run_all(cfg: &ChaosConfig, master_seed: u64, jobs: usize) -> Vec<CellOutp
         scenario_degraded_links,
         scenario_provider_crash,
         scenario_gateway_dip,
+        scenario_reprovider_churn,
     ];
     run_cells_with_jobs(jobs, scenarios.len(), |i| {
         // Distinct per-cell seed, stable across job counts.
@@ -661,5 +786,32 @@ mod tests {
         assert!(cell.report.contains("post-mortem op="), "no post-mortem:\n{}", cell.report);
         assert!(cell.report.contains("peers lost mid-op: n"), "{}", cell.report);
         assert!(cell.report.contains("bs:reroute"), "no re-routed wants listed:\n{}", cell.report);
+    }
+
+    /// The parked sweep must resume at rejoin and re-store the whole
+    /// catalog: every CID recovers after heal even though its records
+    /// expired from the DHT during the outage.
+    #[test]
+    fn reprovider_churn_recovers_full_catalog() {
+        let cfg = ChaosConfig::smoke();
+        let cell = scenario_reprovider_churn(&cfg, 2022);
+        let field = |name: &str| -> u64 {
+            cell.json
+                .split(&format!("\"{name}\": "))
+                .nth(1)
+                .and_then(|s| s.split([',', '}']).next())
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or_else(|| panic!("field {name} in {}", cell.json))
+        };
+        assert!(field("deferred") > 0, "crash must park the sweep:\n{}", cell.report);
+        assert!(field("resumed") > 0, "rejoin must resume the sweep:\n{}", cell.report);
+        assert!(field("sweep_runs") >= 2, "pre-crash + post-heal sweeps:\n{}", cell.report);
+        assert_eq!(field("ok_during"), 0, "pinner down => nothing reachable:\n{}", cell.report);
+        assert_eq!(
+            field("recovered"),
+            cfg.catalog as u64,
+            "every CID must come back after heal:\n{}",
+            cell.report
+        );
     }
 }

@@ -35,6 +35,7 @@ pub mod chaos;
 pub mod export;
 pub mod gateway_fleet;
 pub mod latency;
+pub mod lifecycle;
 pub mod runner;
 pub mod stats;
 pub mod swarm;

@@ -57,6 +57,7 @@ impl IpfsNode {
                 // IPNS records travelling through PUT_VALUE are arbitrated
                 // by signature validity + sequence number (§3.3).
                 value_selector: Some(ipns_value_selector),
+                provider_expiry: config.expiry_interval,
             },
         );
         IpfsNode {

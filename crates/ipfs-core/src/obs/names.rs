@@ -22,6 +22,8 @@ metric_names! {
     DHT_RPC_SENT_GET_PROVIDERS = "dht_rpc_sent_get_providers";
     /// Outbound ADD_PROVIDER RPCs.
     DHT_RPC_SENT_ADD_PROVIDER = "dht_rpc_sent_add_provider";
+    /// Outbound batched ADD_PROVIDER RPCs (reprovide sweep).
+    DHT_RPC_SENT_ADD_PROVIDER_BATCH = "dht_rpc_sent_add_provider_batch";
     /// Outbound PUT (peer record) RPCs.
     DHT_RPC_SENT_PUT_PEER_RECORD = "dht_rpc_sent_put_peer_record";
     /// Outbound PUT (IPNS value) RPCs.
@@ -34,6 +36,8 @@ metric_names! {
     DHT_RPC_RECV_GET_PROVIDERS = "dht_rpc_recv_get_providers";
     /// Inbound ADD_PROVIDER RPCs.
     DHT_RPC_RECV_ADD_PROVIDER = "dht_rpc_recv_add_provider";
+    /// Inbound batched ADD_PROVIDER RPCs (reprovide sweep).
+    DHT_RPC_RECV_ADD_PROVIDER_BATCH = "dht_rpc_recv_add_provider_batch";
     /// Inbound PUT (peer record) RPCs.
     DHT_RPC_RECV_PUT_PEER_RECORD = "dht_rpc_recv_put_peer_record";
     /// Inbound PUT (IPNS value) RPCs.
@@ -148,6 +152,16 @@ metric_names! {
     PROVIDER_REPUBLISH_DEFERRED = "provider_republish_deferred";
     /// Parked republish chains resumed when the provider rejoined.
     PROVIDER_REPUBLISH_RESUMED = "provider_republish_resumed";
+    /// Reprovide sweeps executed (one per node per republish interval).
+    PROVIDER_SWEEP_RUNS = "provider_sweep_runs";
+    /// Keyspace batches walked by reprovide sweeps (one FIND_NODE walk
+    /// amortized over every CID in the batch).
+    PROVIDER_SWEEP_BATCHES = "provider_sweep_batches";
+    /// CIDs reannounced by reprovide sweeps.
+    PROVIDER_SWEEP_CIDS = "provider_sweep_cids";
+    /// Sweep batches whose closest-peer walk failed (records miss one
+    /// refresh round and retry at the next sweep).
+    PROVIDER_SWEEP_BATCH_FAILED = "provider_sweep_batch_failed";
     /// Peer walks short-circuited by the address book (§3.2).
     ADDR_BOOK_HITS = "addr_book_hits";
     /// Connections closed by the connection-manager high-water prune.

@@ -37,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::latency::{LatencyModel, Region};
 use simnet::{LeanPopulation, RegionEvent, ShardCtx, ShardedEngine, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Concurrent queries per DHT walk (§3.1: libp2p's α).
 const ALPHA: u32 = 3;
@@ -118,11 +118,14 @@ enum Ctr {
     DialCold,
     ChurnOff,
     ChurnOn,
+    ProviderExpired,
+    SweepRepublish,
+    SweepDeferred,
     PublishNanos,
     RetrieveNanos,
 }
 
-const CTR_COUNT: usize = 20;
+const CTR_COUNT: usize = 23;
 const CTR_NAMES: [&str; CTR_COUNT] = [
     "ticks",
     "publish_start",
@@ -142,6 +145,9 @@ const CTR_NAMES: [&str; CTR_COUNT] = [
     "dial_cold",
     "churn_off",
     "churn_on",
+    "provider_expired",
+    "sweep_republish",
+    "sweep_deferred",
     "publish_nanos",
     "retrieve_nanos",
 ];
@@ -234,6 +240,10 @@ struct World {
     /// Partition windows `(start_nanos, end_nanos, region bitmask)`
     /// compiled from the fault plan; checked at exact event instants.
     partitions: Vec<(u64, u64, u16)>,
+    /// Provider-record lifetime (scaled §3.1 24 h expiry).
+    provider_expiry: SimDuration,
+    /// Reprovide interval (scaled §3.1 12 h republish cycle).
+    provider_republish: SimDuration,
 }
 
 impl World {
@@ -320,8 +330,22 @@ struct RegionState {
     addr_cur: Vec<u8>,
     /// Provider records stored at this region's replicas, keyed by
     /// `(replica node, cid)` — a record is only found by asking the node
-    /// it was stored at, as on the real DHT.
-    providers: HashMap<(u32, u64), u32>,
+    /// it was stored at, as on the real DHT. Value: `(provider,
+    /// stored_at)`; the timestamp drives lazy expiry validation.
+    providers: HashMap<(u32, u64), (u32, SimTime)>,
+    /// Record-expiry queue `(deadline, replica, cid)`, appended at store
+    /// dispatch so deadlines are nondecreasing — the VecDeque is the
+    /// lean stand-in for the netsim store's per-shard timing wheels:
+    /// each tick pops only the due prefix, O(expired) not O(records).
+    /// A refreshed record is detected lazily (live `stored_at` newer
+    /// than the popped deadline implies) and skipped.
+    expiry: VecDeque<(SimTime, u32, u64)>,
+    /// Reprovide queue `(deadline, publisher, cid)`: the region's
+    /// keyspace-sweep equivalent. Every completed publish arms one
+    /// entry; each tick pops the due prefix and re-walks (publisher
+    /// online) or defers a full interval (publisher offline) —
+    /// §3.1's 12 h republish cycle at the cell's scaled interval.
+    reprovide: VecDeque<(SimTime, u32, u64)>,
     /// Walk slab; slots are recycled, `gen` guards stale events.
     walks: Vec<Walk>,
     free_walks: Vec<u32>,
@@ -348,6 +372,8 @@ impl RegionState {
             addr: vec![NONE32; n * ADDR_SLOTS],
             addr_cur: vec![0; n],
             providers: HashMap::new(),
+            expiry: VecDeque::new(),
+            reprovide: VecDeque::new(),
             walks: Vec::new(),
             free_walks: Vec::new(),
             order_fnv: FNV_BASIS,
@@ -413,7 +439,9 @@ impl RegionState {
             + self.conn_cur.len()
             + self.addr.len() * 4
             + self.addr_cur.len()
-            + self.providers.len() * std::mem::size_of::<((u32, u64), u32)>()
+            + self.providers.len() * std::mem::size_of::<((u32, u64), (u32, SimTime))>()
+            + (self.expiry.len() + self.reprovide.len())
+                * std::mem::size_of::<(SimTime, u32, u64)>()
             + self.walks.len() * std::mem::size_of::<Walk>()) as u64
     }
 }
@@ -451,6 +479,13 @@ pub struct ShardSimConfig {
     pub churn_prob: f64,
     /// Fraction of nodes behind NATs (non-servers), §4.1's 45.5 %.
     pub nat_fraction: f64,
+    /// Provider-record lifetime — §3.1's 24 h expiry scaled to the
+    /// cell's seconds-long runs. Records older than this drop at the
+    /// replica's next tick (O(expired) queue pop).
+    pub provider_expiry: SimDuration,
+    /// Republish interval — §3.1's 12 h cycle, same scaling. Every
+    /// completed publish arms a reprovide entry that re-walks here.
+    pub provider_republish: SimDuration,
     /// Scripted faults (partition windows are honored; other fault
     /// kinds are netsim-only and ignored here).
     pub faults: FaultPlan,
@@ -468,6 +503,8 @@ impl Default for ShardSimConfig {
             ops_per_tick: 8,
             churn_prob: 0.0005,
             nat_fraction: 0.455,
+            provider_expiry: SimDuration::from_secs(30),
+            provider_republish: SimDuration::from_secs(12),
             faults: FaultPlan::new(),
         }
     }
@@ -644,6 +681,8 @@ impl ShardSim {
             server,
             routing,
             partitions,
+            provider_expiry: cfg.provider_expiry,
+            provider_republish: cfg.provider_republish,
         };
         ShardSim { world, engine, states, deadline: SimTime::ZERO + cfg.duration }
     }
@@ -729,6 +768,34 @@ fn handle(world: &World, st: &mut ShardState, ctx: &mut ShardCtx<'_, Ev>, at: Si
                 counters[if on { Ctr::ChurnOn } else { Ctr::ChurnOff } as usize] += 1;
             }
 
+            // Record expiry: pop only the due prefix (deadlines are
+            // nondecreasing), validate lazily against the live record —
+            // a refreshed record has a newer `stored_at` and survives.
+            while rs.expiry.front().is_some_and(|&(d, ..)| d <= at) {
+                let (_, to, cid) = rs.expiry.pop_front().unwrap();
+                if let Some(&(_, stored)) = rs.providers.get(&(to, cid)) {
+                    if stored + world.provider_expiry <= at {
+                        rs.providers.remove(&(to, cid));
+                        counters[Ctr::ProviderExpired as usize] += 1;
+                    }
+                }
+            }
+
+            // Reprovide sweep: re-walk every due publication whose
+            // publisher is online; defer a full interval otherwise (the
+            // constant offset keeps the queue's deadlines nondecreasing).
+            while rs.reprovide.front().is_some_and(|&(d, ..)| d <= at) {
+                let (_, node, cid) = rs.reprovide.pop_front().unwrap();
+                let local = (node - rs.start) as usize;
+                if rs.online[local] {
+                    counters[Ctr::SweepRepublish as usize] += 1;
+                    start_walk(world, rs, counters, ctx, at, node, cid, true);
+                } else {
+                    counters[Ctr::SweepDeferred as usize] += 1;
+                    rs.reprovide.push_back((at + world.provider_republish, node, cid));
+                }
+            }
+
             for i in 0..world.ops_per_tick {
                 let local = ctx.rng().random_range(0..rs.count as usize);
                 if !rs.online[local] {
@@ -788,7 +855,7 @@ fn handle(world: &World, st: &mut ShardState, ctx: &mut ShardCtx<'_, Ev>, at: Si
                     }
                 }
                 KIND_GETPROV => {
-                    found[0] = rs.providers.get(&(to, target)).copied().unwrap_or(NONE32);
+                    found[0] = rs.providers.get(&(to, target)).map_or(NONE32, |&(p, _)| p);
                 }
                 _ => {} // KIND_FETCH: the reply itself is the payload.
             }
@@ -886,7 +953,8 @@ fn handle(world: &World, st: &mut ShardState, ctx: &mut ShardCtx<'_, Ev>, at: Si
 
         Ev::Store { to, cid, provider, .. } => {
             counters[Ctr::ProviderStore as usize] += 1;
-            rs.providers.insert((to, cid), provider);
+            rs.providers.insert((to, cid), (provider, at));
+            rs.expiry.push_back((at + world.provider_expiry, to, cid));
         }
     }
 }
@@ -1082,6 +1150,10 @@ fn finish_lookup(
         }
         counters[Ctr::PublishDone as usize] += 1;
         counters[Ctr::PublishNanos as usize] += at.since(t0).as_nanos();
+        // Arm the reprovide chain: the next sweep tick past this
+        // deadline re-walks the publication (completion re-arms again,
+        // so the chain outlives any single record's 24 h expiry).
+        rs.reprovide.push_back((at + world.provider_republish, node, target));
         rs.record_flight(tkey, node, NO_PEER, "publish_done", rpcs, t0, at);
         free_walk(rs, slot);
         return;
@@ -1275,6 +1347,30 @@ mod tests {
         for shards in [2, 6] {
             let sharded = run(&small_cfg(1200, 15, shards, 42));
             assert_eq!(sharded.flight_fnv, serial.flight_fnv, "shards={shards} flight diverged");
+        }
+    }
+
+    #[test]
+    fn provider_lifecycle_runs_and_stays_shard_invariant() {
+        // Fast-forward lifecycle: 2 s republish / 5 s expiry over a 20 s
+        // run means every publication re-walks several times and
+        // unrefreshed records age out — and the whole lifecycle (expiry
+        // pops, sweep re-walks, deferrals under churn) must land in the
+        // shared metrics/order fingerprints identically at every shard
+        // count.
+        let mut cfg = small_cfg(1500, 20, 1, 31);
+        cfg.provider_republish = SimDuration::from_secs(2);
+        cfg.provider_expiry = SimDuration::from_secs(5);
+        cfg.churn_prob = 0.01;
+        let serial = run(&cfg);
+        assert!(serial.counter("sweep_republish") > 0, "no reprovide sweep ran");
+        assert!(serial.counter("provider_expired") > 0, "no record ever expired");
+        assert!(serial.counter("sweep_deferred") > 0, "churn never parked a reprovide");
+        // Refresh keeps the store bounded: stores outnumber expiries.
+        assert!(serial.counter("provider_store") > serial.counter("provider_expired"));
+        for shards in [2, 6] {
+            cfg.shards = shards;
+            assert_eq!(run(&cfg), serial, "shards={shards} diverged with lifecycle on");
         }
     }
 

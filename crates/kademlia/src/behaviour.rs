@@ -17,7 +17,7 @@ use crate::records::{PeerRecord, ProviderRecord, RecordStore, ValueRecord};
 use crate::routing::{PeerInfo, RoutingTable, K};
 use crate::rpc::{Request, Response};
 use multiformats::PeerId;
-use simnet::SimTime;
+use simnet::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -51,11 +51,20 @@ pub struct DhtConfig {
     pub k: usize,
     /// Arbitration for PUT_VALUE conflicts (None = last-writer-wins).
     pub value_selector: Option<ValueSelector>,
+    /// Provider-record lifetime in this node's store (paper §3.1: 24 h;
+    /// lifecycle harnesses scale it to their run length).
+    pub provider_expiry: SimDuration,
 }
 
 impl Default for DhtConfig {
     fn default() -> Self {
-        DhtConfig { mode: DhtMode::Server, alpha: crate::ALPHA, k: K, value_selector: None }
+        DhtConfig {
+            mode: DhtMode::Server,
+            alpha: crate::ALPHA,
+            k: K,
+            value_selector: None,
+            provider_expiry: crate::records::PROVIDER_EXPIRY,
+        }
     }
 }
 
@@ -156,7 +165,7 @@ impl DhtBehaviour {
             local,
             config,
             routing: RoutingTable::new(key),
-            store: RecordStore::new(),
+            store: RecordStore::with_expiry(config.provider_expiry),
             queries: HashMap::new(),
             next_query: 0,
         }
@@ -246,6 +255,17 @@ impl DhtBehaviour {
                     received_at: now,
                 });
                 None // fire and forget (§3.1)
+            }
+            Request::AddProviderBatch { keys, provider } => {
+                for key in keys {
+                    self.store.add_provider(ProviderRecord {
+                        key,
+                        provider: provider.peer.clone(),
+                        addrs: provider.addrs.clone(),
+                        received_at: now,
+                    });
+                }
+                None // fire and forget, one message for the whole batch
             }
             Request::PutPeerRecord { addrs } => {
                 self.store.put_peer_record(PeerRecord {
@@ -424,6 +444,24 @@ mod tests {
         );
         assert!(resp.is_none(), "ADD_PROVIDER is fire-and-forget");
         assert_eq!(s.store().providers(&key, SimTime::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn add_provider_batch_stores_every_key() {
+        let mut s = server(1);
+        let keys: Vec<Key> =
+            (0u64..5).map(|n| Key::from_cid(&Cid::from_raw_data(&n.to_be_bytes()))).collect();
+        let resp = s.handle_request(
+            &info(2),
+            true,
+            Request::AddProviderBatch { keys: keys.clone(), provider: info(3) },
+            SimTime::ZERO,
+        );
+        assert!(resp.is_none(), "ADD_PROVIDER_BATCH is fire-and-forget");
+        for k in &keys {
+            assert_eq!(s.store().providers(k, SimTime::ZERO).len(), 1);
+        }
+        assert_eq!(s.store().provider_entry_count(), 5);
     }
 
     #[test]

@@ -34,6 +34,17 @@ pub enum Request {
         /// same info to k servers).
         provider: Arc<PeerInfo>,
     },
+    /// "Store: `provider` serves all of `keys`" — the batched publication
+    /// RPC the reprovide sweep uses: when many provided CIDs share the
+    /// same closest-peer neighborhood, one message carries every key
+    /// instead of one ADD_PROVIDER per CID (go-ipfs's accelerated DHT
+    /// client does the same to survive million-record reprovides).
+    AddProviderBatch {
+        /// DHT keys of the provided CIDs (sorted by keyspace order).
+        keys: Vec<Key>,
+        /// The provider and its addresses (shared across the batch).
+        provider: Arc<PeerInfo>,
+    },
     /// "Store my peer record" (PeerID → Multiaddresses, §3.1).
     PutPeerRecord {
         /// Addresses of the sender.
@@ -61,17 +72,19 @@ impl Request {
             Request::FindNode { .. } => "FIND_NODE",
             Request::GetProviders { .. } => "GET_PROVIDERS",
             Request::AddProvider { .. } => "ADD_PROVIDER",
+            Request::AddProviderBatch { .. } => "ADD_PROVIDER_BATCH",
             Request::PutPeerRecord { .. } => "PUT_PEER_RECORD",
             Request::PutValue { .. } => "PUT_VALUE",
             Request::GetValue { .. } => "GET_VALUE",
         }
     }
 
-    /// Whether the sender expects a response. ADD_PROVIDER is fire and
-    /// forget (§3.1: "The process does not wait for a response ... which
-    /// will become relevant in the performance evaluation").
+    /// Whether the sender expects a response. ADD_PROVIDER (and its
+    /// batched form) is fire and forget (§3.1: "The process does not wait
+    /// for a response ... which will become relevant in the performance
+    /// evaluation").
     pub fn expects_response(&self) -> bool {
-        !matches!(self, Request::AddProvider { .. })
+        !matches!(self, Request::AddProvider { .. } | Request::AddProviderBatch { .. })
     }
 }
 
@@ -136,7 +149,8 @@ mod tests {
         let key = Key::from_cid(&Cid::from_raw_data(b"x"));
         let provider =
             Arc::new(PeerInfo::new(multiformats::Keypair::from_seed(1).peer_id(), vec![]));
-        assert!(!Request::AddProvider { key, provider }.expects_response());
+        assert!(!Request::AddProvider { key, provider: provider.clone() }.expects_response());
+        assert!(!Request::AddProviderBatch { keys: vec![key], provider }.expects_response());
         assert!(Request::FindNode { target: key }.expects_response());
         assert!(Request::GetProviders { key }.expects_response());
     }
